@@ -1,0 +1,45 @@
+"""Ablation: maneuver coordination on vs off.
+
+The paper models coordination explicitly ("if the own-ship chooses a
+'climb' maneuver, it will send a coordination command to the intruder
+to require it not to choose maneuvers in the same direction").  This
+ablation measures what the channel buys on head-on encounters, where
+both aircraft alert nearly simultaneously and sense conflicts are most
+likely.
+"""
+
+from conftest import record_result
+
+from repro.encounters import head_on_encounter
+from repro.sim import BatchEncounterSimulator, EncounterSimConfig
+
+RUNS = 150
+
+
+def test_bench_ablation_coordination(benchmark, paper_table):
+    config = EncounterSimConfig()
+    params = head_on_encounter(ground_speed=35.0, time_to_cpa=30.0)
+
+    def run_both():
+        coordinated = BatchEncounterSimulator(
+            paper_table, config, coordination=True
+        ).run(params, RUNS, seed=21)
+        uncoordinated = BatchEncounterSimulator(
+            paper_table, config, coordination=False
+        ).run(params, RUNS, seed=21)
+        return coordinated, uncoordinated
+
+    coordinated, uncoordinated = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    record_result(
+        "ablation_coordination",
+        f"head-on encounter, {RUNS} runs each:\n"
+        f"  coordinated:   NMAC {int(coordinated.nmac.sum()):>3}/{RUNS}, "
+        f"mean min sep {coordinated.min_separation.mean():6.1f} m\n"
+        f"  uncoordinated: NMAC {int(uncoordinated.nmac.sum()):>3}/{RUNS}, "
+        f"mean min sep {uncoordinated.min_separation.mean():6.1f} m\n",
+    )
+    # Coordination must not hurt, and typically buys separation.
+    assert coordinated.nmac_rate <= uncoordinated.nmac_rate + 0.02

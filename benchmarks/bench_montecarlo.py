@@ -1,0 +1,37 @@
+"""Experiment: Monte-Carlo validation rates (paper Sections II, IV, VIII).
+
+The paper's development loop accepts a model when the generated logic's
+simulated accident and false-alarm rates meet requirements, estimated
+by Monte-Carlo over a statistical encounter model.  Regenerates that
+evaluation: equipped vs unequipped NMAC rates with confidence
+intervals, risk ratio, alert and false-alarm rates.
+"""
+
+from conftest import record_result
+
+from repro.encounters import StatisticalEncounterModel
+from repro.montecarlo import MonteCarloEstimator
+from repro.sim.encounter import EncounterSimConfig
+
+ENCOUNTERS = 80
+RUNS_PER_ENCOUNTER = 15
+
+
+def test_bench_montecarlo_rates(benchmark, paper_table):
+    estimator = MonteCarloEstimator(
+        paper_table,
+        StatisticalEncounterModel(),
+        sim_config=EncounterSimConfig(),
+        runs_per_encounter=RUNS_PER_ENCOUNTER,
+    )
+    report = benchmark.pedantic(
+        lambda: estimator.estimate(ENCOUNTERS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("montecarlo", report.summary() + "\n")
+
+    # The acceptance shape of the paper's development loop: the system
+    # must cut risk substantially without alerting on everything.
+    assert report.risk_ratio < 0.5
+    assert report.unequipped_nmac.rate > 0.2

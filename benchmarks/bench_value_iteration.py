@@ -1,0 +1,33 @@
+"""Experiment: footnote 2 — "Value Iteration takes several minutes
+(less than 5 minutes) on an ordinary laptop PC" for the real model.
+
+Times the offline solve of the ACAS XU-like model at both shipped
+resolutions.  The paper's bound is an upper limit; the reproduction's
+vectorized solver should land far below it at paper resolution.
+"""
+
+import pytest
+from conftest import record_result
+
+from repro.acasx import build_logic_table
+from repro.acasx import paper_config as paper_preset
+from repro.acasx import test_config as fast_preset
+
+
+@pytest.mark.parametrize(
+    "label, config_fn", [("test", fast_preset), ("paper", paper_preset)]
+)
+def test_bench_logic_table_solve(benchmark, label, config_fn):
+    config = config_fn()
+    table = benchmark.pedantic(
+        build_logic_table, args=(config,), rounds=2, iterations=1
+    )
+    seconds = table.metadata["total_seconds"]
+    record_result(
+        f"value_iteration_{label}",
+        f"resolution: {config.num_h} x {config.num_rate} x {config.num_rate}"
+        f" cube, {config.horizon} stages, 5 advisories\n"
+        f"solve time: {seconds:.2f} s (paper footnote 2 bound: < 300 s)\n"
+        f"within paper bound: {seconds < 300.0}\n",
+    )
+    assert seconds < 300.0

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures and result recording.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index).  Timing goes through pytest-benchmark;
+the regenerated rows/series are printed and also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output
+capture.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.acasx import build_logic_table, paper_config, test_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n----- {name} -----")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def fast_table():
+    """Logic table at test resolution (for search-heavy benches)."""
+    return build_logic_table(test_config())
+
+
+@pytest.fixture(scope="session")
+def paper_table():
+    """Logic table at paper resolution (for behaviour benches)."""
+    return build_logic_table(paper_config())

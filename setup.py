@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this library targets may lack the ``wheel`` package, in
+which case PEP 660 editable installs fail with ``invalid command
+'bdist_wheel'``.  Keeping a ``setup.py`` alongside ``pyproject.toml``
+lets ``pip install -e .`` fall back to the legacy develop-mode path,
+which needs only setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,177 @@
+"""The resolution advisory (RA) vocabulary of the ACAS XU-like logic.
+
+ACAS X logic chooses among a small set of vertical advisories.  We model
+the five that give the system its qualitative behaviour (the real system
+adds rate-limit variants):
+
+====================  =================  ==================
+advisory              target rate        tracking accel
+====================  =================  ==================
+COC                   none               —
+CLIMB                 +1500 ft/min       g/4
+DESCEND               −1500 ft/min       g/4
+STRONG_CLIMB          +2500 ft/min       g/3
+STRONG_DESCEND        −2500 ft/min       g/3
+====================  =================  ==================
+
+Every advisory knows its *sense* (the direction it pushes the own-ship),
+which is what the coordination protocol exchanges: if the intruder has
+locked the CLIMB sense, the own-ship must not also climb.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.util.units import G, fpm_to_mps
+
+
+class AdvisorySense(enum.Enum):
+    """Direction an advisory pushes the aircraft."""
+
+    NONE = 0
+    UP = 1
+    DOWN = -1
+
+    @property
+    def opposite(self) -> "AdvisorySense":
+        """The complementary sense (NONE is its own opposite)."""
+        if self is AdvisorySense.UP:
+            return AdvisorySense.DOWN
+        if self is AdvisorySense.DOWN:
+            return AdvisorySense.UP
+        return AdvisorySense.NONE
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One resolution advisory.
+
+    Attributes
+    ----------
+    index:
+        Position in :data:`ADVISORIES` (also the MDP action index).
+    name:
+        Human-readable label.
+    target_rate:
+        Commanded vertical rate, m/s; ``None`` for clear-of-conflict.
+    acceleration:
+        Vertical acceleration used to capture the target, m/s^2.
+    sense:
+        Push direction, used by coordination.
+    strength:
+        0 for COC, 1 for an initial advisory, 2 for a strengthened one.
+    """
+
+    index: int
+    name: str
+    target_rate: Optional[float]
+    acceleration: float
+    sense: AdvisorySense
+    strength: int
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this advisory commands a maneuver."""
+        return self.target_rate is not None
+
+    def conflicts_with_sense(self, locked: AdvisorySense) -> bool:
+        """Whether choosing this advisory violates a coordination lock.
+
+        A lock on a sense forbids the *other* aircraft from maneuvering
+        in that same direction.
+        """
+        return self.is_active and locked is not AdvisorySense.NONE and (
+            self.sense is locked
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+COC = Advisory(
+    index=0,
+    name="COC",
+    target_rate=None,
+    acceleration=0.0,
+    sense=AdvisorySense.NONE,
+    strength=0,
+)
+CLIMB = Advisory(
+    index=1,
+    name="CLIMB",
+    target_rate=fpm_to_mps(1500.0),
+    acceleration=G / 4.0,
+    sense=AdvisorySense.UP,
+    strength=1,
+)
+DESCEND = Advisory(
+    index=2,
+    name="DESCEND",
+    target_rate=fpm_to_mps(-1500.0),
+    acceleration=G / 4.0,
+    sense=AdvisorySense.DOWN,
+    strength=1,
+)
+STRONG_CLIMB = Advisory(
+    index=3,
+    name="STRONG_CLIMB",
+    target_rate=fpm_to_mps(2500.0),
+    acceleration=G / 3.0,
+    sense=AdvisorySense.UP,
+    strength=2,
+)
+STRONG_DESCEND = Advisory(
+    index=4,
+    name="STRONG_DESCEND",
+    target_rate=fpm_to_mps(-2500.0),
+    acceleration=G / 3.0,
+    sense=AdvisorySense.DOWN,
+    strength=2,
+)
+
+#: All advisories, indexed by :attr:`Advisory.index`.
+ADVISORIES: Tuple[Advisory, ...] = (
+    COC,
+    CLIMB,
+    DESCEND,
+    STRONG_CLIMB,
+    STRONG_DESCEND,
+)
+
+#: Number of advisories (MDP actions and advisory-state values).
+NUM_ADVISORIES = len(ADVISORIES)
+
+
+def advisory_by_name(name: str) -> Advisory:
+    """Look up an advisory by its :attr:`Advisory.name`."""
+    for advisory in ADVISORIES:
+        if advisory.name == name:
+            return advisory
+    raise KeyError(f"no advisory named {name!r}")
+
+
+def is_reversal(current: Advisory, chosen: Advisory) -> bool:
+    """Whether *chosen* reverses the sense of *current* (both active)."""
+    return (
+        current.is_active
+        and chosen.is_active
+        and chosen.sense is current.sense.opposite
+    )
+
+
+def is_strengthening(current: Advisory, chosen: Advisory) -> bool:
+    """Whether *chosen* strengthens *current* within the same sense."""
+    return (
+        current.is_active
+        and chosen.is_active
+        and chosen.sense is current.sense
+        and chosen.strength > current.strength
+    )
+
+
+def is_new_alert(current: Advisory, chosen: Advisory) -> bool:
+    """Whether *chosen* starts an alert from clear-of-conflict."""
+    return not current.is_active and chosen.is_active

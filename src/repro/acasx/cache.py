@@ -1,0 +1,84 @@
+"""Logic-table caching.
+
+The offline solve is the only expensive step of the pipeline, and a
+table is a pure function of its :class:`AcasConfig`.  ``build_or_load``
+keys the on-disk cache by a hash of the configuration, so repeated
+experiment runs (benchmarks, notebooks, the CLI) pay the solve once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.acasx.config import AcasConfig
+from repro.acasx.logic_table import LogicTable
+from repro.acasx.solver import build_logic_table
+
+#: Default cache directory (project-local, ignored by packaging).
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-acasx"
+
+
+def config_fingerprint(config: AcasConfig) -> str:
+    """Stable hash of every model parameter (16 hex chars)."""
+    payload = json.dumps(
+        {
+            "h_max": config.h_max,
+            "num_h": config.num_h,
+            "rate_max": config.rate_max,
+            "num_rate": config.num_rate,
+            "horizon": config.horizon,
+            "dt": config.dt,
+            "own_noise": config.own_noise,
+            "intruder_noise": config.intruder_noise,
+            "nmac_cost": config.nmac_cost,
+            "nmac_vertical": config.nmac_vertical,
+            "alert_cost": config.alert_cost,
+            "strong_alert_extra": config.strong_alert_extra,
+            "coc_reward": config.coc_reward,
+            "reversal_cost": config.reversal_cost,
+            "strengthen_cost": config.strengthen_cost,
+            "new_alert_cost": config.new_alert_cost,
+            "conflict_horizontal_radius": config.conflict_horizontal_radius,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def cache_path(config: AcasConfig, cache_dir: Optional[Path] = None) -> Path:
+    """Where the table for *config* lives on disk."""
+    directory = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    return directory / f"logic_table_{config_fingerprint(config)}.npz"
+
+
+def build_or_load(
+    config: AcasConfig | None = None,
+    cache_dir: Optional[Path] = None,
+    verbose: bool = False,
+) -> LogicTable:
+    """Load the table for *config* from cache, solving on a miss.
+
+    Corrupt or unreadable cache entries are rebuilt and overwritten
+    rather than raised — the cache is an accelerator, never a source
+    of truth.
+    """
+    config = config or AcasConfig()
+    path = cache_path(config, cache_dir)
+    if path.exists():
+        try:
+            table = LogicTable.load(path)
+            if table.config == config:
+                if verbose:
+                    print(f"[acasx] loaded cached table from {path}")
+                return table
+        except Exception:
+            pass  # fall through to rebuild
+    table = build_logic_table(config, verbose=verbose)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    table.save(path)
+    if verbose:
+        print(f"[acasx] cached table at {path}")
+    return table

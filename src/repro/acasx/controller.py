@@ -1,0 +1,218 @@
+"""The online ACAS XU-like controller and the coordination protocol.
+
+Each equipped UAV runs one :class:`AcasXuController`.  Every decision
+step it receives its own (true) state and the intruder's *sensed* state
+(ADS-B plus noise, supplied by the simulator), estimates the time to the
+horizontal closest point of approach (τ), consults the interpolated
+logic table, and displays an advisory.  Hysteresis enters through the
+advisory state: the table charges reversals and strengthenings, so the
+controller does not chatter between senses.
+
+Coordination (paper Section VI.C): when a UAV selects an advisory with a
+vertical sense it transmits that sense on the shared channel; the other
+UAV must not select the same sense — "if the own-ship chooses a 'climb'
+maneuver, it will send a coordination command to the intruder to require
+it not to choose maneuvers in the same direction."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.acasx.advisories import Advisory, AdvisorySense, COC
+from repro.acasx.logic_table import LogicTable
+from repro.dynamics.aircraft import (
+    AircraftState,
+    VerticalRateCommand,
+    cpa_horizontal_miss,
+    time_to_cpa,
+)
+
+
+class CoordinationChannel:
+    """Shared medium over which paired UAVs exchange maneuver senses.
+
+    Each participant registers the sense of its active advisory; the
+    other participant reads the union of everyone else's locked senses
+    and avoids them.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[str, AdvisorySense] = {}
+
+    def announce(self, sender_id: str, sense: AdvisorySense) -> None:
+        """Record *sender_id*'s current maneuver sense (NONE releases)."""
+        if sense is AdvisorySense.NONE:
+            self._locks.pop(sender_id, None)
+        else:
+            self._locks[sender_id] = sense
+
+    def forbidden_senses(self, receiver_id: str) -> List[AdvisorySense]:
+        """Senses *receiver_id* must not maneuver in (others' locks)."""
+        return [
+            sense
+            for sender, sense in self._locks.items()
+            if sender != receiver_id
+        ]
+
+    def locked_sense(self, sender_id: str) -> AdvisorySense:
+        """The sense *sender_id* currently has locked (NONE if none)."""
+        return self._locks.get(sender_id, AdvisorySense.NONE)
+
+    def reset(self) -> None:
+        """Clear all locks (start of a new encounter)."""
+        self._locks.clear()
+
+
+@dataclass
+class ControllerDecision:
+    """One decision-step record, for analysis and false-alarm metrics."""
+
+    time: float
+    advisory: Advisory
+    tau: Optional[float]
+    projected_miss: Optional[float]
+    relative_altitude: float
+    in_conflict: bool
+
+
+class AcasXuController:
+    """Online collision avoidance logic for one UAV.
+
+    Parameters
+    ----------
+    table:
+        The solved :class:`LogicTable`.
+    aircraft_id:
+        Identifier used on the coordination channel.
+    channel:
+        Shared :class:`CoordinationChannel` (optional; without one the
+        controller behaves as an uncoordinated unit).
+    """
+
+    def __init__(
+        self,
+        table: LogicTable,
+        aircraft_id: str = "ownship",
+        channel: Optional[CoordinationChannel] = None,
+    ):
+        self.table = table
+        self.aircraft_id = aircraft_id
+        self.channel = channel
+        self.current_advisory: Advisory = COC
+        self.decisions: List[ControllerDecision] = []
+        self._time = 0.0
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def _conflict_geometry(
+        self, own: AircraftState, intruder: AircraftState
+    ) -> tuple[Optional[float], Optional[float], bool]:
+        """Estimate (τ, projected miss, in_conflict) from sensed states.
+
+        A conflict exists when the horizontal closest point of approach
+        lies ahead, within the table's horizon, and the projected
+        horizontal miss distance is inside the conflict radius.
+
+        This mirrors the τ-based conflict detection of the ACAS family:
+        τ comes from the *horizontal* relative geometry alone.  When the
+        horizontal closure is very slow — the paper's tail-approach
+        situations — τ is large or, with sensor noise on the closure,
+        erratic; the logic then sees little risk even at close range.
+        That model/reality gap is precisely the weakness the paper's GA
+        search surfaces (Section VII), so it is modelled, not patched.
+        """
+        config = self.table.config
+        horizon_seconds = config.horizon * config.dt
+        tau = time_to_cpa(own, intruder)
+        miss = cpa_horizontal_miss(own, intruder)
+        if tau <= 0.0:
+            # Horizontally diverging (or relatively motionless).
+            return None, miss, False
+        if tau > horizon_seconds:
+            return tau, miss, False
+        if miss > config.conflict_horizontal_radius:
+            return tau, miss, False
+        return tau, miss, True
+
+    def decide(
+        self, own: AircraftState, sensed_intruder: AircraftState
+    ) -> Advisory:
+        """Select the advisory for this step and update hysteresis state.
+
+        Parameters
+        ----------
+        own:
+            The own-ship's state (assumed perfectly known to itself).
+        sensed_intruder:
+            The intruder state as sensed over ADS-B (noise included by
+            the caller).
+        """
+        tau, miss, in_conflict = self._conflict_geometry(own, sensed_intruder)
+        if not in_conflict:
+            advisory = COC
+        else:
+            h = sensed_intruder.altitude - own.altitude
+            forbidden = (
+                self.channel.forbidden_senses(self.aircraft_id)
+                if self.channel is not None
+                else []
+            )
+            advisory = self.table.best_advisory(
+                tau=float(tau),
+                current=self.current_advisory,
+                h=h,
+                own_rate=own.vertical_rate,
+                intruder_rate=sensed_intruder.vertical_rate,
+                forbidden_senses=forbidden,
+            )
+        self.current_advisory = advisory
+        if self.channel is not None:
+            self.channel.announce(self.aircraft_id, advisory.sense)
+        self.decisions.append(
+            ControllerDecision(
+                time=self._time,
+                advisory=advisory,
+                tau=tau,
+                projected_miss=miss,
+                relative_altitude=sensed_intruder.altitude - own.altitude,
+                in_conflict=in_conflict,
+            )
+        )
+        self._time += self.table.config.dt
+        return advisory
+
+    def command(self) -> Optional[VerticalRateCommand]:
+        """The maneuver command implied by the current advisory."""
+        advisory = self.current_advisory
+        if not advisory.is_active:
+            return None
+        return VerticalRateCommand(
+            target_rate=advisory.target_rate,
+            acceleration=advisory.acceleration,
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def ever_alerted(self) -> bool:
+        """Whether any active advisory was issued this encounter."""
+        return any(d.advisory.is_active for d in self.decisions)
+
+    @property
+    def alert_steps(self) -> int:
+        """Number of decision steps with an active advisory."""
+        return sum(1 for d in self.decisions if d.advisory.is_active)
+
+    def reset(self) -> None:
+        """Prepare for a new encounter."""
+        self.current_advisory = COC
+        self.decisions = []
+        self._time = 0.0
+        if self.channel is not None:
+            self.channel.announce(self.aircraft_id, AdvisorySense.NONE)

@@ -1,0 +1,78 @@
+"""Discretized vertical dynamics used to build the offline model.
+
+The offline MDP tracks three continuous variables on grids:
+
+- ``h``  — intruder altitude minus own altitude (m);
+- ``dh0`` — own vertical rate (m/s);
+- ``dh1`` — intruder vertical rate (m/s).
+
+Per decision step the own-ship's rate ramps toward the chosen advisory's
+target at the advisory's acceleration (no ramp under COC) and then picks
+up a discrete white-noise rate change; the intruder's rate follows white
+noise only.  Relative altitude integrates the trapezoid of the rate
+change, matching :func:`repro.dynamics.aircraft.step_aircraft` so the
+offline model and the online simulator share one dynamics definition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.acasx.advisories import Advisory
+from repro.acasx.config import AcasConfig
+
+
+def ramp_rates(
+    rates: np.ndarray, advisory: Advisory, dt: float
+) -> np.ndarray:
+    """Apply one step of advisory tracking to an array of vertical rates.
+
+    Under an active advisory the rate moves toward the target by at most
+    ``acceleration * dt``; under COC it is unchanged.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if not advisory.is_active:
+        return rates.copy()
+    error = advisory.target_rate - rates
+    max_change = advisory.acceleration * dt
+    return rates + np.clip(error, -max_change, max_change)
+
+
+def own_rate_samples(
+    config: AcasConfig, advisory: Advisory
+) -> List[Tuple[np.ndarray, float]]:
+    """Successor own-rate samples per grid point for *advisory*.
+
+    Returns a list of ``(next_rates, probability)`` pairs where
+    ``next_rates[i]`` is the successor of ``rate_points[i]`` under one
+    noise outcome (unclipped — the grid interpolation clips).
+    """
+    ramped = ramp_rates(config.rate_points, advisory, config.dt)
+    return [(ramped + delta, prob) for delta, prob in config.own_noise]
+
+
+def intruder_rate_samples(config: AcasConfig) -> List[Tuple[np.ndarray, float]]:
+    """Successor intruder-rate samples per grid point (white noise only)."""
+    rates = config.rate_points
+    return [(rates + delta, prob) for delta, prob in config.intruder_noise]
+
+
+def relative_altitude_change(
+    h: np.ndarray,
+    dh0_now: np.ndarray,
+    dh0_next: np.ndarray,
+    dh1_now: np.ndarray,
+    dh1_next: np.ndarray,
+    dt: float,
+) -> np.ndarray:
+    """Trapezoidal update of relative altitude over one step.
+
+    ``h' = h + dt * ((dh1 + dh1')/2 - (dh0 + dh0')/2)`` — the altitude
+    each aircraft gains while its rate ramps linearly between the two
+    endpoint rates.  Arrays broadcast together.
+    """
+    own_gain = (np.asarray(dh0_now) + np.asarray(dh0_next)) / 2.0
+    intruder_gain = (np.asarray(dh1_now) + np.asarray(dh1_next)) / 2.0
+    return np.asarray(h) + dt * (intruder_gain - own_gain)

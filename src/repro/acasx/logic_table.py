@@ -1,0 +1,256 @@
+"""The generated logic table: storage, interpolation, lookup.
+
+The offline solve (:mod:`repro.acasx.solver`) produces, for every
+decision stage *k* (seconds of time-to-CPA remaining), current advisory
+state, candidate action and grid point of the (h, ḣ₀, ḣ₁) cube, the
+expected reward-to-go ``Q[k, sRA, a, cube]``.  Online, the controller
+asks for the Q-values at a *continuous* state: the table multilinearly
+interpolates over the cube and linearly over τ — the "interpolation"
+machinery Section IV of the paper flags as validation-relevant.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.acasx.advisories import ADVISORIES, NUM_ADVISORIES, Advisory, AdvisorySense
+from repro.acasx.config import AcasConfig
+from repro.mdp.grid import Grid, UniformAxis
+
+
+def make_cube_grid(config: AcasConfig) -> Grid:
+    """The (h, ḣ₀, ḣ₁) interpolation grid for *config*."""
+    return Grid(
+        [
+            UniformAxis("h", -config.h_max, config.h_max, config.num_h),
+            UniformAxis("dh0", -config.rate_max, config.rate_max, config.num_rate),
+            UniformAxis("dh1", -config.rate_max, config.rate_max, config.num_rate),
+        ]
+    )
+
+
+class LogicTable:
+    """Solved ACAS XU-like logic.
+
+    Parameters
+    ----------
+    config:
+        The model configuration the table was solved under.
+    q_values:
+        Array of shape ``(horizon + 1, num_advisories, num_advisories,
+        cube_size)``: stage ``k`` (0 = terminal), current advisory
+        state, candidate action, flattened cube.  Stage 0 holds the
+        terminal values broadcast across actions so τ→0 lookups blend
+        into the terminal cost.
+    metadata:
+        Provenance (solver settings, build time).
+    """
+
+    def __init__(
+        self,
+        config: AcasConfig,
+        q_values: np.ndarray,
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        expected = (
+            config.horizon + 1,
+            NUM_ADVISORIES,
+            NUM_ADVISORIES,
+            config.cube_size,
+        )
+        q_values = np.asarray(q_values, dtype=np.float32)
+        if q_values.shape != expected:
+            raise ValueError(
+                f"q_values has shape {q_values.shape}, expected {expected}"
+            )
+        self.config = config
+        self.q = q_values
+        self.grid = make_cube_grid(config)
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def q_values_at(
+        self,
+        tau: float,
+        current: Advisory,
+        h: float,
+        own_rate: float,
+        intruder_rate: float,
+    ) -> np.ndarray:
+        """Interpolated Q-values of every action at a continuous state.
+
+        Parameters
+        ----------
+        tau:
+            Seconds until the horizontal closest point of approach.
+            Clamped to ``[0, horizon * dt]``.
+        current:
+            The advisory currently displayed (hysteresis state).
+        h, own_rate, intruder_rate:
+            Continuous relative altitude (m) and vertical rates (m/s).
+
+        Returns
+        -------
+        Array of shape ``(num_advisories,)``.
+        """
+        k_float = float(np.clip(tau / self.config.dt, 0.0, self.config.horizon))
+        k_lo = int(np.floor(k_float))
+        k_hi = min(k_lo + 1, self.config.horizon)
+        w_hi = k_float - k_lo
+
+        coords = np.array([[h, own_rate, intruder_rate]])
+        indices, weights = self.grid.interp_table(coords)
+        indices, weights = indices[0], weights[0]
+
+        q_lo = self.q[k_lo, current.index][:, indices] @ weights
+        if k_hi == k_lo or w_hi == 0.0:
+            return q_lo.astype(float)
+        q_hi = self.q[k_hi, current.index][:, indices] @ weights
+        return ((1.0 - w_hi) * q_lo + w_hi * q_hi).astype(float)
+
+    def q_values_batch(
+        self,
+        tau: np.ndarray,
+        current_indices: np.ndarray,
+        coords: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`q_values_at` for *n* independent states.
+
+        Parameters
+        ----------
+        tau:
+            Shape ``(n,)`` times to CPA, seconds.
+        current_indices:
+            Shape ``(n,)`` advisory-state indices.
+        coords:
+            Shape ``(n, 3)`` of ``(h, own_rate, intruder_rate)``.
+
+        Returns
+        -------
+        Array of shape ``(n, num_advisories)``.
+        """
+        tau = np.asarray(tau, dtype=float)
+        current_indices = np.asarray(current_indices, dtype=np.int64)
+        n = tau.shape[0]
+        k_float = np.clip(tau / self.config.dt, 0.0, self.config.horizon)
+        k_lo = np.floor(k_float).astype(np.int64)
+        k_hi = np.minimum(k_lo + 1, self.config.horizon)
+        w_hi = k_float - k_lo
+
+        indices, weights = self.grid.interp_table(coords)  # (n, 8)
+        cube = self.config.cube_size
+        flat_q = self.q.reshape(-1)
+        out = np.empty((n, NUM_ADVISORIES))
+        for a in range(NUM_ADVISORIES):
+            base_lo = ((k_lo * NUM_ADVISORIES + current_indices)
+                       * NUM_ADVISORIES + a) * cube
+            base_hi = ((k_hi * NUM_ADVISORIES + current_indices)
+                       * NUM_ADVISORIES + a) * cube
+            q_lo = np.sum(flat_q[base_lo[:, None] + indices] * weights, axis=1)
+            q_hi = np.sum(flat_q[base_hi[:, None] + indices] * weights, axis=1)
+            out[:, a] = (1.0 - w_hi) * q_lo + w_hi * q_hi
+        return out
+
+    def best_advisory(
+        self,
+        tau: float,
+        current: Advisory,
+        h: float,
+        own_rate: float,
+        intruder_rate: float,
+        forbidden_senses: Sequence[AdvisorySense] = (),
+    ) -> Advisory:
+        """The Q-maximizing advisory, honouring coordination locks.
+
+        Advisories whose sense appears in *forbidden_senses* are masked
+        out; COC is always permitted.
+        """
+        q = self.q_values_at(tau, current, h, own_rate, intruder_rate)
+        forbidden = set(forbidden_senses) - {AdvisorySense.NONE}
+        for advisory in ADVISORIES:
+            if advisory.is_active and advisory.sense in forbidden:
+                q[advisory.index] = -np.inf
+        return ADVISORIES[int(np.argmax(q))]
+
+    def policy_slice(
+        self,
+        tau: float,
+        current: Advisory,
+        intruder_rate: float = 0.0,
+    ) -> np.ndarray:
+        """Action indices over the (h, ḣ₀) plane — for plots and tests.
+
+        Evaluates the greedy policy on the grid's own points at a fixed
+        τ, advisory state and intruder rate.  Shape ``(num_h, num_rate)``.
+        """
+        h_points = self.config.h_points
+        rate_points = self.config.rate_points
+        out = np.zeros((len(h_points), len(rate_points)), dtype=np.int64)
+        for i, h in enumerate(h_points):
+            for j, rate in enumerate(rate_points):
+                advisory = self.best_advisory(tau, current, h, rate, intruder_rate)
+                out[i, j] = advisory.index
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Store the table (compressed npz + JSON config/metadata)."""
+        config_dict = {
+            key: getattr(self.config, key)
+            for key in (
+                "h_max",
+                "num_h",
+                "rate_max",
+                "num_rate",
+                "horizon",
+                "dt",
+                "own_noise",
+                "intruder_noise",
+                "nmac_cost",
+                "nmac_vertical",
+                "alert_cost",
+                "strong_alert_extra",
+                "coc_reward",
+                "reversal_cost",
+                "strengthen_cost",
+                "new_alert_cost",
+                "conflict_horizontal_radius",
+            )
+        }
+        np.savez_compressed(
+            Path(path),
+            q=self.q,
+            config=np.array(json.dumps(config_dict)),
+            metadata=np.array(json.dumps(self.metadata)),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LogicTable":
+        """Load a table previously stored with :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            config_dict = json.loads(str(data["config"]))
+            for key in ("own_noise", "intruder_noise"):
+                config_dict[key] = tuple(
+                    tuple(pair) for pair in config_dict[key]
+                )
+            config = AcasConfig(**config_dict)
+            return cls(
+                config=config,
+                q_values=data["q"],
+                metadata=json.loads(str(data["metadata"])),
+            )
+
+    def __repr__(self) -> str:
+        c = self.config
+        return (
+            f"LogicTable(horizon={c.horizon}, grid={c.num_h}x{c.num_rate}"
+            f"x{c.num_rate}, advisories={NUM_ADVISORIES})"
+        )

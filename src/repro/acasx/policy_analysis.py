@@ -1,0 +1,159 @@
+"""Logic-table inspection: alert boundaries, action maps, table diffs.
+
+Section IV of the paper notes a practical pain of the model-based
+pipeline: "when the performance of the generated logic fails to meet
+requirements, it is not easy to figure out how to improve the model
+because the link from the logic to the model is indirect."  These tools
+shorten that link by making the generated policy legible:
+
+- :func:`alert_boundary` — for a sweep of relative altitudes, the
+  largest τ at which the policy already alerts (the "alerting envelope"
+  a developer eyeballs for sanity);
+- :func:`action_map` — the greedy action over an (h, τ) slice, as a
+  compact text map;
+- :func:`compare_tables` — where two solved tables disagree, useful
+  when re-generating after a model tweak (the manual revision loop of
+  the paper's Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.acasx.advisories import Advisory, COC
+from repro.acasx.logic_table import LogicTable
+
+#: One-character glyphs for the action map.
+ACTION_GLYPHS = {
+    "COC": ".",
+    "CLIMB": "c",
+    "DESCEND": "d",
+    "STRONG_CLIMB": "C",
+    "STRONG_DESCEND": "D",
+}
+
+
+def alert_boundary(
+    table: LogicTable,
+    own_rate: float = 0.0,
+    intruder_rate: float = 0.0,
+    h_values: Optional[np.ndarray] = None,
+) -> List[Tuple[float, Optional[float]]]:
+    """Largest τ at which the policy alerts, per relative altitude.
+
+    Returns ``[(h, tau_first_alert or None), ...]``.  ``None`` means the
+    policy never alerts for that altitude (safely separated geometry).
+    """
+    config = table.config
+    if h_values is None:
+        h_values = config.h_points
+    boundary = []
+    taus = np.arange(config.horizon, 0, -1, dtype=float) * config.dt
+    for h in h_values:
+        first_alert = None
+        for tau in taus:
+            advisory = table.best_advisory(
+                float(tau), COC, float(h), own_rate, intruder_rate
+            )
+            if advisory.is_active:
+                first_alert = float(tau)
+                break
+        boundary.append((float(h), first_alert))
+    return boundary
+
+
+def action_map(
+    table: LogicTable,
+    own_rate: float = 0.0,
+    intruder_rate: float = 0.0,
+    current: Advisory = COC,
+) -> str:
+    """Text map of the greedy action over (h rows, τ columns).
+
+    Rows run from +h_max (top) to −h_max; columns from τ = 1 to the
+    horizon.  Glyphs: ``.`` COC, ``c``/``C`` climb/strong climb,
+    ``d``/``D`` descend/strong descend.
+    """
+    config = table.config
+    lines = []
+    header = "      tau-> " + "".join(
+        str((k // 10) % 10) if k % 10 == 0 else " "
+        for k in range(1, config.horizon + 1)
+    )
+    lines.append(header)
+    for h in config.h_points[::-1]:
+        glyphs = []
+        for k in range(1, config.horizon + 1):
+            advisory = table.best_advisory(
+                float(k * config.dt), current, float(h),
+                own_rate, intruder_rate,
+            )
+            glyphs.append(ACTION_GLYPHS[advisory.name])
+        lines.append(f"h={h:+7.1f}m " + "".join(glyphs))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableComparison:
+    """Disagreement statistics between two solved tables."""
+
+    states_compared: int
+    disagreements: int
+    max_q_difference: float
+    disagreement_by_stage: Dict[int, int]
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of compared states with identical greedy actions."""
+        if self.states_compared == 0:
+            return 1.0
+        return 1.0 - self.disagreements / self.states_compared
+
+
+def compare_tables(
+    a: LogicTable,
+    b: LogicTable,
+    stages: Optional[List[int]] = None,
+) -> TableComparison:
+    """Compare greedy policies of two tables on table *a*'s grid points.
+
+    The tables may have different resolutions: *b* is evaluated at *a*'s
+    grid coordinates through its own interpolation, which is exactly how
+    a deployed table would be consulted.
+    """
+    config = a.config
+    if stages is None:
+        step = max(1, config.horizon // 5)
+        stages = list(range(step, config.horizon + 1, step))
+    h_points = config.h_points
+    rate_points = config.rate_points
+
+    states_compared = 0
+    disagreements = 0
+    max_q_difference = 0.0
+    by_stage: Dict[int, int] = {}
+    for k in stages:
+        tau = float(k * config.dt)
+        stage_disagreements = 0
+        for h in h_points:
+            for r0 in rate_points[:: max(1, len(rate_points) // 5)]:
+                for r1 in rate_points[:: max(1, len(rate_points) // 5)]:
+                    qa = a.q_values_at(tau, COC, float(h), float(r0), float(r1))
+                    qb = b.q_values_at(tau, COC, float(h), float(r0), float(r1))
+                    states_compared += 1
+                    max_q_difference = max(
+                        max_q_difference, float(np.max(np.abs(qa - qb)))
+                    )
+                    if int(np.argmax(qa)) != int(np.argmax(qb)):
+                        disagreements += 1
+                        stage_disagreements += 1
+        by_stage[k] = stage_disagreements
+    return TableComparison(
+        states_compared=states_compared,
+        disagreements=disagreements,
+        max_q_difference=max_q_difference,
+        disagreement_by_stage=by_stage,
+    )

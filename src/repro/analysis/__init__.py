@@ -1,0 +1,40 @@
+"""Analysis utilities: geometry classification, safety metrics, figures.
+
+- :mod:`repro.analysis.geometry` — head-on / tail-approach / crossing
+  classification and relative-speed diagnostics;
+- :mod:`repro.analysis.metrics` — rate estimates (Wilson CIs), risk
+  ratio, false-alarm rate;
+- :mod:`repro.analysis.svg` / :mod:`repro.analysis.figures` — the
+  dependency-free SVG writer and the regeneration of the paper's
+  figures (fitness scatter, trajectory projections).
+"""
+
+from repro.analysis.figures import (
+    fitness_scatter,
+    generation_means_figure,
+    trajectory_figure,
+)
+from repro.analysis.geometry import (
+    classify_encounter,
+    is_vertical_crossing,
+    relative_horizontal_speed_of,
+)
+from repro.analysis.metrics import (
+    RateEstimate,
+    false_alarm_rate,
+    risk_ratio,
+    wilson_interval,
+)
+
+__all__ = [
+    "RateEstimate",
+    "classify_encounter",
+    "false_alarm_rate",
+    "fitness_scatter",
+    "generation_means_figure",
+    "is_vertical_crossing",
+    "relative_horizontal_speed_of",
+    "risk_ratio",
+    "trajectory_figure",
+    "wilson_interval",
+]

@@ -1,0 +1,151 @@
+"""Regeneration of the paper's figures as SVG files.
+
+Each function takes the reproduction's data structures and produces the
+corresponding figure:
+
+- :func:`fitness_scatter` — Fig. 6: fitness of every evaluated
+  encounter, in evaluation order, with generation boundaries;
+- :func:`trajectory_figure` — Figs. 5/7/8: top-down and side-view
+  projections of one encounter's trajectories, advisories highlighted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.svg import Bounds, PALETTE, SvgFigure
+from repro.search.ga import GAResult
+from repro.sim.trace import TrajectoryTrace
+
+
+def fitness_scatter(
+    ga_result: GAResult,
+    path: str | Path,
+    title: str = "Fitness of evaluated encounters (cf. paper Fig. 6)",
+) -> Path:
+    """Write the Fig.-6-style scatter: fitness vs evaluation index."""
+    genomes, fitnesses = ga_result.all_evaluated()
+    xs = np.arange(len(fitnesses), dtype=float)
+    figure = SvgFigure(
+        Bounds.of(xs, fitnesses),
+        title=title,
+        x_label="encounter (evaluation order)",
+        y_label="fitness",
+    )
+    # Generation boundaries and per-generation means.
+    offset = 0
+    for gen_index, fits in enumerate(ga_result.fitness_history):
+        xs_gen = np.arange(offset, offset + len(fits), dtype=float)
+        color = PALETTE[gen_index % len(PALETTE)]
+        figure.scatter(xs_gen, fits, color=color, radius=2.0,
+                       label=f"generation {gen_index}")
+        figure.line(
+            [offset, offset + len(fits) - 1],
+            [float(fits.mean())] * 2,
+            color=color, width=1.2, dashed=True,
+        )
+        if gen_index > 0:
+            figure.vline(offset - 0.5)
+        offset += len(fits)
+    return figure.save(path)
+
+
+def trajectory_figure(
+    trace: TrajectoryTrace,
+    path: str | Path,
+    title: str = "Encounter trajectories",
+) -> Path:
+    """Write a two-panel (stacked) trajectory figure for one encounter.
+
+    Top panel: horizontal (x-y) tracks.  Bottom panel: altitude vs
+    time.  Advisory-active segments are drawn thicker in the alert
+    color, mirroring the paper's red/green maneuver dots.
+    """
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    times = trace.times
+    own_xy = np.array([s.own_position[:2] for s in trace.steps])
+    intr_xy = np.array([s.intruder_position[:2] for s in trace.steps])
+    own_alt = trace.own_altitudes
+    intr_alt = trace.intruder_altitudes
+
+    # --- top panel: plan view -------------------------------------------------
+    plan = SvgFigure(
+        Bounds.of(
+            np.concatenate([own_xy[:, 0], intr_xy[:, 0]]),
+            np.concatenate([own_xy[:, 1], intr_xy[:, 1]]),
+        ),
+        title=title + " — plan view",
+        x_label="x [m]",
+        y_label="y [m]",
+        height=360,
+    )
+    plan.line(own_xy[:, 0], own_xy[:, 1], color=PALETTE[0], label="own-ship")
+    plan.line(intr_xy[:, 0], intr_xy[:, 1], color=PALETTE[1], label="intruder")
+    plan.scatter([own_xy[0, 0]], [own_xy[0, 1]], color=PALETTE[0], radius=5)
+    plan.scatter([intr_xy[0, 0]], [intr_xy[0, 1]], color=PALETTE[1], radius=5)
+    plan_path = Path(path).with_suffix(".plan.svg")
+    plan.save(plan_path)
+
+    # --- bottom panel: altitude profile ---------------------------------------
+    profile = SvgFigure(
+        Bounds.of(times, np.concatenate([own_alt, intr_alt])),
+        title=title + " — altitude profile",
+        x_label="time [s]",
+        y_label="altitude [m]",
+        height=360,
+    )
+    profile.line(times, own_alt, color=PALETTE[0], label="own-ship")
+    profile.line(times, intr_alt, color=PALETTE[1], label="intruder")
+
+    def alert_mask(who: str) -> np.ndarray:
+        return np.array(
+            [
+                (s.own_advisory if who == "own" else s.intruder_advisory)
+                not in ("", "COC")
+                for s in trace.steps
+            ]
+        )
+
+    for who, altitudes, color in (
+        ("own", own_alt, PALETTE[2]),
+        ("intruder", intr_alt, PALETTE[3]),
+    ):
+        mask = alert_mask(who)
+        if mask.any():
+            profile.scatter(
+                times[mask], altitudes[mask], color=color, radius=3.0,
+                label=f"{who} advisory active",
+            )
+    profile_path = Path(path).with_suffix(".profile.svg")
+    profile.save(profile_path)
+    return profile_path
+
+
+def generation_means_figure(
+    ga_result: GAResult,
+    path: str | Path,
+    title: str = "Per-generation fitness statistics",
+) -> Path:
+    """Line figure of min/mean/max fitness per generation."""
+    summary = ga_result.generation_summary()
+    generations = [row["generation"] for row in summary]
+    figure = SvgFigure(
+        Bounds.of(
+            generations,
+            [row["min"] for row in summary] + [row["max"] for row in summary],
+        ),
+        title=title,
+        x_label="generation",
+        y_label="fitness",
+    )
+    for key, color in (("min", PALETTE[2]), ("mean", PALETTE[0]),
+                       ("max", PALETTE[1])):
+        figure.line(
+            generations, [row[key] for row in summary],
+            color=color, label=key,
+        )
+    return figure.save(path)

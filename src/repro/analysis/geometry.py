@@ -1,0 +1,73 @@
+"""Encounter-geometry classification.
+
+Section VII of the paper scrutinizes the high-fitness encounters and
+finds "most of them are tail approach situations, where one UAV was
+descending and the other was climbing and approaching the first one
+from the tail direction".  This module provides the classifier used to
+make that statement quantitative for our reproduction:
+
+- *head-on*: the intruder's track opposes the own-ship's;
+- *tail-approach*: tracks nearly parallel — which, combined with
+  similar speeds, gives the small relative horizontal velocity that
+  starves the logic's τ estimate;
+- *crossing*: everything in between.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.encounters.encoding import (
+    DEFAULT_OWN_BEARING,
+    EncounterParameters,
+    decode_encounter,
+)
+
+#: Track-angle difference below which tracks count as parallel (rad).
+TAIL_THRESHOLD = math.pi / 4.0
+
+#: Track-angle difference above which tracks count as opposing (rad).
+HEAD_ON_THRESHOLD = 3.0 * math.pi / 4.0
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap to (-π, π]."""
+    return math.atan2(math.sin(angle), math.cos(angle))
+
+
+def classify_encounter(
+    params: EncounterParameters, own_bearing: float = DEFAULT_OWN_BEARING
+) -> str:
+    """One of ``'head-on'``, ``'tail-approach'``, ``'crossing'``."""
+    difference = abs(_wrap_angle(params.intruder_bearing - own_bearing))
+    if difference >= HEAD_ON_THRESHOLD:
+        return "head-on"
+    if difference <= TAIL_THRESHOLD:
+        return "tail-approach"
+    return "crossing"
+
+
+def is_vertical_crossing(params: EncounterParameters) -> bool:
+    """Whether one aircraft climbs while the other descends.
+
+    The paper's typical challenging situations pair a tail approach
+    with exactly this vertical geometry.
+    """
+    return (
+        params.own_vertical_speed * params.intruder_vertical_speed < 0
+        and abs(params.own_vertical_speed) > 0.5
+        and abs(params.intruder_vertical_speed) > 0.5
+    )
+
+
+def relative_horizontal_speed_of(params: EncounterParameters) -> float:
+    """Magnitude of the horizontal relative velocity, m/s.
+
+    Small values are the signature of the paper's challenging
+    situations: τ (time to horizontal CPA) becomes large and noisy, so
+    the logic underestimates the risk.
+    """
+    own, intruder = decode_encounter(params)
+    dvx = own.velocity[0] - intruder.velocity[0]
+    dvy = own.velocity[1] - intruder.velocity[1]
+    return math.hypot(dvx, dvy)

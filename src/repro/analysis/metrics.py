@@ -1,0 +1,135 @@
+"""Safety metrics: rate estimates, risk ratio, false-alarm rate.
+
+The paper's Section II names the performance metrics the generated
+logic is evaluated against: accident rate and false alarm rate.  These
+helpers compute them from simulation outcomes, with binomial confidence
+intervals (Wilson score) so Monte-Carlo results carry the statistical
+confidence the paper contrasts with GA search (Section VIII).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    rate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        pct = 100.0 * self.confidence
+        return (
+            f"{self.rate:.4f} [{self.low:.4f}, {self.high:.4f}] "
+            f"({pct:.0f}% CI, {self.successes}/{self.trials})"
+        )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> RateEstimate:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation for the rare events
+    collision-avoidance validation deals in (it behaves sensibly at 0
+    successes).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    # Two-sided z for the requested confidence.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, center - half)
+    high = min(1.0, center + half)
+    # Guard floating-point residue at the extremes.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return RateEstimate(
+        successes=successes,
+        trials=trials,
+        rate=p,
+        low=low,
+        high=high,
+        confidence=confidence,
+    )
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (scipy wrapped for a float)."""
+    from scipy.special import erfinv
+
+    return float(erfinv(x))
+
+
+def risk_ratio(
+    equipped_nmacs: int,
+    equipped_trials: int,
+    unequipped_nmacs: int,
+    unequipped_trials: int,
+) -> float:
+    """Ratio of equipped to unequipped NMAC probability.
+
+    The headline metric of collision avoidance studies: below 1 the
+    system helps; the smaller the better.  Returns ``inf`` when the
+    unequipped rate is zero (no baseline risk to reduce).
+    """
+    for value, label in (
+        (equipped_trials, "equipped_trials"),
+        (unequipped_trials, "unequipped_trials"),
+    ):
+        if value <= 0:
+            raise ValueError(f"{label} must be positive")
+    unequipped_rate = unequipped_nmacs / unequipped_trials
+    if unequipped_rate == 0:
+        return float("inf")
+    equipped_rate = equipped_nmacs / equipped_trials
+    return equipped_rate / unequipped_rate
+
+
+def false_alarm_rate(
+    alerted: np.ndarray, unmitigated_nmac: np.ndarray
+) -> float:
+    """Fraction of alerts issued in encounters that were actually safe.
+
+    Parameters
+    ----------
+    alerted:
+        Boolean per-encounter: the system alerted.
+    unmitigated_nmac:
+        Boolean per-encounter: the same encounter ends in an NMAC when
+        *neither* aircraft maneuvers (the counterfactual baseline).
+
+    Returns
+    -------
+    P(alert AND no unmitigated NMAC) / P(alert), or 0.0 when there were
+    no alerts.
+    """
+    alerted = np.asarray(alerted, dtype=bool)
+    unmitigated_nmac = np.asarray(unmitigated_nmac, dtype=bool)
+    if alerted.shape != unmitigated_nmac.shape:
+        raise ValueError("inputs must have matching shapes")
+    total_alerts = int(alerted.sum())
+    if total_alerts == 0:
+        return 0.0
+    false_alerts = int((alerted & ~unmitigated_nmac).sum())
+    return false_alerts / total_alerts

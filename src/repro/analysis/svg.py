@@ -1,0 +1,270 @@
+"""Minimal SVG figure writer (no plotting dependencies offline).
+
+Enough of a plotting toolkit to regenerate the paper's figures as
+vector graphics: scatter plots (Fig. 6), line series, and 2-D
+trajectory projections (Figs. 5/7/8).  Pure string assembly — no
+third-party plotting stack is assumed to exist in the environment.
+
+The coordinate system: data space maps linearly into a margin-padded
+viewport; the y axis is flipped (SVG grows downward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Default figure palette (accessible, print-safe).
+PALETTE = (
+    "#1f77b4",  # blue
+    "#d62728",  # red
+    "#2ca02c",  # green
+    "#ff7f0e",  # orange
+    "#9467bd",  # purple
+    "#8c564b",  # brown
+)
+
+
+@dataclass
+class Bounds:
+    """Data-space extent of a figure."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min:
+            self.x_max = self.x_min + 1.0
+        if self.y_max <= self.y_min:
+            self.y_max = self.y_min + 1.0
+
+    @classmethod
+    def of(cls, xs: Iterable[float], ys: Iterable[float],
+           pad: float = 0.05) -> "Bounds":
+        """Bounds covering the data with fractional padding."""
+        xs = np.asarray(list(xs), dtype=float)
+        ys = np.asarray(list(ys), dtype=float)
+        if xs.size == 0 or ys.size == 0:
+            return cls(0.0, 1.0, 0.0, 1.0)
+        dx = (xs.max() - xs.min()) or 1.0
+        dy = (ys.max() - ys.min()) or 1.0
+        return cls(
+            xs.min() - pad * dx, xs.max() + pad * dx,
+            ys.min() - pad * dy, ys.max() + pad * dy,
+        )
+
+
+class SvgFigure:
+    """An SVG canvas with data-space plotting primitives.
+
+    Parameters
+    ----------
+    bounds:
+        Data-space extent.
+    width / height:
+        Pixel size of the figure.
+    title / x_label / y_label:
+        Decorations.
+    margin:
+        Pixels reserved around the plot area for axes and labels.
+    """
+
+    def __init__(
+        self,
+        bounds: Bounds,
+        width: int = 640,
+        height: int = 420,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+        margin: int = 56,
+    ):
+        self.bounds = bounds
+        self.width = width
+        self.height = height
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.margin = margin
+        self._elements: List[str] = []
+        self._legend: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping
+    # ------------------------------------------------------------------
+    def _sx(self, x: float) -> float:
+        b = self.bounds
+        frac = (x - b.x_min) / (b.x_max - b.x_min)
+        return self.margin + frac * (self.width - 2 * self.margin)
+
+    def _sy(self, y: float) -> float:
+        b = self.bounds
+        frac = (y - b.y_min) / (b.y_max - b.y_min)
+        return self.height - self.margin - frac * (self.height - 2 * self.margin)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def scatter(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        color: str = PALETTE[0],
+        radius: float = 2.5,
+        label: str = "",
+        opacity: float = 0.8,
+    ) -> None:
+        """Plot points."""
+        for x, y in zip(xs, ys):
+            self._elements.append(
+                f'<circle cx="{self._sx(x):.1f}" cy="{self._sy(y):.1f}" '
+                f'r="{radius}" fill="{color}" fill-opacity="{opacity}"/>'
+            )
+        if label:
+            self._legend.append((label, color))
+
+    def line(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        color: str = PALETTE[0],
+        width: float = 1.8,
+        label: str = "",
+        dashed: bool = False,
+    ) -> None:
+        """Plot a polyline."""
+        points = " ".join(
+            f"{self._sx(x):.1f},{self._sy(y):.1f}" for x, y in zip(xs, ys)
+        )
+        dash = ' stroke-dasharray="6 4"' if dashed else ""
+        self._elements.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"{dash}/>'
+        )
+        if label:
+            self._legend.append((label, color))
+
+    def hline(self, y: float, color: str = "#888888", dashed: bool = True) -> None:
+        """Horizontal reference line at data-space *y*."""
+        self.line(
+            [self.bounds.x_min, self.bounds.x_max], [y, y],
+            color=color, width=1.0, dashed=dashed,
+        )
+
+    def vline(self, x: float, color: str = "#888888", dashed: bool = True) -> None:
+        """Vertical reference line at data-space *x*."""
+        self.line(
+            [x, x], [self.bounds.y_min, self.bounds.y_max],
+            color=color, width=1.0, dashed=dashed,
+        )
+
+    def annotate(self, x: float, y: float, text: str,
+                 color: str = "#333333") -> None:
+        """Text at a data-space location."""
+        self._elements.append(
+            f'<text x="{self._sx(x):.1f}" y="{self._sy(y):.1f}" '
+            f'font-size="11" fill="{color}">{_escape(text)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _axes(self) -> List[str]:
+        m, w, h = self.margin, self.width, self.height
+        parts = [
+            f'<rect x="{m}" y="{m}" width="{w - 2 * m}" height="{h - 2 * m}" '
+            'fill="none" stroke="#333333" stroke-width="1"/>'
+        ]
+        b = self.bounds
+        for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+            x_val = b.x_min + frac * (b.x_max - b.x_min)
+            y_val = b.y_min + frac * (b.y_max - b.y_min)
+            sx, sy = self._sx(x_val), self._sy(y_val)
+            parts.append(
+                f'<text x="{sx:.0f}" y="{h - m + 16}" font-size="10" '
+                f'text-anchor="middle" fill="#333">{_fmt(x_val)}</text>'
+            )
+            parts.append(
+                f'<text x="{m - 6}" y="{sy + 3:.0f}" font-size="10" '
+                f'text-anchor="end" fill="#333">{_fmt(y_val)}</text>'
+            )
+            parts.append(
+                f'<line x1="{sx:.0f}" y1="{m}" x2="{sx:.0f}" y2="{h - m}" '
+                'stroke="#dddddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<line x1="{m}" y1="{sy:.0f}" x2="{w - m}" y2="{sy:.0f}" '
+                'stroke="#dddddd" stroke-width="0.5"/>'
+            )
+        if self.title:
+            parts.append(
+                f'<text x="{w / 2:.0f}" y="{m - 18}" font-size="14" '
+                f'text-anchor="middle" fill="#111">{_escape(self.title)}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{w / 2:.0f}" y="{h - 10}" font-size="12" '
+                f'text-anchor="middle" fill="#111">{_escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            parts.append(
+                f'<text x="14" y="{h / 2:.0f}" font-size="12" '
+                f'text-anchor="middle" fill="#111" '
+                f'transform="rotate(-90 14 {h / 2:.0f})">'
+                f"{_escape(self.y_label)}</text>"
+            )
+        return parts
+
+    def _legend_elements(self) -> List[str]:
+        parts = []
+        x = self.width - self.margin - 150
+        y = self.margin + 14
+        for i, (label, color) in enumerate(self._legend):
+            cy = y + i * 16
+            parts.append(
+                f'<rect x="{x}" y="{cy - 8}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + 16}" y="{cy + 1}" font-size="11" '
+                f'fill="#111">{_escape(label)}</text>'
+            )
+        return parts
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        grid_first = self._axes()
+        body = "\n".join(grid_first + self._elements + self._legend_elements())
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG to *path* and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"

@@ -1,0 +1,22 @@
+"""Collision avoidance algorithms behind a common interface.
+
+- :mod:`repro.avoidance.base` — the :class:`AvoidanceAlgorithm`
+  interface and the :class:`NoAvoidance` baseline;
+- :mod:`repro.avoidance.acas` — adapter wrapping the ACAS XU-like
+  controller of :mod:`repro.acasx`;
+- :mod:`repro.avoidance.svo` — the Selective Velocity Obstacle
+  algorithm (paper refs [7, 8]), the simpler baseline the authors
+  validated with the same GA approach in their earlier work.
+"""
+
+from repro.avoidance.acas import AcasXuAvoidance
+from repro.avoidance.base import AvoidanceAlgorithm, Maneuver, NoAvoidance
+from repro.avoidance.svo import SelectiveVelocityObstacle
+
+__all__ = [
+    "AcasXuAvoidance",
+    "AvoidanceAlgorithm",
+    "Maneuver",
+    "NoAvoidance",
+    "SelectiveVelocityObstacle",
+]

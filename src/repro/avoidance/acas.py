@@ -1,0 +1,65 @@
+"""Adapter exposing the ACAS XU-like controller as an AvoidanceAlgorithm."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.acasx.controller import AcasXuController, CoordinationChannel
+from repro.acasx.logic_table import LogicTable
+from repro.avoidance.base import AvoidanceAlgorithm, Maneuver, NO_MANEUVER
+from repro.dynamics.aircraft import AircraftState
+
+
+class AcasXuAvoidance(AvoidanceAlgorithm):
+    """The system under test: logic-table-driven vertical avoidance.
+
+    Parameters
+    ----------
+    table:
+        A solved :class:`~repro.acasx.logic_table.LogicTable`.
+    aircraft_id:
+        Identity on the coordination channel.
+    channel:
+        Optional shared :class:`CoordinationChannel`; both equipped
+        aircraft in an encounter should share one.
+    """
+
+    def __init__(
+        self,
+        table: LogicTable,
+        aircraft_id: str = "ownship",
+        channel: Optional[CoordinationChannel] = None,
+    ):
+        self.controller = AcasXuController(
+            table=table, aircraft_id=aircraft_id, channel=channel
+        )
+
+    def decide(
+        self, own: AircraftState, sensed_intruder: AircraftState
+    ) -> Maneuver:
+        self.controller.decide(own, sensed_intruder)
+        command = self.controller.command()
+        if command is None:
+            return NO_MANEUVER
+        return Maneuver(vertical=command)
+
+    def reset(self) -> None:
+        self.controller.reset()
+
+    @property
+    def ever_alerted(self) -> bool:
+        return self.controller.ever_alerted
+
+    @property
+    def alert_steps(self) -> int:
+        """Decision steps with an active advisory."""
+        return self.controller.alert_steps
+
+    @property
+    def current_advisory_name(self) -> str:
+        """Name of the advisory currently displayed."""
+        return self.controller.current_advisory.name
+
+    @property
+    def name(self) -> str:
+        return "ACAS-XU"

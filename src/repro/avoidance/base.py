@@ -1,0 +1,95 @@
+"""The avoidance-algorithm interface shared by all implementations.
+
+An avoidance algorithm observes the own-ship's state and the *sensed*
+intruder state each decision step and returns a :class:`Maneuver` — a
+vertical-rate command, a heading command, both, or neither.  The
+simulator applies whatever the maneuver specifies on top of the
+aircraft's nominal flight.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dynamics.aircraft import AircraftState, VerticalRateCommand
+
+
+@dataclass(frozen=True)
+class HeadingCommand:
+    """A commanded ground-track heading, captured at a bounded turn rate.
+
+    Attributes
+    ----------
+    target_heading:
+        Desired bearing, radians from +x.
+    turn_rate:
+        Maximum turn rate, rad/s (standard-rate-turn scale).
+    """
+
+    target_heading: float
+    turn_rate: float = 0.0524  # ~3 deg/s, a standard-rate turn
+
+    def __post_init__(self) -> None:
+        if self.turn_rate <= 0:
+            raise ValueError("turn_rate must be positive")
+
+
+@dataclass(frozen=True)
+class Maneuver:
+    """What an avoidance algorithm asks the aircraft to do this step."""
+
+    vertical: Optional[VerticalRateCommand] = None
+    heading: Optional[HeadingCommand] = None
+
+    @property
+    def is_active(self) -> bool:
+        """Whether any command is present (an "alert" for metrics)."""
+        return self.vertical is not None or self.heading is not None
+
+
+#: The no-op maneuver.
+NO_MANEUVER = Maneuver()
+
+
+class AvoidanceAlgorithm(abc.ABC):
+    """Interface every avoidance implementation satisfies."""
+
+    #: Whether :meth:`decide` accepts ``None`` for a dropped report.
+    #: Algorithms with a tracker front-end set this and coast; for the
+    #: rest, the simulator holds the previous maneuver through the gap.
+    handles_dropout: bool = False
+
+    @abc.abstractmethod
+    def decide(
+        self, own: AircraftState, sensed_intruder: AircraftState
+    ) -> Maneuver:
+        """Choose the maneuver for this decision step."""
+
+    def reset(self) -> None:
+        """Clear per-encounter state (default: stateless)."""
+
+    @property
+    def ever_alerted(self) -> bool:
+        """Whether any active maneuver was commanded this encounter."""
+        return False
+
+    @property
+    def name(self) -> str:
+        """Readable algorithm name (defaults to the class name)."""
+        return type(self).__name__
+
+
+class NoAvoidance(AvoidanceAlgorithm):
+    """The unequipped baseline: never maneuvers.
+
+    Used to establish the unmitigated collision rate (the denominator of
+    risk-ratio metrics) and to verify that encounters produced by the
+    scenario generator would indeed come close without avoidance.
+    """
+
+    def decide(
+        self, own: AircraftState, sensed_intruder: AircraftState
+    ) -> Maneuver:
+        return NO_MANEUVER

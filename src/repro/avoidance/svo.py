@@ -1,0 +1,177 @@
+"""Selective Velocity Obstacle (SVO) avoidance — the paper's baseline.
+
+The paper's precursor work (ref [7]) applied the same GA-based search to
+the much simpler SVO algorithm of Jenie et al. (ref [8]).  SVO is a
+geometric, horizontal-plane method:
+
+1. Around the intruder, inflate a protected circle of radius ``R``.
+2. The *velocity obstacle* is the cone of relative velocities that
+   would carry the own-ship into that circle; a conflict exists when
+   the current relative velocity lies inside the cone.
+3. When in conflict, steer the relative velocity just outside the cone.
+   The *selective* part encodes right-of-way: the own-ship resolves by
+   turning to its right (the cooperative convention), which makes two
+   SVO-equipped aircraft choose compatible sides without negotiation.
+
+This implementation searches candidate headings outward from the
+current one (right turns preferred) and commands the nearest heading
+whose resulting relative velocity clears the cone by a small margin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.avoidance.base import (
+    AvoidanceAlgorithm,
+    HeadingCommand,
+    Maneuver,
+    NO_MANEUVER,
+)
+from repro.dynamics.aircraft import AircraftState
+from repro.util.units import NMAC_HORIZONTAL_M
+
+
+class SelectiveVelocityObstacle(AvoidanceAlgorithm):
+    """Horizontal velocity-obstacle avoidance with a right-turn preference.
+
+    Parameters
+    ----------
+    protected_radius:
+        Radius of the protected circle around the intruder, metres.
+    margin:
+        Angular clearance added beyond the cone edge, radians.
+    lookahead:
+        Conflicts further away than ``lookahead`` seconds are ignored
+        (velocity obstacles are otherwise unbounded in time).
+    turn_rate:
+        Commanded turn rate, rad/s.
+    heading_step:
+        Granularity of the candidate-heading search, radians.
+    """
+
+    def __init__(
+        self,
+        protected_radius: float = 2.0 * NMAC_HORIZONTAL_M,
+        margin: float = math.radians(5.0),
+        lookahead: float = 60.0,
+        turn_rate: float = 0.0873,  # ~5 deg/s
+        heading_step: float = math.radians(5.0),
+    ):
+        if protected_radius <= 0:
+            raise ValueError("protected_radius must be positive")
+        self.protected_radius = protected_radius
+        self.margin = margin
+        self.lookahead = lookahead
+        self.turn_rate = turn_rate
+        self.heading_step = heading_step
+        self._alerted = False
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def _in_conflict(
+        self,
+        rel_pos: np.ndarray,
+        rel_vel: np.ndarray,
+    ) -> bool:
+        """Whether *rel_vel* (own minus intruder) enters the VO cone."""
+        distance = float(np.hypot(rel_pos[0], rel_pos[1]))
+        if distance <= self.protected_radius:
+            return True
+        speed = float(np.hypot(rel_vel[0], rel_vel[1]))
+        if speed < 1e-9:
+            return False
+        # Time to reach the protected circle must be within lookahead.
+        closing = float(rel_pos @ rel_vel) / speed
+        if closing <= 0.0:
+            return False  # diverging
+        if (distance - self.protected_radius) / speed > self.lookahead:
+            return False
+        half_angle = math.asin(min(self.protected_radius / distance, 1.0))
+        bearing_to_intruder = math.atan2(rel_pos[1], rel_pos[0])
+        velocity_bearing = math.atan2(rel_vel[1], rel_vel[0])
+        deviation = _wrap_angle(velocity_bearing - bearing_to_intruder)
+        return abs(deviation) < half_angle
+
+    def decide(
+        self, own: AircraftState, sensed_intruder: AircraftState
+    ) -> Maneuver:
+        rel_pos = sensed_intruder.position[:2] - own.position[:2]
+        rel_vel = own.velocity[:2] - sensed_intruder.velocity[:2]
+        if not self._in_conflict(rel_pos, rel_vel):
+            return NO_MANEUVER
+
+        own_speed = float(np.hypot(own.velocity[0], own.velocity[1]))
+        if own_speed < 1e-9:
+            return NO_MANEUVER  # cannot steer without forward speed
+        current_heading = math.atan2(own.velocity[1], own.velocity[0])
+
+        # Search headings outward from the current one; right turns
+        # (negative offsets) are tried first at each magnitude — the
+        # "selective" right-of-way rule.
+        max_offset = math.pi
+        steps = int(max_offset / self.heading_step)
+        for magnitude_index in range(1, steps + 1):
+            for sign in (-1.0, 1.0):
+                offset = sign * magnitude_index * self.heading_step
+                candidate = current_heading + offset
+                cand_vel = own_speed * np.array(
+                    [math.cos(candidate), math.sin(candidate)]
+                )
+                cand_rel = cand_vel - sensed_intruder.velocity[:2]
+                if not self._in_conflict_with_margin(rel_pos, cand_rel):
+                    self._alerted = True
+                    return Maneuver(
+                        heading=HeadingCommand(
+                            target_heading=candidate, turn_rate=self.turn_rate
+                        )
+                    )
+        # No clear heading: command a hard right turn as a last resort.
+        self._alerted = True
+        return Maneuver(
+            heading=HeadingCommand(
+                target_heading=current_heading - math.pi / 2.0,
+                turn_rate=self.turn_rate,
+            )
+        )
+
+    def _in_conflict_with_margin(
+        self, rel_pos: np.ndarray, rel_vel: np.ndarray
+    ) -> bool:
+        """Conflict test with the angular margin added to the cone."""
+        distance = float(np.hypot(rel_pos[0], rel_pos[1]))
+        if distance <= self.protected_radius:
+            return True
+        speed = float(np.hypot(rel_vel[0], rel_vel[1]))
+        if speed < 1e-9:
+            return False
+        closing = float(rel_pos @ rel_vel) / speed
+        if closing <= 0.0:
+            return False
+        if (distance - self.protected_radius) / speed > self.lookahead:
+            return False
+        half_angle = math.asin(min(self.protected_radius / distance, 1.0))
+        bearing_to_intruder = math.atan2(rel_pos[1], rel_pos[0])
+        velocity_bearing = math.atan2(rel_vel[1], rel_vel[0])
+        deviation = _wrap_angle(velocity_bearing - bearing_to_intruder)
+        return abs(deviation) < half_angle + self.margin
+
+    def reset(self) -> None:
+        self._alerted = False
+
+    @property
+    def ever_alerted(self) -> bool:
+        return self._alerted
+
+    @property
+    def name(self) -> str:
+        return "SVO"
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap to (-π, π]."""
+    return math.atan2(math.sin(angle), math.cos(angle))

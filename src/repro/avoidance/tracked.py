@@ -1,0 +1,80 @@
+"""Tracker front-end for avoidance algorithms.
+
+Wraps any :class:`~repro.avoidance.base.AvoidanceAlgorithm` behind a
+:class:`~repro.estimation.tracker.StateTracker`: received intruder
+reports are smoothed before the inner algorithm sees them, and dropped
+reports (``None``) are bridged by coasting the track.  This is the
+architecture the deployed ACAS X family uses instead of a full POMDP —
+the "model structure" alternative the paper's Section IV raises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.avoidance.base import AvoidanceAlgorithm, Maneuver, NO_MANEUVER
+from repro.dynamics.aircraft import AircraftState
+from repro.estimation.tracker import StateTracker
+
+
+class TrackedAvoidance(AvoidanceAlgorithm):
+    """Smooths/coasts intruder state before delegating to *inner*.
+
+    Parameters
+    ----------
+    inner:
+        The avoidance algorithm that actually decides.
+    tracker:
+        The state tracker (default gains suit 1 Hz ADS-B).
+    dt:
+        Seconds between reports (the decision step).
+    """
+
+    handles_dropout = True
+
+    def __init__(
+        self,
+        inner: AvoidanceAlgorithm,
+        tracker: Optional[StateTracker] = None,
+        dt: float = 1.0,
+    ):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.inner = inner
+        self.tracker = tracker or StateTracker()
+        self.dt = dt
+        self._last_maneuver: Maneuver = NO_MANEUVER
+
+    def decide(
+        self, own: AircraftState, sensed_intruder: Optional[AircraftState]
+    ) -> Maneuver:
+        """Decide from a (possibly missing) intruder report.
+
+        A lost report coasts the track; until the track goes stale the
+        inner algorithm keeps deciding on the coasted estimate.  A
+        stale track (or no track yet) holds the last maneuver — the
+        conservative choice for a short surveillance gap.
+        """
+        if sensed_intruder is not None:
+            estimate = self.tracker.update(sensed_intruder, self.dt)
+        elif self.tracker.initialized:
+            estimate = self.tracker.coast(self.dt)
+            if self.tracker.is_stale:
+                return self._last_maneuver
+        else:
+            return NO_MANEUVER
+        self._last_maneuver = self.inner.decide(own, estimate)
+        return self._last_maneuver
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.tracker.reset()
+        self._last_maneuver = NO_MANEUVER
+
+    @property
+    def ever_alerted(self) -> bool:
+        return self.inner.ever_alerted
+
+    @property
+    def name(self) -> str:
+        return f"Tracked({self.inner.name})"

@@ -1,0 +1,318 @@
+"""Command-line interface: the library's pipelines as shell commands.
+
+Mirrors the workflows of the paper's tooling (which ran headless for
+search and interactively for analysis):
+
+- ``repro solve``      — build (and cache) a logic table, optionally
+  running the verification checks;
+- ``repro simulate``   — run one encounter and print the outcome/trace;
+- ``repro search``     — GA search for challenging encounters, with a
+  JSON report of generations and top encounters;
+- ``repro montecarlo`` — Monte-Carlo rate estimation;
+- ``repro airspace``   — a multi-aircraft stress run.
+
+Every command takes ``--seed`` and is fully deterministic given it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.acasx import build_logic_table, paper_config, test_config
+from repro.acasx.cache import build_or_load
+from repro.acasx.config import AcasConfig
+from repro.acasx.verification import verify_table
+from repro.analysis.geometry import relative_horizontal_speed_of
+from repro.encounters import (
+    StatisticalEncounterModel,
+    head_on_encounter,
+    tail_approach_encounter,
+)
+from repro.encounters.generator import ScenarioGenerator
+from repro.montecarlo import MonteCarloEstimator
+from repro.search.ga import GAConfig
+from repro.search.runner import SearchRunner
+from repro.sim import EncounterSimConfig, run_encounter
+from repro.sim.airspace import AirspaceSimulation
+from repro.sim.encounter import make_acas_pair
+from repro.sim.trace import render_vertical_profile
+
+
+def _config_for(preset: str) -> AcasConfig:
+    if preset == "test":
+        return test_config()
+    if preset == "paper":
+        return paper_config()
+    raise SystemExit(f"unknown preset {preset!r} (use 'test' or 'paper')")
+
+
+def _load_table(args) -> "LogicTable":
+    config = _config_for(args.preset)
+    if getattr(args, "no_cache", False):
+        return build_logic_table(config, verbose=args.verbose)
+    return build_or_load(config, verbose=args.verbose)
+
+
+# ----------------------------------------------------------------------
+# solve
+# ----------------------------------------------------------------------
+def cmd_solve(args) -> int:
+    table = _load_table(args)
+    print(f"solved: {table}")
+    print(f"metadata: {table.metadata}")
+    if args.out:
+        table.save(args.out)
+        print(f"saved to {args.out}")
+    if args.verify:
+        report = verify_table(table, include_dense_cross_check=args.deep_verify)
+        print(report.summary())
+        if not report.all_passed:
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# simulate
+# ----------------------------------------------------------------------
+def _encounter_for(args):
+    if args.geometry == "head-on":
+        return head_on_encounter()
+    if args.geometry == "tail":
+        return tail_approach_encounter(
+            overtake_speed=3.0,
+            time_to_cpa=40.0,
+            own_vertical_speed=-5.0,
+            intruder_vertical_speed=5.0,
+        )
+    if args.geometry == "random":
+        return ScenarioGenerator().random_encounter(seed=args.seed)
+    raise SystemExit(f"unknown geometry {args.geometry!r}")
+
+
+def cmd_simulate(args) -> int:
+    params = _encounter_for(args)
+    config = EncounterSimConfig()
+    if args.equipage == "none":
+        own = intruder = None
+        result = run_encounter(
+            params, config=config, seed=args.seed, record_trace=args.trace
+        )
+    else:
+        table = _load_table(args)
+        own, intruder = make_acas_pair(table)
+        if args.equipage == "own-only":
+            intruder = None
+        result = run_encounter(
+            params, own, intruder, config, seed=args.seed,
+            record_trace=args.trace,
+        )
+    print(f"geometry: {args.geometry}")
+    print(f"NMAC: {result.nmac}")
+    print(f"min separation: {result.min_separation:.1f} m "
+          f"(horizontal {result.min_horizontal:.1f} m)")
+    print(f"own alerted: {result.own_alerted}, "
+          f"intruder alerted: {result.intruder_alerted}")
+    if args.trace and result.trace is not None:
+        print(render_vertical_profile(result.trace, height=12, width=60))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# search
+# ----------------------------------------------------------------------
+def cmd_search(args) -> int:
+    table = _load_table(args)
+    runner = SearchRunner(
+        table,
+        ga_config=GAConfig(
+            population_size=args.population, generations=args.generations
+        ),
+        num_runs=args.runs,
+    )
+    outcome = runner.run(seed=args.seed, top_k=args.top, verbose=args.verbose)
+
+    print("fitness by generation:")
+    for row in outcome.generation_summary():
+        print(
+            f"  gen {row['generation']}: min={row['min']:.1f} "
+            f"mean={row['mean']:.1f} max={row['max']:.1f}"
+        )
+    print("top encounters:")
+    for i, encounter in enumerate(outcome.top_encounters):
+        print(
+            f"  #{i + 1}: fitness={encounter.fitness:.1f} "
+            f"geometry={encounter.geometry} "
+            f"rel-speed={relative_horizontal_speed_of(encounter.parameters):.1f}"
+        )
+    print(f"geometry counts: {outcome.geometry_counts()}")
+
+    if args.out:
+        payload = {
+            "seed": args.seed,
+            "population": args.population,
+            "generations": args.generations,
+            "runs_per_evaluation": args.runs,
+            "generation_summary": outcome.generation_summary(),
+            "top_encounters": [
+                {
+                    "fitness": encounter.fitness,
+                    "generation": encounter.generation,
+                    "geometry": encounter.geometry,
+                    "genome": encounter.genome.tolist(),
+                }
+                for encounter in outcome.top_encounters
+            ],
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"report written to {args.out}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# montecarlo
+# ----------------------------------------------------------------------
+def cmd_montecarlo(args) -> int:
+    table = _load_table(args)
+    estimator = MonteCarloEstimator(
+        table,
+        StatisticalEncounterModel(),
+        runs_per_encounter=args.runs,
+    )
+    report = estimator.estimate(args.encounters, seed=args.seed)
+    print(report.summary())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# inspect
+# ----------------------------------------------------------------------
+def cmd_inspect(args) -> int:
+    from repro.acasx.policy_analysis import action_map, alert_boundary
+
+    table = _load_table(args)
+    print(f"table: {table}")
+    print()
+    print("greedy action over (relative altitude h, tau), level rates,")
+    print("from COC ('.'=COC c/C=climb/strong d/D=descend/strong):")
+    print(action_map(table))
+    print()
+    print("alerting envelope (largest tau already alerting, per h):")
+    for h, tau in alert_boundary(table):
+        bar = "#" * int(tau or 0)
+        print(f"  h={h:+7.1f} m: {tau if tau is not None else '-':>5} {bar}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# airspace
+# ----------------------------------------------------------------------
+def cmd_airspace(args) -> int:
+    table = None if args.equipage == "none" else _load_table(args)
+    simulation = AirspaceSimulation(table)
+    result = simulation.run(
+        args.aircraft, duration=args.duration, seed=args.seed
+    )
+    print(f"aircraft: {result.num_aircraft}, duration: {result.duration:.0f}s")
+    print(f"NMAC pairs: {result.nmac_count} {result.nmac_pairs}")
+    print(
+        f"closest pair: {result.closest_pair} at "
+        f"{result.min_pair_separation:.1f} m"
+    )
+    print(f"fraction of aircraft that alerted: {result.alert_fraction:.2f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "UAV collision avoidance validation toolkit "
+            "(reproduction of Zou et al., DSN 2016)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("--preset", default="test",
+                         choices=("test", "paper"),
+                         help="model resolution preset")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--verbose", action="store_true")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="always re-solve the logic table")
+
+    solve = subparsers.add_parser("solve", help="build a logic table")
+    add_common(solve)
+    solve.add_argument("--out", help="also save the table to this .npz path")
+    solve.add_argument("--verify", action="store_true",
+                       help="run verification checks")
+    solve.add_argument("--deep-verify", action="store_true",
+                       help="include the dense-solver cross-check")
+    solve.set_defaults(func=cmd_solve)
+
+    simulate = subparsers.add_parser("simulate", help="run one encounter")
+    add_common(simulate)
+    simulate.add_argument("--geometry", default="head-on",
+                          choices=("head-on", "tail", "random"))
+    simulate.add_argument("--equipage", default="both",
+                          choices=("both", "own-only", "none"))
+    simulate.add_argument("--trace", action="store_true",
+                          help="print an ASCII vertical profile")
+    simulate.set_defaults(func=cmd_simulate)
+
+    search = subparsers.add_parser(
+        "search", help="GA search for challenging encounters"
+    )
+    add_common(search)
+    search.add_argument("--population", type=int, default=30)
+    search.add_argument("--generations", type=int, default=4)
+    search.add_argument("--runs", type=int, default=20,
+                        help="simulation runs per fitness evaluation")
+    search.add_argument("--top", type=int, default=10)
+    search.add_argument("--out", help="write a JSON report here")
+    search.set_defaults(func=cmd_search)
+
+    montecarlo = subparsers.add_parser(
+        "montecarlo", help="Monte-Carlo rate estimation"
+    )
+    add_common(montecarlo)
+    montecarlo.add_argument("--encounters", type=int, default=100)
+    montecarlo.add_argument("--runs", type=int, default=10,
+                            help="runs per encounter per arm")
+    montecarlo.set_defaults(func=cmd_montecarlo)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="print the logic table's action map and envelope"
+    )
+    add_common(inspect)
+    inspect.set_defaults(func=cmd_inspect)
+
+    airspace = subparsers.add_parser(
+        "airspace", help="multi-aircraft stress run"
+    )
+    add_common(airspace)
+    airspace.add_argument("--aircraft", type=int, default=6)
+    airspace.add_argument("--duration", type=float, default=120.0)
+    airspace.add_argument("--equipage", default="both",
+                          choices=("both", "none"))
+    airspace.set_defaults(func=cmd_airspace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Aircraft kinematics shared by the simulator and the encounter tools.
+
+- :mod:`repro.dynamics.vectors` — the two velocity representations of
+  the paper's Fig. 4(a) and Eq. (1): Cartesian components
+  ``(Vx, Vy, Vz)`` versus ``(ground speed, bearing, vertical speed)``;
+- :mod:`repro.dynamics.aircraft` — a point-mass 3-D UAV state with
+  acceleration-limited vertical-rate command tracking, the response
+  model the ACAS X reports assume of the autopilot.
+"""
+
+from repro.dynamics.aircraft import AircraftState, VerticalRateCommand, step_aircraft
+from repro.dynamics.vectors import (
+    Velocity,
+    cartesian_to_polar,
+    polar_to_cartesian,
+)
+
+__all__ = [
+    "AircraftState",
+    "Velocity",
+    "VerticalRateCommand",
+    "cartesian_to_polar",
+    "polar_to_cartesian",
+    "step_aircraft",
+]

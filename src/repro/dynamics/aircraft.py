@@ -1,0 +1,194 @@
+"""Point-mass UAV state and acceleration-limited vertical maneuvers.
+
+After the encounter begins, each UAV "follows its initial velocity, but
+is also affected by environment disturbance and controlled by collision
+avoidance maneuvers" (paper Section VI.A).  We model:
+
+- constant horizontal velocity (plus any disturbance the simulator adds);
+- vertical-rate *commands* issued by the avoidance logic, tracked with a
+  bounded vertical acceleration — the pilot/autopilot response model of
+  the ACAS X reports (g/4 for an initial advisory, g/3 for a
+  strengthened one).
+
+The integrator is exact for piecewise-constant acceleration within a
+step: the vertical rate ramps toward its target at the commanded
+acceleration and altitude integrates the trapezoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.util.units import G
+
+
+@dataclass(frozen=True)
+class VerticalRateCommand:
+    """A commanded target vertical rate with a tracking acceleration.
+
+    Attributes
+    ----------
+    target_rate:
+        Vertical rate to capture, m/s (up positive).
+    acceleration:
+        Magnitude of the vertical acceleration used to capture it,
+        m/s^2.  ACAS X convention: g/4 initial, g/3 strengthened.
+    """
+
+    target_rate: float
+    acceleration: float = G / 4.0
+
+    def __post_init__(self) -> None:
+        if self.acceleration <= 0:
+            raise ValueError("tracking acceleration must be positive")
+
+
+@dataclass(frozen=True)
+class AircraftState:
+    """Position and velocity of one UAV.
+
+    Attributes
+    ----------
+    position:
+        ``[x, y, z]`` metres.
+    velocity:
+        ``[vx, vy, vz]`` m/s.
+    """
+
+    position: np.ndarray
+    velocity: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "position", np.asarray(self.position, dtype=float).copy()
+        )
+        object.__setattr__(
+            self, "velocity", np.asarray(self.velocity, dtype=float).copy()
+        )
+        if self.position.shape != (3,) or self.velocity.shape != (3,):
+            raise ValueError("position and velocity must be 3-vectors")
+
+    @property
+    def altitude(self) -> float:
+        """z coordinate, metres."""
+        return float(self.position[2])
+
+    @property
+    def vertical_rate(self) -> float:
+        """vz, m/s."""
+        return float(self.velocity[2])
+
+    def horizontal_distance_to(self, other: "AircraftState") -> float:
+        """Horizontal separation from *other*, metres."""
+        delta = self.position[:2] - other.position[:2]
+        return float(np.hypot(delta[0], delta[1]))
+
+    def vertical_distance_to(self, other: "AircraftState") -> float:
+        """Absolute altitude separation from *other*, metres."""
+        return abs(self.altitude - other.altitude)
+
+    def distance_to(self, other: "AircraftState") -> float:
+        """Euclidean 3-D separation from *other*, metres."""
+        return float(np.linalg.norm(self.position - other.position))
+
+
+def step_aircraft(
+    state: AircraftState,
+    dt: float,
+    command: Optional[VerticalRateCommand] = None,
+    vertical_accel_noise: float = 0.0,
+    horizontal_accel_noise: Optional[np.ndarray] = None,
+) -> AircraftState:
+    """Advance *state* by *dt* seconds.
+
+    Parameters
+    ----------
+    state:
+        Current aircraft state.
+    dt:
+        Time step, seconds (positive).
+    command:
+        Optional avoidance maneuver: the vertical rate ramps toward
+        ``command.target_rate`` at ``command.acceleration``; without a
+        command the vertical rate only drifts with the noise term.
+    vertical_accel_noise:
+        Sampled disturbance acceleration (m/s^2) applied on top of the
+        commanded ramp this step; the caller supplies the sample so the
+        dynamics stay deterministic given inputs.
+    horizontal_accel_noise:
+        Optional ``[ax, ay]`` disturbance accelerations.
+
+    Returns
+    -------
+    The state after *dt* seconds, integrated exactly for the
+    piecewise-constant/ramped acceleration profile.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    vx, vy, vz = state.velocity
+    x, y, z = state.position
+
+    if command is not None:
+        error = command.target_rate - vz
+        ramp = np.clip(error, -command.acceleration * dt, command.acceleration * dt)
+        # Time spent ramping before (possibly) capturing the target rate.
+        t_ramp = abs(ramp) / command.acceleration if command.acceleration else 0.0
+        vz_capture = vz + ramp
+        # Altitude gain: ramp phase (trapezoid) + capture phase (constant).
+        z += (vz + vz_capture) / 2.0 * t_ramp + vz_capture * (dt - t_ramp)
+        vz = vz_capture
+    else:
+        z += vz * dt
+
+    # Disturbance: constant over the step, affecting both rate and position.
+    if vertical_accel_noise:
+        z += 0.5 * vertical_accel_noise * dt * dt
+        vz += vertical_accel_noise * dt
+
+    if horizontal_accel_noise is not None:
+        ax, ay = np.asarray(horizontal_accel_noise, dtype=float)
+        x += vx * dt + 0.5 * ax * dt * dt
+        y += vy * dt + 0.5 * ay * dt * dt
+        vx += ax * dt
+        vy += ay * dt
+    else:
+        x += vx * dt
+        y += vy * dt
+
+    return AircraftState(
+        position=np.array([x, y, z]), velocity=np.array([vx, vy, vz])
+    )
+
+
+def relative_horizontal_speed(a: AircraftState, b: AircraftState) -> float:
+    """Magnitude of the horizontal relative velocity of *a* w.r.t. *b*."""
+    delta = a.velocity[:2] - b.velocity[:2]
+    return float(np.hypot(delta[0], delta[1]))
+
+
+def time_to_cpa(own: AircraftState, intruder: AircraftState) -> float:
+    """Time until horizontal closest point of approach, seconds.
+
+    Returns 0 when the aircraft are horizontally diverging (the CPA is
+    in the past).  Computed from relative horizontal position/velocity:
+    ``t* = -(r · v) / |v|^2``.
+    """
+    rel_pos = intruder.position[:2] - own.position[:2]
+    rel_vel = intruder.velocity[:2] - own.velocity[:2]
+    speed_sq = float(rel_vel @ rel_vel)
+    if speed_sq <= 1e-12:
+        return 0.0
+    t_star = -float(rel_pos @ rel_vel) / speed_sq
+    return max(t_star, 0.0)
+
+
+def cpa_horizontal_miss(own: AircraftState, intruder: AircraftState) -> float:
+    """Horizontal miss distance at the (future) CPA, metres."""
+    t_star = time_to_cpa(own, intruder)
+    rel_pos = intruder.position[:2] - own.position[:2]
+    rel_vel = intruder.velocity[:2] - own.velocity[:2]
+    at_cpa = rel_pos + rel_vel * t_star
+    return float(np.hypot(at_cpa[0], at_cpa[1]))

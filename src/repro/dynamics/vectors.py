@@ -1,0 +1,93 @@
+"""Velocity representations and conversions (paper Fig. 4(a), Eq. (1)).
+
+The encounter encoding specifies each UAV's velocity as *(ground speed
+Gs, bearing ψ, vertical speed Vs)*; the simulator integrates Cartesian
+components *(Vx, Vy, Vz)*.  Equation (1) of the paper relates them::
+
+    Vx = Gs * cos(ψ)
+    Vy = Gs * sin(ψ)
+    Vz = Vs
+
+Axes: x/y span the horizontal plane, z is altitude (up positive).
+Bearing is measured in radians from the +x axis, counter-clockwise —
+a mathematical convention rather than a compass one, matching the
+paper's use of an abstract angle θ in Fig. 4(b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def polar_to_cartesian(
+    ground_speed: float, bearing: float, vertical_speed: float
+) -> np.ndarray:
+    """Convert ``(Gs, ψ, Vs)`` to ``[Vx, Vy, Vz]`` (paper Eq. (1))."""
+    if ground_speed < 0:
+        raise ValueError(f"ground speed must be >= 0, got {ground_speed}")
+    return np.array(
+        [
+            ground_speed * math.cos(bearing),
+            ground_speed * math.sin(bearing),
+            vertical_speed,
+        ]
+    )
+
+
+def cartesian_to_polar(velocity: np.ndarray) -> Tuple[float, float, float]:
+    """Convert ``[Vx, Vy, Vz]`` back to ``(Gs, ψ, Vs)``.
+
+    The bearing of a zero horizontal velocity is reported as 0.
+    """
+    vx, vy, vz = np.asarray(velocity, dtype=float)
+    ground_speed = math.hypot(vx, vy)
+    bearing = math.atan2(vy, vx) if ground_speed > 0 else 0.0
+    return ground_speed, bearing, float(vz)
+
+
+@dataclass(frozen=True)
+class Velocity:
+    """A 3-D velocity, constructible from either representation."""
+
+    vx: float
+    vy: float
+    vz: float
+
+    @classmethod
+    def from_polar(
+        cls, ground_speed: float, bearing: float, vertical_speed: float
+    ) -> "Velocity":
+        """Build from ``(Gs, ψ, Vs)``."""
+        vx, vy, vz = polar_to_cartesian(ground_speed, bearing, vertical_speed)
+        return cls(float(vx), float(vy), float(vz))
+
+    @property
+    def array(self) -> np.ndarray:
+        """As a ``[Vx, Vy, Vz]`` array."""
+        return np.array([self.vx, self.vy, self.vz])
+
+    @property
+    def ground_speed(self) -> float:
+        """Horizontal speed ``hypot(Vx, Vy)``."""
+        return math.hypot(self.vx, self.vy)
+
+    @property
+    def bearing(self) -> float:
+        """Horizontal direction, radians from +x (0 if hovering)."""
+        return math.atan2(self.vy, self.vx) if self.ground_speed > 0 else 0.0
+
+    @property
+    def vertical_speed(self) -> float:
+        """Vertical rate (up positive)."""
+        return self.vz
+
+    def __add__(self, other: "Velocity") -> "Velocity":
+        return Velocity(self.vx + other.vx, self.vy + other.vy, self.vz + other.vz)
+
+    def scaled(self, factor: float) -> "Velocity":
+        """This velocity scaled by *factor*."""
+        return Velocity(self.vx * factor, self.vy * factor, self.vz * factor)

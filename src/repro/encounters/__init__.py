@@ -1,0 +1,36 @@
+"""Encounter parameterization, generation, and statistical models.
+
+The paper encodes a two-UAV, 3-D encounter with nine parameters
+(Section VI.A): the own-ship's ground and vertical speed, the time to
+the closest point of approach (CPA), the intruder's relative position
+at the CPA (horizontal distance R, approach angle θ, vertical offset Y)
+and the intruder's velocity (ground speed, bearing, vertical speed).
+Initial states follow from Eqs. (2)–(3).
+
+- :mod:`repro.encounters.encoding` — the 9-parameter genome ↔ initial
+  aircraft states;
+- :mod:`repro.encounters.generator` — parameter ranges and uniform
+  random scenario generation (the paper's "scenario generator");
+- :mod:`repro.encounters.statistical` — a parametric statistical
+  encounter model standing in for the radar-derived models the paper
+  notes do not exist for UAVs.
+"""
+
+from repro.encounters.encoding import (
+    EncounterParameters,
+    decode_encounter,
+    head_on_encounter,
+    tail_approach_encounter,
+)
+from repro.encounters.generator import ParameterRanges, ScenarioGenerator
+from repro.encounters.statistical import StatisticalEncounterModel
+
+__all__ = [
+    "EncounterParameters",
+    "ParameterRanges",
+    "ScenarioGenerator",
+    "StatisticalEncounterModel",
+    "decode_encounter",
+    "head_on_encounter",
+    "tail_approach_encounter",
+]

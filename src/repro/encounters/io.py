@@ -1,0 +1,95 @@
+"""JSON serialization of encounters and study artifacts.
+
+A validation campaign produces artifacts worth keeping: the encounters
+a search flagged, the parameter ranges it searched, statistics per
+encounter.  This module round-trips them through JSON so campaigns can
+be archived, diffed, and replayed — the paper's "identified situations
+can then be further analyzed" workflow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.encounters.encoding import PARAMETER_NAMES, EncounterParameters
+from repro.encounters.generator import ParameterRanges
+
+#: Schema version written into every file (bump on layout changes).
+SCHEMA_VERSION = 1
+
+
+def encounter_to_dict(params: EncounterParameters) -> Dict[str, float]:
+    """One encounter as a name → value mapping."""
+    return {name: getattr(params, name) for name in PARAMETER_NAMES}
+
+
+def encounter_from_dict(payload: Dict[str, float]) -> EncounterParameters:
+    """Inverse of :func:`encounter_to_dict` (extra keys rejected)."""
+    unknown = set(payload) - set(PARAMETER_NAMES)
+    if unknown:
+        raise ValueError(f"unknown encounter fields: {sorted(unknown)}")
+    missing = set(PARAMETER_NAMES) - set(payload)
+    if missing:
+        raise ValueError(f"missing encounter fields: {sorted(missing)}")
+    return EncounterParameters(**{k: float(v) for k, v in payload.items()})
+
+
+def ranges_to_dict(ranges: ParameterRanges) -> Dict[str, List[float]]:
+    """Parameter ranges as a name → [low, high] mapping."""
+    return {
+        name: list(getattr(ranges, name)) for name in PARAMETER_NAMES
+    }
+
+
+def ranges_from_dict(payload: Dict[str, Sequence[float]]) -> ParameterRanges:
+    """Inverse of :func:`ranges_to_dict`."""
+    kwargs = {}
+    for name in PARAMETER_NAMES:
+        if name not in payload:
+            raise ValueError(f"missing range for {name}")
+        low, high = payload[name]
+        kwargs[name] = (float(low), float(high))
+    return ParameterRanges(**kwargs)
+
+
+def save_encounters(
+    encounters: Sequence[EncounterParameters],
+    path: str | Path,
+    ranges: ParameterRanges | None = None,
+    metadata: Dict | None = None,
+) -> Path:
+    """Write an encounter set (with provenance) to JSON."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "encounters": [encounter_to_dict(p) for p in encounters],
+    }
+    if ranges is not None:
+        payload["ranges"] = ranges_to_dict(ranges)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_encounters(path: str | Path) -> List[EncounterParameters]:
+    """Read an encounter set written by :func:`save_encounters`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return [encounter_from_dict(e) for e in payload["encounters"]]
+
+
+def load_ranges(path: str | Path) -> ParameterRanges:
+    """Read the ranges block of an encounter file."""
+    payload = json.loads(Path(path).read_text())
+    if "ranges" not in payload:
+        raise ValueError(f"{path} has no ranges block")
+    return ranges_from_dict(payload["ranges"])

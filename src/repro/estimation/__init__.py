@@ -1,0 +1,16 @@
+"""State estimation over noisy ADS-B reports.
+
+The paper lists "should another model (e.g. a POMDP) be used?" among
+the open model-structure questions (Section IV): the deployed ACAS X
+handles partial observability not with a POMDP solve but with a
+front-end *tracker* that filters the surveillance stream before the
+logic table is consulted.  This package provides that front-end:
+
+- :mod:`repro.estimation.tracker` — per-axis alpha-beta filters
+  smoothing received position/velocity, plus coasting through dropped
+  reports (ADS-B messages are lossy in reality).
+"""
+
+from repro.estimation.tracker import AlphaBetaFilter, StateTracker
+
+__all__ = ["AlphaBetaFilter", "StateTracker"]

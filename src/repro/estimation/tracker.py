@@ -1,0 +1,173 @@
+"""Alpha-beta tracking of intruder state from noisy ADS-B reports.
+
+An alpha-beta filter is the classical constant-gain tracker: predict
+position forward with the velocity estimate, then correct position by a
+fraction *alpha* of the innovation and velocity by *beta/dt* of it.
+Gains near 0 trust the model (heavy smoothing, sluggish response);
+gains near 1 trust the measurements (no smoothing).
+
+:class:`StateTracker` runs one filter per axis over full 3-D states and
+*coasts* (pure prediction) through dropped reports, so the avoidance
+logic keeps a usable intruder estimate across ADS-B message loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamics.aircraft import AircraftState
+
+
+@dataclass
+class AlphaBetaFilter:
+    """One-axis alpha-beta filter.
+
+    Attributes
+    ----------
+    alpha:
+        Position correction gain in (0, 1].
+    beta:
+        Velocity correction gain in (0, 2).
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if not 0.0 < self.beta < 2.0:
+            raise ValueError(f"beta must be in (0, 2), got {self.beta}")
+        self._position: Optional[float] = None
+        self._velocity: float = 0.0
+
+    @property
+    def initialized(self) -> bool:
+        """Whether at least one measurement has been absorbed."""
+        return self._position is not None
+
+    @property
+    def position(self) -> float:
+        """Current position estimate."""
+        if self._position is None:
+            raise RuntimeError("filter not initialized")
+        return self._position
+
+    @property
+    def velocity(self) -> float:
+        """Current velocity estimate."""
+        return self._velocity
+
+    def predict(self, dt: float) -> float:
+        """Advance the estimate by *dt* without a measurement (coast)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self._position is None:
+            raise RuntimeError("filter not initialized")
+        self._position += self._velocity * dt
+        return self._position
+
+    def update(
+        self,
+        measured_position: float,
+        dt: float,
+        measured_velocity: Optional[float] = None,
+    ) -> float:
+        """Absorb a measurement taken *dt* after the last estimate.
+
+        The first measurement initializes the state directly.  When the
+        report carries a velocity (ADS-B does), the velocity estimate
+        blends toward it with the same beta gain, which converges much
+        faster than differentiating positions.
+        """
+        if self._position is None:
+            self._position = float(measured_position)
+            if measured_velocity is not None:
+                self._velocity = float(measured_velocity)
+            return self._position
+        self.predict(dt)
+        residual = float(measured_position) - self._position
+        self._position += self.alpha * residual
+        if measured_velocity is not None:
+            self._velocity += self.beta * (
+                float(measured_velocity) - self._velocity
+            )
+        else:
+            self._velocity += (self.beta / dt) * residual
+        return self._position
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._position = None
+        self._velocity = 0.0
+
+
+class StateTracker:
+    """3-D aircraft state tracker built from per-axis alpha-beta filters.
+
+    Parameters
+    ----------
+    alpha / beta:
+        Gains shared by all axes.
+    max_coast:
+        Seconds of pure prediction tolerated before the estimate is
+        declared stale (``is_stale``); the consumer decides what to do
+        with a stale track (the adapter in
+        :mod:`repro.avoidance.tracked` falls back to raw reports).
+    """
+
+    def __init__(
+        self, alpha: float = 0.5, beta: float = 0.3, max_coast: float = 5.0
+    ):
+        if max_coast <= 0:
+            raise ValueError("max_coast must be positive")
+        self._filters = [AlphaBetaFilter(alpha, beta) for _ in range(3)]
+        self.max_coast = max_coast
+        self._coasted = 0.0
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the track has been started."""
+        return self._filters[0].initialized
+
+    @property
+    def is_stale(self) -> bool:
+        """Whether the track has coasted past ``max_coast``."""
+        return self._coasted > self.max_coast
+
+    def update(self, report: AircraftState, dt: float) -> AircraftState:
+        """Absorb a received state report and return the new estimate."""
+        for axis, filt in enumerate(self._filters):
+            filt.update(
+                report.position[axis], dt,
+                measured_velocity=report.velocity[axis],
+            )
+        self._coasted = 0.0
+        return self.estimate()
+
+    def coast(self, dt: float) -> AircraftState:
+        """Advance the track through a dropped report."""
+        if not self.initialized:
+            raise RuntimeError("tracker not initialized")
+        for filt in self._filters:
+            filt.predict(dt)
+        self._coasted += dt
+        return self.estimate()
+
+    def estimate(self) -> AircraftState:
+        """The current smoothed state estimate."""
+        if not self.initialized:
+            raise RuntimeError("tracker not initialized")
+        return AircraftState(
+            position=np.array([f.position for f in self._filters]),
+            velocity=np.array([f.velocity for f in self._filters]),
+        )
+
+    def reset(self) -> None:
+        """Forget the track."""
+        for filt in self._filters:
+            filt.reset()
+        self._coasted = 0.0

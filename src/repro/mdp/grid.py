@@ -1,0 +1,207 @@
+"""Uniform grids over continuous state variables, with interpolation.
+
+Constructing a tractable MDP from a continuous encounter model requires
+discretizing the state space and projecting off-grid successor states back
+onto grid points — the paper (Section IV) singles out this "sampling and
+interpolation" step as a source of inaccuracy that validation must
+confront.  This module implements that machinery:
+
+- :class:`UniformAxis` — one evenly spaced axis with clipping semantics;
+- :func:`interp_weights_1d` — barycentric weights of a continuous value
+  between its two bracketing grid points;
+- :class:`Grid` — a product of axes supporting flat indexing and
+  multilinear interpolation of values defined on the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def interp_weights_1d(
+    axis_points: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Locate *values* on a sorted 1-D axis and return interpolation data.
+
+    Returns ``(lo, hi, w_hi)`` where ``lo``/``hi`` are the bracketing
+    indices and ``w_hi`` the weight on ``hi`` (so the weight on ``lo`` is
+    ``1 - w_hi``).  Values outside the axis are clipped to the ends,
+    matching how a logic table saturates at its grid boundary.
+    """
+    points = np.asarray(axis_points, dtype=float)
+    vals = np.clip(np.asarray(values, dtype=float), points[0], points[-1])
+    hi = np.searchsorted(points, vals, side="right")
+    hi = np.clip(hi, 1, len(points) - 1)
+    lo = hi - 1
+    span = points[hi] - points[lo]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        w_hi = np.where(span > 0, (vals - points[lo]) / span, 0.0)
+    return lo.astype(np.int64), hi.astype(np.int64), w_hi
+
+
+@dataclass(frozen=True)
+class UniformAxis:
+    """An evenly spaced axis ``[low, low+step, ..., high]``.
+
+    Parameters
+    ----------
+    name:
+        Variable name, used in diagnostics.
+    low, high:
+        Inclusive endpoints (``high`` must exceed ``low``).
+    num:
+        Number of grid points (at least 2).
+    """
+
+    name: str
+    low: float
+    high: float
+    num: int
+
+    def __post_init__(self) -> None:
+        if self.num < 2:
+            raise ValueError(f"axis {self.name!r} needs >= 2 points, got {self.num}")
+        if not self.high > self.low:
+            raise ValueError(
+                f"axis {self.name!r} needs high > low, got [{self.low}, {self.high}]"
+            )
+
+    @property
+    def points(self) -> np.ndarray:
+        """The grid points as a 1-D float array."""
+        return np.linspace(self.low, self.high, self.num)
+
+    @property
+    def step(self) -> float:
+        """Spacing between adjacent grid points."""
+        return (self.high - self.low) / (self.num - 1)
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clip *values* to the axis range."""
+        return np.clip(values, self.low, self.high)
+
+    def index_of(self, value: float, tol: float = 1e-9) -> int:
+        """Index of the grid point equal to *value* (within *tol*).
+
+        Raises ``ValueError`` when *value* is not a grid point; use
+        :func:`interp_weights_1d` for off-grid values.
+        """
+        idx = int(round((value - self.low) / self.step))
+        if idx < 0 or idx >= self.num or abs(self.points[idx] - value) > tol:
+            raise ValueError(f"{value} is not a grid point of axis {self.name!r}")
+        return idx
+
+
+class Grid:
+    """A product of :class:`UniformAxis` objects.
+
+    Values defined on the grid are stored flat (C order over the axes in
+    construction order); :meth:`interpolate` evaluates such a value array
+    at arbitrary continuous points by multilinear interpolation, and
+    :meth:`interp_table` precomputes the corner indices/weights so the
+    same interpolation can be replayed cheaply (the hot path of value
+    iteration over sampled successor states).
+    """
+
+    def __init__(self, axes: Sequence[UniformAxis]):
+        if not axes:
+            raise ValueError("Grid needs at least one axis")
+        self.axes: Tuple[UniformAxis, ...] = tuple(axes)
+        self.shape: Tuple[int, ...] = tuple(axis.num for axis in self.axes)
+        self.size: int = int(np.prod(self.shape))
+        self._strides = np.array(
+            [int(np.prod(self.shape[i + 1:])) for i in range(len(self.shape))],
+            dtype=np.int64,
+        )
+
+    @property
+    def ndim(self) -> int:
+        """Number of axes."""
+        return len(self.axes)
+
+    def axis(self, name: str) -> UniformAxis:
+        """Return the axis called *name*."""
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise KeyError(f"no axis named {name!r}")
+
+    def flat_index(self, multi_index: Sequence[np.ndarray]) -> np.ndarray:
+        """Convert per-axis indices to flat indices (C order)."""
+        if len(multi_index) != self.ndim:
+            raise ValueError(
+                f"expected {self.ndim} index arrays, got {len(multi_index)}"
+            )
+        flat = np.zeros_like(np.asarray(multi_index[0], dtype=np.int64))
+        for stride, idx in zip(self._strides, multi_index):
+            flat = flat + stride * np.asarray(idx, dtype=np.int64)
+        return flat
+
+    def multi_index(self, flat: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Convert flat indices back to per-axis indices."""
+        return np.unravel_index(np.asarray(flat, dtype=np.int64), self.shape)
+
+    def points(self) -> np.ndarray:
+        """All grid points as an array of shape ``(size, ndim)``."""
+        mesh = np.meshgrid(*(ax.points for ax in self.axes), indexing="ij")
+        return np.stack([m.reshape(-1) for m in mesh], axis=-1)
+
+    def interp_table(
+        self, coords: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Precompute multilinear interpolation corners and weights.
+
+        Parameters
+        ----------
+        coords:
+            Array of shape ``(n, ndim)`` of continuous query points
+            (clipped per-axis).
+
+        Returns
+        -------
+        (indices, weights):
+            ``indices`` has shape ``(n, 2**ndim)`` of flat grid indices
+            and ``weights`` the matching barycentric weights, summing to
+            one along the last axis.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        if coords.shape[1] != self.ndim:
+            raise ValueError(
+                f"coords must have {self.ndim} columns, got {coords.shape[1]}"
+            )
+        n = coords.shape[0]
+        num_corners = 1 << self.ndim
+        indices = np.zeros((n, num_corners), dtype=np.int64)
+        weights = np.ones((n, num_corners), dtype=float)
+        for dim, ax in enumerate(self.axes):
+            lo, hi, w_hi = interp_weights_1d(ax.points, coords[:, dim])
+            for corner in range(num_corners):
+                take_hi = (corner >> dim) & 1
+                idx = hi if take_hi else lo
+                w = w_hi if take_hi else (1.0 - w_hi)
+                indices[:, corner] += self._strides[dim] * idx
+                weights[:, corner] *= w
+        return indices, weights
+
+    def interpolate(self, values: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Evaluate grid-defined *values* at continuous *coords*.
+
+        ``values`` may be flat (``(size,)``) or shaped (``self.shape``).
+        Returns an array of shape ``(n,)``.
+        """
+        flat_values = np.asarray(values, dtype=float).reshape(-1)
+        if flat_values.size != self.size:
+            raise ValueError(
+                f"values has {flat_values.size} entries, grid has {self.size}"
+            )
+        indices, weights = self.interp_table(coords)
+        return np.sum(flat_values[indices] * weights, axis=1)
+
+    def __repr__(self) -> str:
+        axes = ", ".join(
+            f"{ax.name}[{ax.low}:{ax.high}:{ax.num}]" for ax in self.axes
+        )
+        return f"Grid({axes})"

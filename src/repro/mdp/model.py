@@ -1,0 +1,162 @@
+"""Tabular MDP containers.
+
+Two representations are provided:
+
+- :class:`TabularMDP` — a dense/array representation: transition
+  probabilities ``P[a, s, s']`` and rewards ``R[a, s]`` (or ``R[a, s, s']``),
+  convenient for small models such as the Section III toy example;
+- :class:`MDPDefinition` — an abstract problem interface producing sparse
+  per-state-action successor lists, used by models too large to hold a
+  dense transition tensor (the ACAS XU-like model builds its own
+  specialized backward-induction instead, but shares this interface for
+  cross-checking on reduced grids).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class TabularMDP:
+    """A finite MDP with dense transition and reward arrays.
+
+    Parameters
+    ----------
+    transitions:
+        Array ``P`` of shape ``(num_actions, num_states, num_states)``;
+        ``P[a, s]`` must be a probability distribution over successors.
+    rewards:
+        Either shape ``(num_actions, num_states)`` — expected immediate
+        reward of taking ``a`` in ``s`` — or
+        ``(num_actions, num_states, num_states)`` for successor-dependent
+        rewards, which are reduced to expectations internally.
+    terminal:
+        Optional boolean mask of absorbing states whose value is pinned
+        to zero (their rewards have already been paid on entry).
+    """
+
+    def __init__(
+        self,
+        transitions: np.ndarray,
+        rewards: np.ndarray,
+        terminal: np.ndarray | None = None,
+    ):
+        transitions = np.asarray(transitions, dtype=float)
+        rewards = np.asarray(rewards, dtype=float)
+        if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
+            raise ValueError(
+                f"transitions must have shape (A, S, S), got {transitions.shape}"
+            )
+        num_actions, num_states, _ = transitions.shape
+        if rewards.ndim == 3:
+            if rewards.shape != transitions.shape:
+                raise ValueError(
+                    "successor-dependent rewards must match transitions shape"
+                )
+            rewards = np.sum(transitions * rewards, axis=2)
+        if rewards.shape != (num_actions, num_states):
+            raise ValueError(
+                f"rewards must have shape (A, S) = ({num_actions}, {num_states}),"
+                f" got {rewards.shape}"
+            )
+        row_sums = transitions.sum(axis=2)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            bad = np.argwhere(~np.isclose(row_sums, 1.0, atol=1e-8))
+            raise ValueError(
+                f"transition rows must sum to 1; first bad (a, s) = {tuple(bad[0])}"
+            )
+        if terminal is None:
+            terminal = np.zeros(num_states, dtype=bool)
+        terminal = np.asarray(terminal, dtype=bool)
+        if terminal.shape != (num_states,):
+            raise ValueError("terminal mask must have shape (S,)")
+        self.transitions = transitions
+        self.rewards = rewards
+        self.terminal = terminal
+
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return self.transitions.shape[1]
+
+    @property
+    def num_actions(self) -> int:
+        """Number of actions."""
+        return self.transitions.shape[0]
+
+    def q_backup(self, values: np.ndarray, discount: float) -> np.ndarray:
+        """One Bellman backup: ``Q[a, s] = R[a, s] + γ Σ P V``.
+
+        Terminal states contribute zero continuation value.
+        """
+        cont = np.where(self.terminal, 0.0, np.asarray(values, dtype=float))
+        q = self.rewards + discount * np.einsum(
+            "ast,t->as", self.transitions, cont
+        )
+        # An absorbing terminal state has no meaningful action values.
+        q[:, self.terminal] = 0.0
+        return q
+
+    def validate_policy(self, policy: np.ndarray) -> None:
+        """Raise if *policy* is not a valid action index per state."""
+        policy = np.asarray(policy)
+        if policy.shape != (self.num_states,):
+            raise ValueError("policy must assign one action per state")
+        if policy.min() < 0 or policy.max() >= self.num_actions:
+            raise ValueError("policy contains out-of-range action indices")
+
+
+class MDPDefinition(abc.ABC):
+    """Abstract sparse MDP: per state-action successor distributions.
+
+    Used where a dense ``(A, S, S)`` tensor is infeasible.  Solvers
+    consume :meth:`successors` lazily.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_states(self) -> int:
+        """Number of states."""
+
+    @property
+    @abc.abstractmethod
+    def num_actions(self) -> int:
+        """Number of actions."""
+
+    @abc.abstractmethod
+    def successors(
+        self, state: int, action: int
+    ) -> Tuple[Sequence[int], Sequence[float], float]:
+        """Return ``(next_states, probabilities, expected_reward)``."""
+
+    def to_tabular(self) -> TabularMDP:
+        """Materialize into a dense :class:`TabularMDP` (small models only)."""
+        num_s, num_a = self.num_states, self.num_actions
+        transitions = np.zeros((num_a, num_s, num_s))
+        rewards = np.zeros((num_a, num_s))
+        for s in range(num_s):
+            for a in range(num_a):
+                next_states, probs, reward = self.successors(s, a)
+                for ns, p in zip(next_states, probs):
+                    transitions[a, s, ns] += p
+                rewards[a, s] = reward
+        return TabularMDP(transitions, rewards)
+
+
+def build_transition_tensor(
+    num_actions: int,
+    num_states: int,
+    entries: List[Tuple[int, int, int, float]],
+) -> np.ndarray:
+    """Assemble a dense transition tensor from ``(a, s, s', p)`` entries.
+
+    Probabilities for repeated ``(a, s, s')`` triples accumulate, which
+    lets callers emit one entry per sampled disturbance outcome.
+    """
+    tensor = np.zeros((num_actions, num_states, num_states))
+    for action, state, next_state, prob in entries:
+        tensor[action, state, next_state] += prob
+    return tensor

@@ -1,0 +1,122 @@
+"""Lookup-table policies ("logic tables").
+
+The product of the model-based optimization pipeline is a *logic table*:
+a mapping from (discretized) states to the recommended action (Fig. 1 of
+the paper).  :class:`TabularPolicy` wraps that mapping together with the
+action vocabulary and optional state labels, and supports serialization
+so a solved table can be cached between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TabularPolicy:
+    """A state-indexed action table.
+
+    Attributes
+    ----------
+    actions:
+        Array of action indices, one per state.
+    action_names:
+        Human-readable action labels, indexed by action index.
+    values:
+        Optional state values associated with the policy.
+    metadata:
+        Free-form provenance (solver, discount, model parameters).
+    """
+
+    actions: np.ndarray
+    action_names: Sequence[str]
+    values: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.actions = np.asarray(self.actions, dtype=np.int64)
+        if self.actions.ndim != 1:
+            raise ValueError("actions must be a flat array (one per state)")
+        if len(self.action_names) == 0:
+            raise ValueError("action_names must be non-empty")
+        if self.actions.size and (
+            self.actions.min() < 0 or self.actions.max() >= len(self.action_names)
+        ):
+            raise ValueError("action index out of range of action_names")
+        if self.values is not None:
+            self.values = np.asarray(self.values, dtype=float)
+            if self.values.shape != self.actions.shape:
+                raise ValueError("values must align with actions")
+
+    @property
+    def num_states(self) -> int:
+        """Number of states covered by the table."""
+        return self.actions.size
+
+    def action(self, state: int) -> int:
+        """Action index recommended for *state*."""
+        return int(self.actions[state])
+
+    def action_name(self, state: int) -> str:
+        """Readable action label recommended for *state*."""
+        return self.action_names[self.action(state)]
+
+    def action_counts(self) -> Dict[str, int]:
+        """How many states map to each action — a quick sanity summary."""
+        counts = np.bincount(self.actions, minlength=len(self.action_names))
+        return {
+            name: int(count) for name, count in zip(self.action_names, counts)
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Serialize to ``path`` (.npz with a JSON metadata side-channel)."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            actions=self.actions,
+            values=self.values if self.values is not None else np.array([]),
+            action_names=np.array(list(self.action_names)),
+            metadata=np.array(json.dumps(self.metadata)),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TabularPolicy":
+        """Load a policy previously stored with :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            values = data["values"]
+            return cls(
+                actions=data["actions"],
+                action_names=[str(s) for s in data["action_names"]],
+                values=values if values.size else None,
+                metadata=json.loads(str(data["metadata"])),
+            )
+
+
+def policies_agree(
+    a: TabularPolicy,
+    b: TabularPolicy,
+    q_values: Optional[np.ndarray] = None,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Whether two policies agree, treating value ties as agreement.
+
+    With *q_values* (shape ``(A, S)``) supplied, states where the two
+    recommended actions have Q-values within *tolerance* count as
+    agreeing — distinct optimal policies can differ on exact ties.
+    """
+    if a.num_states != b.num_states:
+        raise ValueError("policies cover different numbers of states")
+    same = a.actions == b.actions
+    if same.all():
+        return True
+    if q_values is None:
+        return False
+    states = np.flatnonzero(~same)
+    qa = q_values[a.actions[states], states]
+    qb = q_values[b.actions[states], states]
+    return bool(np.allclose(qa, qb, atol=tolerance))

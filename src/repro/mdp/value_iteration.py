@@ -1,0 +1,162 @@
+"""Value iteration and finite-horizon backward induction.
+
+These are the dynamic-programming techniques the paper names (Section III)
+for turning an MDP encounter model into collision avoidance logic.  Both
+operate on :class:`repro.mdp.model.TabularMDP`.
+
+- :func:`value_iteration` — infinite-horizon, discounted; iterates Bellman
+  backups to a sup-norm fixed point and extracts the greedy policy.
+- :func:`backward_induction` — finite-horizon; returns the time-indexed
+  value functions and policies.  The ACAS XU-like model is solved this
+  way (time-to-closest-approach is the horizon index), as is the Section
+  III toy model (the intruder's x position strictly decreases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mdp.model import TabularMDP
+
+
+@dataclass
+class ValueIterationResult:
+    """Output of :func:`value_iteration`.
+
+    Attributes
+    ----------
+    values:
+        Optimal state values, shape ``(S,)``.
+    q_values:
+        Optimal action values, shape ``(A, S)``.
+    policy:
+        Greedy action per state, shape ``(S,)``.
+    iterations:
+        Number of sweeps performed.
+    residual:
+        Final sup-norm Bellman residual.
+    converged:
+        Whether the residual fell below the tolerance.
+    """
+
+    values: np.ndarray
+    q_values: np.ndarray
+    policy: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def value_iteration(
+    mdp: TabularMDP,
+    discount: float = 0.95,
+    tolerance: float = 1e-8,
+    max_iterations: int = 10_000,
+    initial_values: np.ndarray | None = None,
+) -> ValueIterationResult:
+    """Solve *mdp* by value iteration.
+
+    Parameters
+    ----------
+    mdp:
+        The model to solve.
+    discount:
+        Discount factor in ``[0, 1)`` (``1.0`` is allowed but convergence
+        is then only guaranteed for proper/terminating models).
+    tolerance:
+        Stop when the sup-norm change between sweeps falls below this.
+    max_iterations:
+        Hard iteration cap.
+    initial_values:
+        Optional warm start, shape ``(S,)``.
+    """
+    if not 0.0 <= discount <= 1.0:
+        raise ValueError(f"discount must be in [0, 1], got {discount}")
+    if initial_values is None:
+        values = np.zeros(mdp.num_states)
+    else:
+        values = np.array(initial_values, dtype=float)
+        if values.shape != (mdp.num_states,):
+            raise ValueError("initial_values must have shape (S,)")
+
+    residual = np.inf
+    iterations = 0
+    q = mdp.q_backup(values, discount)
+    for iterations in range(1, max_iterations + 1):
+        q = mdp.q_backup(values, discount)
+        new_values = q.max(axis=0)
+        residual = float(np.max(np.abs(new_values - values)))
+        values = new_values
+        if residual < tolerance:
+            break
+    policy = np.argmax(q, axis=0)
+    return ValueIterationResult(
+        values=values,
+        q_values=q,
+        policy=policy,
+        iterations=iterations,
+        residual=residual,
+        converged=residual < tolerance,
+    )
+
+
+@dataclass
+class BackwardInductionResult:
+    """Output of :func:`backward_induction`.
+
+    ``values[k]`` and ``policies[k]`` correspond to *k* decision steps
+    remaining; ``values[0]`` is the terminal value.
+    """
+
+    values: List[np.ndarray]
+    q_values: List[np.ndarray]
+    policies: List[np.ndarray]
+
+    @property
+    def horizon(self) -> int:
+        """Number of decision stages solved."""
+        return len(self.policies)
+
+
+def backward_induction(
+    mdp: TabularMDP,
+    horizon: int,
+    terminal_values: np.ndarray | None = None,
+    discount: float = 1.0,
+) -> BackwardInductionResult:
+    """Solve a finite-horizon problem on *mdp* by backward induction.
+
+    Parameters
+    ----------
+    mdp:
+        Model whose stage dynamics and rewards are time-invariant.
+    horizon:
+        Number of decision stages.
+    terminal_values:
+        Value of each state when no steps remain (defaults to zeros).
+    discount:
+        Per-stage discount (the collision avoidance models use 1.0 —
+        costs are undiscounted over the short encounter horizon).
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    if terminal_values is None:
+        terminal_values = np.zeros(mdp.num_states)
+    terminal_values = np.asarray(terminal_values, dtype=float)
+    if terminal_values.shape != (mdp.num_states,):
+        raise ValueError("terminal_values must have shape (S,)")
+
+    values: List[np.ndarray] = [terminal_values]
+    q_values: List[np.ndarray] = []
+    policies: List[np.ndarray] = []
+    for _ in range(horizon):
+        q = mdp.q_backup(values[-1], discount)
+        values.append(q.max(axis=0))
+        q_values.append(q)
+        policies.append(np.argmax(q, axis=0))
+    return BackwardInductionResult(
+        values=values, q_values=q_values, policies=policies
+    )

@@ -1,0 +1,25 @@
+"""Monte-Carlo validation: rate estimation over a statistical model.
+
+The complementary technique to GA search (paper Sections IV and VIII):
+draw encounters from a statistical encounter model, simulate, and
+estimate event probabilities — collision rate, alert rate, false-alarm
+rate, risk ratio — with confidence intervals.  "Monte-Carlo approaches
+can provide such confidence"; the GA cannot, which is why the paper
+calls the two complementary.
+"""
+
+from repro.montecarlo.estimator import (
+    MonteCarloEstimator,
+    MonteCarloReport,
+)
+from repro.montecarlo.stratified import (
+    StratifiedEstimator,
+    StratifiedReport,
+)
+
+__all__ = [
+    "MonteCarloEstimator",
+    "MonteCarloReport",
+    "StratifiedEstimator",
+    "StratifiedReport",
+]

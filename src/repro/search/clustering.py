@@ -1,0 +1,148 @@
+"""Clustering of logged search data into challenging regions.
+
+The paper's closing discussion (Section VIII) notes the GA only
+identifies discrete *points* and suggests extending the approach with
+data-mining — clustering — to find *areas* of the search space with
+high accident rates.  This module implements that extension: a k-means
+clustering (Lloyd's algorithm, k-means++ seeding) of high-fitness
+genomes, normalized gene-wise by the parameter ranges so heterogeneous
+units (m/s, seconds, radians) contribute comparably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.encounters.encoding import PARAMETER_NAMES, EncounterParameters
+from repro.encounters.generator import ParameterRanges
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass
+class KMeansResult:
+    """Clusters of challenging encounters.
+
+    Attributes
+    ----------
+    centers:
+        Cluster centres in original (unnormalized) genome coordinates,
+        shape ``(k, genes)``.
+    labels:
+        Cluster assignment per input genome.
+    inertia:
+        Sum of squared normalized distances to assigned centres.
+    sizes:
+        Genomes per cluster.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    sizes: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centers.shape[0]
+
+    def center_parameters(self, index: int) -> EncounterParameters:
+        """Cluster centre *index* decoded as encounter parameters."""
+        return EncounterParameters.from_array(self.centers[index])
+
+    def describe(self) -> List[dict]:
+        """Readable per-cluster summaries (centre values by name)."""
+        return [
+            {
+                "cluster": i,
+                "size": int(self.sizes[i]),
+                **{
+                    name: round(float(value), 3)
+                    for name, value in zip(PARAMETER_NAMES, self.centers[i])
+                },
+            }
+            for i in range(self.k)
+        ]
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding."""
+    n = points.shape[0]
+    centers = [points[rng.integers(n)]]
+    for _ in range(1, k):
+        dist_sq = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = dist_sq.sum()
+        if total <= 0:
+            centers.append(points[rng.integers(n)])
+            continue
+        probs = dist_sq / total
+        centers.append(points[rng.choice(n, p=probs)])
+    return np.array(centers)
+
+
+def cluster_genomes(
+    genomes: np.ndarray,
+    k: int,
+    ranges: Optional[ParameterRanges] = None,
+    max_iterations: int = 100,
+    seed: SeedLike = None,
+) -> KMeansResult:
+    """k-means over genome vectors, normalized by the parameter ranges.
+
+    Parameters
+    ----------
+    genomes:
+        Shape ``(n, genes)`` — typically the high-fitness individuals
+        of a finished search.
+    k:
+        Number of clusters (must not exceed the number of genomes).
+    ranges:
+        Normalization box (defaults to the standard scenario ranges).
+    max_iterations:
+        Lloyd iteration cap.
+    seed:
+        RNG seed for the k-means++ initialization.
+    """
+    genomes = np.atleast_2d(np.asarray(genomes, dtype=float))
+    if k < 1 or k > genomes.shape[0]:
+        raise ValueError(
+            f"k must be in [1, {genomes.shape[0]}], got {k}"
+        )
+    ranges = ranges or ParameterRanges()
+    lows, highs = ranges.lows(), ranges.highs()
+    widths = np.where(highs > lows, highs - lows, 1.0)
+    normalized = (genomes - lows) / widths
+
+    rng = as_generator(seed)
+    centers = _kmeans_pp_init(normalized, k, rng)
+    labels = np.zeros(genomes.shape[0], dtype=np.int64)
+    for iteration in range(max_iterations):
+        distances = np.stack(
+            [np.sum((normalized - c) ** 2, axis=1) for c in centers]
+        )
+        new_labels = np.argmin(distances, axis=0)
+        if iteration > 0 and np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for j in range(k):
+            members = normalized[labels == j]
+            if len(members) > 0:
+                centers[j] = members.mean(axis=0)
+
+    distances = np.stack(
+        [np.sum((normalized - c) ** 2, axis=1) for c in centers]
+    )
+    inertia = float(np.min(distances, axis=0).sum())
+    sizes = np.bincount(labels, minlength=k)
+    return KMeansResult(
+        centers=centers * widths + lows,
+        labels=labels,
+        inertia=inertia,
+        sizes=sizes,
+    )

@@ -1,0 +1,100 @@
+"""The UAV agent: nominal flight + disturbance + avoidance maneuvers.
+
+Mirrors the MASON agent of the paper's tool: each step the agent reads
+the latest maneuver decision from its avoidance algorithm and integrates
+its dynamics, including commanded vertical-rate capture, commanded
+heading capture (for horizontal algorithms like SVO) and environment
+disturbance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.avoidance.base import AvoidanceAlgorithm, Maneuver, NO_MANEUVER
+from repro.dynamics.aircraft import AircraftState, step_aircraft
+from repro.sim.disturbance import DisturbanceModel
+from repro.util.rng import RngStream
+
+
+class UavAgent:
+    """One UAV in the simulation.
+
+    Parameters
+    ----------
+    name:
+        Agent identifier ("ownship"/"intruder" conventionally).
+    state:
+        Initial :class:`AircraftState`.
+    avoidance:
+        The avoidance algorithm this UAV runs (NoAvoidance for an
+        unequipped aircraft).
+    disturbance:
+        Environment disturbance model.
+    rng:
+        Private random stream for this agent's disturbance draws.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        state: AircraftState,
+        avoidance: AvoidanceAlgorithm,
+        disturbance: DisturbanceModel,
+        rng: RngStream,
+    ):
+        self.name = name
+        self.state = state
+        self.avoidance = avoidance
+        self.disturbance = disturbance
+        self.rng = rng
+        self.current_maneuver: Maneuver = NO_MANEUVER
+
+    def decide(self, sensed_intruder: AircraftState) -> Maneuver:
+        """Run the avoidance logic against a sensed intruder state."""
+        self.current_maneuver = self.avoidance.decide(self.state, sensed_intruder)
+        return self.current_maneuver
+
+    def integrate(self, dt: float) -> None:
+        """Advance physics by *dt* under the current maneuver."""
+        maneuver = self.current_maneuver
+        generator = self.rng.generator
+
+        # Heading capture: rotate the horizontal velocity toward the
+        # commanded heading at the bounded turn rate, preserving speed.
+        if maneuver.heading is not None:
+            vx, vy = self.state.velocity[0], self.state.velocity[1]
+            speed = math.hypot(vx, vy)
+            if speed > 1e-9:
+                heading = math.atan2(vy, vx)
+                error = _wrap_angle(maneuver.heading.target_heading - heading)
+                max_turn = maneuver.heading.turn_rate * dt
+                heading += float(np.clip(error, -max_turn, max_turn))
+                velocity = self.state.velocity.copy()
+                velocity[0] = speed * math.cos(heading)
+                velocity[1] = speed * math.sin(heading)
+                self.state = AircraftState(self.state.position, velocity)
+
+        vertical_noise = self.disturbance.sample_vertical_accel(dt, generator)
+        horizontal_noise = self.disturbance.sample_horizontal_accel(generator)
+        self.state = step_aircraft(
+            self.state,
+            dt,
+            command=maneuver.vertical,
+            vertical_accel_noise=vertical_noise,
+            horizontal_accel_noise=horizontal_noise,
+        )
+
+    def reset(self, state: AircraftState) -> None:
+        """Re-initialize for a new encounter."""
+        self.state = state
+        self.current_maneuver = NO_MANEUVER
+        self.avoidance.reset()
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap to (-π, π]."""
+    return math.atan2(math.sin(angle), math.cos(angle))

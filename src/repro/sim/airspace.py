@@ -1,0 +1,272 @@
+"""Multi-aircraft airspace simulation.
+
+The paper selects agent-based simulation because "it naturally models
+the multi-body interaction problem" (Section VI.C), though its
+experiments stay pairwise.  This module provides the multi-body
+extension: N UAVs share an airspace, every equipped UAV tracks all
+traffic over ADS-B, selects its most threatening intruder each decision
+step (smallest time to CPA among converging traffic), and runs its
+avoidance logic against that threat; coordination locks apply across
+the whole channel.  Monitors cover every aircraft pair.
+
+This is what a downstream user validating an avoidance system in a
+denser-airspace scenario needs, and what the paper's "as the air
+traffic system becomes more complex" outlook points at.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.acasx.controller import CoordinationChannel
+from repro.acasx.logic_table import LogicTable
+from repro.avoidance.acas import AcasXuAvoidance
+from repro.avoidance.base import AvoidanceAlgorithm, NoAvoidance
+from repro.dynamics.aircraft import AircraftState, time_to_cpa
+from repro.sim.agents import UavAgent
+from repro.sim.disturbance import DisturbanceModel
+from repro.sim.engine import SimulationEngine
+from repro.sim.monitors import AccidentDetector, ProximityMeasurer
+from repro.sim.sensors import AdsBSensor
+from repro.util.rng import RngStream, SeedLike
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Random traffic generation parameters.
+
+    Aircraft spawn on a circle of ``radius`` metres, headed inward with
+    a bounded offset so tracks cross near the centre — a conflict-dense
+    pattern that exercises the avoidance logic heavily.
+    """
+
+    radius: float = 2000.0
+    altitude_band: Tuple[float, float] = (950.0, 1050.0)
+    speed_range: Tuple[float, float] = (20.0, 40.0)
+    vertical_speed_range: Tuple[float, float] = (-2.0, 2.0)
+    inbound_offset: float = math.pi / 6.0
+
+    def spawn(self, count: int, rng: np.random.Generator) -> List[AircraftState]:
+        """Random initial states for *count* aircraft."""
+        states = []
+        for __ in range(count):
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            position = np.array(
+                [
+                    self.radius * math.cos(angle),
+                    self.radius * math.sin(angle),
+                    rng.uniform(*self.altitude_band),
+                ]
+            )
+            heading = angle + math.pi + rng.uniform(
+                -self.inbound_offset, self.inbound_offset
+            )
+            speed = rng.uniform(*self.speed_range)
+            velocity = np.array(
+                [
+                    speed * math.cos(heading),
+                    speed * math.sin(heading),
+                    rng.uniform(*self.vertical_speed_range),
+                ]
+            )
+            states.append(AircraftState(position, velocity))
+        return states
+
+
+@dataclass
+class AirspaceResult:
+    """Outcome of a multi-aircraft run."""
+
+    num_aircraft: int
+    duration: float
+    nmac_pairs: List[Tuple[str, str]]
+    min_pair_separation: float
+    closest_pair: Tuple[str, str]
+    alerts_by_aircraft: Dict[str, bool]
+
+    @property
+    def nmac_count(self) -> int:
+        """Number of distinct aircraft pairs that reached an NMAC."""
+        return len(self.nmac_pairs)
+
+    @property
+    def alert_fraction(self) -> float:
+        """Fraction of aircraft that ever alerted."""
+        if not self.alerts_by_aircraft:
+            return 0.0
+        return sum(self.alerts_by_aircraft.values()) / len(
+            self.alerts_by_aircraft
+        )
+
+
+class ThreatSelector:
+    """Chooses each UAV's most pressing intruder among all traffic.
+
+    The pairwise logic needs one intruder; multi-threat ACAS resolves
+    this with threat prioritization.  We rank converging traffic by
+    time to CPA (horizontal), breaking ties by current range, and fall
+    back to the nearest aircraft when nothing converges.
+    """
+
+    def __init__(self, horizon: float):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+
+    def select(
+        self, own: AircraftState, traffic: Sequence[AircraftState]
+    ) -> Optional[int]:
+        """Index of the selected threat in *traffic* (None if empty)."""
+        if not traffic:
+            return None
+        best_index = None
+        best_key = None
+        for index, other in enumerate(traffic):
+            tau = time_to_cpa(own, other)
+            rng = own.horizontal_distance_to(other)
+            converging = 0.0 < tau <= self.horizon
+            # Converging traffic sorts before non-converging; then by
+            # tau; then by range.
+            key = (0 if converging else 1, tau if converging else rng, rng)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return best_index
+
+
+class AirspaceSimulation:
+    """N-aircraft encounter simulation with pairwise monitors.
+
+    Parameters
+    ----------
+    table:
+        Logic table for equipped aircraft; ``None`` simulates an
+        unequipped airspace.
+    traffic:
+        Spawn model.
+    decision_dt / physics_substeps:
+        Stepping parameters (as in :class:`EncounterSimConfig`).
+    disturbance / sensor:
+        Environment and surveillance models shared by all aircraft.
+    """
+
+    def __init__(
+        self,
+        table: Optional[LogicTable],
+        traffic: TrafficConfig | None = None,
+        decision_dt: float = 1.0,
+        physics_substeps: int = 5,
+        disturbance: DisturbanceModel | None = None,
+        sensor: AdsBSensor | None = None,
+    ):
+        self.table = table
+        self.traffic = traffic or TrafficConfig()
+        self.decision_dt = decision_dt
+        self.physics_substeps = physics_substeps
+        self.disturbance = disturbance or DisturbanceModel()
+        self.sensor = sensor or AdsBSensor()
+
+    def _build_agents(
+        self, count: int, root: RngStream
+    ) -> Tuple[List[UavAgent], CoordinationChannel]:
+        spawn_rng = root.spawn("spawn")
+        states = self.traffic.spawn(count, spawn_rng.generator)
+        channel = CoordinationChannel()
+        agents = []
+        for i, state in enumerate(states):
+            name = f"uav{i}"
+            avoidance: AvoidanceAlgorithm
+            if self.table is not None:
+                avoidance = AcasXuAvoidance(
+                    self.table, aircraft_id=name, channel=channel
+                )
+            else:
+                avoidance = NoAvoidance()
+            agents.append(
+                UavAgent(
+                    name=name,
+                    state=state,
+                    avoidance=avoidance,
+                    disturbance=self.disturbance,
+                    rng=root.spawn(name),
+                )
+            )
+        return agents, channel
+
+    def run(
+        self,
+        num_aircraft: int,
+        duration: float = 120.0,
+        seed: SeedLike = None,
+    ) -> AirspaceResult:
+        """Simulate *num_aircraft* for *duration* seconds."""
+        if num_aircraft < 2:
+            raise ValueError("need at least 2 aircraft")
+        root = RngStream(seed, name="airspace")
+        agents, __ = self._build_agents(num_aircraft, root)
+        sensor_rng = root.spawn("sensor")
+        horizon = (
+            self.table.config.horizon * self.table.config.dt
+            if self.table is not None
+            else 40.0
+        )
+        selector = ThreatSelector(horizon)
+
+        pairs = [
+            (i, j)
+            for i in range(num_aircraft)
+            for j in range(i + 1, num_aircraft)
+        ]
+        proximity = {pair: ProximityMeasurer() for pair in pairs}
+        accidents = {pair: AccidentDetector() for pair in pairs}
+
+        def decide(time: float, current: Sequence[UavAgent]) -> None:
+            # Every aircraft receives every other's broadcast.
+            reports = [
+                self.sensor.sense(agent.state, sensor_rng.generator)
+                for agent in current
+            ]
+            for i, agent in enumerate(current):
+                traffic = [r for j, r in enumerate(reports) if j != i]
+                threat = selector.select(agent.state, traffic)
+                if threat is None:
+                    continue
+                agent.decide(traffic[threat])
+
+        def observe(time: float, current: Sequence[UavAgent]) -> None:
+            for i, j in pairs:
+                proximity[(i, j)].observe(
+                    time, current[i].state, current[j].state
+                )
+                accidents[(i, j)].observe(
+                    time, current[i].state, current[j].state
+                )
+
+        engine = SimulationEngine(
+            agents,
+            decision_dt=self.decision_dt,
+            physics_substeps=self.physics_substeps,
+        )
+        observe(0.0, agents)
+        end_time = engine.run(duration, decide, observers=[observe])
+
+        nmac_pairs = [
+            (agents[i].name, agents[j].name)
+            for (i, j) in pairs
+            if accidents[(i, j)].accident
+        ]
+        closest = min(pairs, key=lambda p: proximity[p].min_distance_3d)
+        return AirspaceResult(
+            num_aircraft=num_aircraft,
+            duration=end_time,
+            nmac_pairs=nmac_pairs,
+            min_pair_separation=proximity[closest].min_distance_3d,
+            closest_pair=(agents[closest[0]].name, agents[closest[1]].name),
+            alerts_by_aircraft={
+                agent.name: agent.avoidance.ever_alerted for agent in agents
+            },
+        )

@@ -1,0 +1,333 @@
+"""Vectorized batch simulation of one encounter's many noisy runs.
+
+The paper evaluates every GA individual with 100 stochastic simulation
+runs (Section VII).  Running those through the agent-based engine is
+faithful but slow in Python, so this module provides a NumPy fast path:
+all runs of one encounter advance simultaneously as array operations.
+The dynamics, sensing, coordination and monitors replicate
+:mod:`repro.sim.encounter` step for step (a dedicated test asserts
+statistical equivalence); only the random-draw order differs.
+
+Supported equipage: both aircraft ACAS XU (coordinated or not),
+own-ship only, or none — the combinations the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.acasx.advisories import ADVISORIES, NUM_ADVISORIES
+from repro.acasx.logic_table import LogicTable
+from repro.encounters.encoding import EncounterParameters, decode_encounter
+from repro.sim.encounter import EncounterSimConfig
+from repro.util.rng import SeedLike, as_generator
+from repro.util.units import NMAC_HORIZONTAL_M, NMAC_VERTICAL_M
+
+#: Advisory attribute tables, indexed by advisory index.
+_TARGET_RATES = np.array(
+    [a.target_rate if a.is_active else np.nan for a in ADVISORIES]
+)
+_ACCELS = np.array([a.acceleration for a in ADVISORIES])
+_SENSES = np.array([a.sense.value for a in ADVISORIES])  # 0 / +1 / -1
+_ACTIVE = np.array([a.is_active for a in ADVISORIES])
+
+
+@dataclass
+class BatchResult:
+    """Per-run outcomes of a batch simulation.
+
+    Attributes
+    ----------
+    min_separation:
+        Minimum 3-D separation per run, metres, shape ``(n,)``.
+    min_horizontal:
+        Minimum horizontal separation per run.
+    nmac:
+        Whether each run entered the NMAC cylinder.
+    own_alerted / intruder_alerted:
+        Whether each side ever displayed an active advisory.
+    """
+
+    min_separation: np.ndarray
+    min_horizontal: np.ndarray
+    nmac: np.ndarray
+    own_alerted: np.ndarray
+    intruder_alerted: np.ndarray
+
+    @property
+    def num_runs(self) -> int:
+        """Number of simulated runs."""
+        return self.min_separation.shape[0]
+
+    @property
+    def nmac_rate(self) -> float:
+        """Fraction of runs ending in an NMAC."""
+        return float(np.mean(self.nmac))
+
+
+class BatchEncounterSimulator:
+    """Simulates *n* noisy runs of one encounter as array operations.
+
+    Parameters
+    ----------
+    table:
+        Logic table for equipped aircraft (may be ``None`` when
+        ``equipage='none'``).
+    config:
+        Simulation configuration shared with the agent-based engine.
+    equipage:
+        ``'both'`` (default), ``'own-only'`` or ``'none'``.
+    coordination:
+        Whether two equipped aircraft exchange maneuver senses.
+    """
+
+    def __init__(
+        self,
+        table: Optional[LogicTable],
+        config: EncounterSimConfig | None = None,
+        equipage: str = "both",
+        coordination: bool = True,
+    ):
+        if equipage not in ("both", "own-only", "none"):
+            raise ValueError(f"unknown equipage {equipage!r}")
+        if equipage != "none" and table is None:
+            raise ValueError("equipped simulations need a logic table")
+        self.table = table
+        self.config = config or EncounterSimConfig()
+        self.equipage = equipage
+        self.coordination = coordination
+
+    # ------------------------------------------------------------------
+    # Decision helpers
+    # ------------------------------------------------------------------
+    def _conflict_geometry(
+        self,
+        own_pos: np.ndarray,
+        own_vel: np.ndarray,
+        intr_pos: np.ndarray,
+        intr_vel: np.ndarray,
+    ):
+        """Vectorized port of AcasXuController._conflict_geometry."""
+        config = self.table.config
+        horizon_seconds = config.horizon * config.dt
+        rel_pos = intr_pos[:, :2] - own_pos[:, :2]
+        rel_vel = intr_vel[:, :2] - own_vel[:, :2]
+        speed_sq = np.einsum("ij,ij->i", rel_vel, rel_vel)
+        dot = np.einsum("ij,ij->i", rel_pos, rel_vel)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_star = np.where(speed_sq > 1e-12, -dot / speed_sq, 0.0)
+        tau = np.maximum(t_star, 0.0)
+        at_cpa = rel_pos + rel_vel * tau[:, None]
+        miss = np.hypot(at_cpa[:, 0], at_cpa[:, 1])
+
+        converging = tau > 0.0
+        within_horizon = tau <= horizon_seconds
+        near_miss = miss <= config.conflict_horizontal_radius
+        in_conflict = converging & within_horizon & near_miss
+        return tau, in_conflict
+
+    def _decide_side(
+        self,
+        own_pos: np.ndarray,
+        own_vel: np.ndarray,
+        sensed_intr_pos: np.ndarray,
+        sensed_intr_vel: np.ndarray,
+        current_sra: np.ndarray,
+        forbidden_sense: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """New advisory indices for one side of every run."""
+        n = own_pos.shape[0]
+        tau, in_conflict = self._conflict_geometry(
+            own_pos, own_vel, sensed_intr_pos, sensed_intr_vel
+        )
+        new_sra = np.zeros(n, dtype=np.int64)  # COC by default
+        active = np.flatnonzero(in_conflict)
+        if active.size == 0:
+            return new_sra
+        coords = np.stack(
+            [
+                sensed_intr_pos[active, 2] - own_pos[active, 2],
+                own_vel[active, 2],
+                sensed_intr_vel[active, 2],
+            ],
+            axis=1,
+        )
+        q = self.table.q_values_batch(tau[active], current_sra[active], coords)
+        if forbidden_sense is not None:
+            locked = forbidden_sense[active]
+            for a_idx in range(NUM_ADVISORIES):
+                if not _ACTIVE[a_idx]:
+                    continue
+                conflict_mask = (locked != 0) & (_SENSES[a_idx] == locked)
+                q[conflict_mask, a_idx] = -np.inf
+        new_sra[active] = np.argmax(q, axis=1)
+        return new_sra
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+    def _integrate_substep(
+        self,
+        pos: np.ndarray,
+        vel: np.ndarray,
+        sra: np.ndarray,
+        dt: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """One physics substep for one side of every run, in place.
+
+        Replicates :func:`repro.dynamics.aircraft.step_aircraft`:
+        advisory ramp (exact trapezoid) then Brownian rate disturbance.
+        """
+        n = pos.shape[0]
+        vz = vel[:, 2]
+        active = _ACTIVE[sra]
+        target = np.where(active, np.nan_to_num(_TARGET_RATES[sra]), 0.0)
+        accel = _ACCELS[sra]
+
+        error = np.where(active, target - vz, 0.0)
+        max_change = accel * dt
+        ramp = np.clip(error, -max_change, max_change)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_ramp = np.where(active & (accel > 0), np.abs(ramp) / accel, 0.0)
+        vz_capture = vz + ramp
+        dz_cmd = (vz + vz_capture) / 2.0 * t_ramp + vz_capture * (dt - t_ramp)
+        dz_free = vz * dt
+        pos[:, 2] += np.where(active, dz_cmd, dz_free)
+        vel[:, 2] = vz_capture  # equals vz where inactive (ramp == 0)
+
+        noise_std = self.config.disturbance.vertical_rate_std
+        if noise_std > 0:
+            accel_noise = rng.normal(0.0, noise_std / np.sqrt(dt), size=n)
+            pos[:, 2] += 0.5 * accel_noise * dt * dt
+            vel[:, 2] += accel_noise * dt
+
+        h_std = self.config.disturbance.horizontal_accel_std
+        if h_std > 0:
+            accel_h = rng.normal(0.0, h_std, size=(n, 2))
+            pos[:, :2] += vel[:, :2] * dt + 0.5 * accel_h * dt * dt
+            vel[:, :2] += accel_h * dt
+        else:
+            pos[:, :2] += vel[:, :2] * dt
+
+    def _sense(
+        self, pos: np.ndarray, vel: np.ndarray, rng: np.random.Generator
+    ):
+        """Noisy received copies of (pos, vel)."""
+        sensor = self.config.sensor
+        n = pos.shape[0]
+        pos_noise = np.stack(
+            [
+                rng.normal(0.0, sensor.horizontal_position_std, size=n),
+                rng.normal(0.0, sensor.horizontal_position_std, size=n),
+                rng.normal(0.0, sensor.vertical_position_std, size=n),
+            ],
+            axis=1,
+        )
+        vel_noise = np.stack(
+            [
+                rng.normal(0.0, sensor.horizontal_velocity_std, size=n),
+                rng.normal(0.0, sensor.horizontal_velocity_std, size=n),
+                rng.normal(0.0, sensor.vertical_velocity_std, size=n),
+            ],
+            axis=1,
+        )
+        return pos + pos_noise, vel + vel_noise
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        params: EncounterParameters,
+        num_runs: int,
+        seed: SeedLike = None,
+    ) -> BatchResult:
+        """Simulate *num_runs* independent noisy runs of *params*."""
+        if num_runs < 1:
+            raise ValueError("num_runs must be >= 1")
+        rng = as_generator(seed)
+        config = self.config
+        own0, intr0 = decode_encounter(params)
+
+        n = num_runs
+        own_pos = np.tile(own0.position, (n, 1))
+        own_vel = np.tile(own0.velocity, (n, 1))
+        intr_pos = np.tile(intr0.position, (n, 1))
+        intr_vel = np.tile(intr0.velocity, (n, 1))
+        own_sra = np.zeros(n, dtype=np.int64)
+        intr_sra = np.zeros(n, dtype=np.int64)
+        own_alerted = np.zeros(n, dtype=bool)
+        intr_alerted = np.zeros(n, dtype=bool)
+
+        min_sep = np.full(n, np.inf)
+        min_horiz = np.full(n, np.inf)
+        nmac = np.zeros(n, dtype=bool)
+
+        def observe() -> None:
+            delta = own_pos - intr_pos
+            horizontal = np.hypot(delta[:, 0], delta[:, 1])
+            vertical = np.abs(delta[:, 2])
+            separation = np.hypot(horizontal, vertical)
+            np.minimum(min_sep, separation, out=min_sep)
+            np.minimum(min_horiz, horizontal, out=min_horiz)
+            nmac_now = (horizontal < NMAC_HORIZONTAL_M) & (
+                vertical < NMAC_VERTICAL_M
+            )
+            np.logical_or(nmac, nmac_now, out=nmac)
+
+        observe()
+        duration = params.time_to_cpa + config.extra_duration
+        num_decisions = int(round(duration / config.decision_dt))
+        sub_dt = config.decision_dt / config.physics_substeps
+
+        own_equipped = self.equipage in ("both", "own-only")
+        intr_equipped = self.equipage == "both"
+
+        for _ in range(num_decisions):
+            if own_equipped or intr_equipped:
+                sensed_intr_pos, sensed_intr_vel = self._sense(
+                    intr_pos, intr_vel, rng
+                )
+                sensed_own_pos, sensed_own_vel = self._sense(
+                    own_pos, own_vel, rng
+                )
+            if own_equipped:
+                # Own decides first, seeing the intruder's previous lock.
+                forbidden = (
+                    _SENSES[intr_sra]
+                    if (self.coordination and intr_equipped)
+                    else None
+                )
+                own_sra = self._decide_side(
+                    own_pos, own_vel, sensed_intr_pos, sensed_intr_vel,
+                    own_sra, forbidden,
+                )
+                own_alerted |= _ACTIVE[own_sra]
+            if intr_equipped:
+                forbidden = (
+                    _SENSES[own_sra]
+                    if (self.coordination and own_equipped)
+                    else None
+                )
+                intr_sra = self._decide_side(
+                    intr_pos, intr_vel, sensed_own_pos, sensed_own_vel,
+                    intr_sra, forbidden,
+                )
+                intr_alerted |= _ACTIVE[intr_sra]
+
+            for _ in range(config.physics_substeps):
+                self._integrate_substep(own_pos, own_vel, own_sra, sub_dt, rng)
+                self._integrate_substep(intr_pos, intr_vel, intr_sra, sub_dt, rng)
+                observe()
+
+        return BatchResult(
+            min_separation=min_sep,
+            min_horizontal=min_horiz,
+            nmac=nmac,
+            own_alerted=own_alerted,
+            intruder_alerted=intr_alerted,
+        )

@@ -1,0 +1,86 @@
+"""Environment disturbance models.
+
+The paper models wind/turbulence by random noise acting on the UAVs
+during simulation.  We use a Brownian vertical-rate disturbance — the
+continuous-time counterpart of the discrete rate noise in the offline
+MDP — plus optional horizontal acceleration noise.
+
+The vertical-rate std accumulated over one second matches the std of
+the offline model's discrete noise samples by default, so the logic
+faces online the disturbance it was optimized against (deliberately;
+ablations vary this to create model/reality gaps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+
+def noise_std(samples: Tuple[Tuple[float, float], ...]) -> float:
+    """Std of a discrete (value, probability) noise distribution."""
+    mean = sum(v * p for v, p in samples)
+    var = sum(p * (v - mean) ** 2 for v, p in samples)
+    return math.sqrt(var)
+
+
+@dataclass(frozen=True)
+class DisturbanceModel:
+    """Stochastic accelerations applied to a UAV each physics step.
+
+    Attributes
+    ----------
+    vertical_rate_std:
+        Std of the vertical-rate change accumulated per second of
+        simulated time (m/s per √s — Brownian scaling).
+    horizontal_accel_std:
+        Std of the horizontal disturbance acceleration (m/s²), applied
+        independently per axis per physics step.
+    """
+
+    vertical_rate_std: float = 0.45
+    horizontal_accel_std: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.vertical_rate_std < 0 or self.horizontal_accel_std < 0:
+            raise ValueError("noise magnitudes must be non-negative")
+
+    def sample_vertical_accel(
+        self, dt: float, rng: np.random.Generator, size=None
+    ) -> np.ndarray | float:
+        """Vertical disturbance acceleration for a step of length *dt*.
+
+        Brownian scaling: applying this acceleration for *dt* seconds
+        changes the vertical rate by ``N(0, vertical_rate_std² · dt)``.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        scale = self.vertical_rate_std / math.sqrt(dt)
+        if size is None:
+            return float(rng.normal(0.0, scale)) if scale > 0 else 0.0
+        if scale == 0:
+            return np.zeros(size)
+        return rng.normal(0.0, scale, size=size)
+
+    def sample_horizontal_accel(
+        self, rng: np.random.Generator, size=None
+    ) -> np.ndarray | None:
+        """Horizontal disturbance ``[ax, ay]`` (None when disabled)."""
+        if self.horizontal_accel_std == 0:
+            return None
+        if size is None:
+            return rng.normal(0.0, self.horizontal_accel_std, size=2)
+        return rng.normal(0.0, self.horizontal_accel_std, size=(size, 2))
+
+    @classmethod
+    def matching_offline_model(
+        cls, noise_samples: Tuple[Tuple[float, float], ...]
+    ) -> "DisturbanceModel":
+        """A disturbance whose per-second rate std matches an offline
+        discrete noise distribution (see :mod:`repro.acasx.config`)."""
+        return cls(vertical_rate_std=noise_std(noise_samples))

@@ -1,0 +1,97 @@
+"""The discrete-time step scheduler.
+
+A thin, deterministic substitute for MASON's scheduler: agents are
+stepped in registration order at a fixed decision rate, with physics
+integrated at a finer substep so proximity monitors do not miss fast
+crossings between decisions.  Decision order matters for coordination
+(the first decider locks its maneuver sense), and keeping it fixed makes
+runs reproducible given the seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.agents import UavAgent
+
+#: A stop condition receives (time, agents) and returns True to halt.
+StopCondition = Callable[[float, Sequence[UavAgent]], bool]
+
+#: An observer receives (time, agents) after every physics substep.
+Observer = Callable[[float, Sequence[UavAgent]], None]
+
+
+class SimulationEngine:
+    """Steps a set of agents through simulated time.
+
+    Parameters
+    ----------
+    agents:
+        Agents in decision order.
+    decision_dt:
+        Seconds between avoidance-logic decisions.
+    physics_substeps:
+        Physics integrations per decision step (finer sampling for the
+        monitors).
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[UavAgent],
+        decision_dt: float = 1.0,
+        physics_substeps: int = 5,
+    ):
+        if decision_dt <= 0:
+            raise ValueError("decision_dt must be positive")
+        if physics_substeps < 1:
+            raise ValueError("physics_substeps must be >= 1")
+        self.agents: List[UavAgent] = list(agents)
+        self.decision_dt = decision_dt
+        self.physics_substeps = physics_substeps
+        self.time = 0.0
+
+    def run(
+        self,
+        duration: float,
+        decide: Callable[[float, Sequence[UavAgent]], None],
+        observers: Sequence[Observer] = (),
+        stop_condition: Optional[StopCondition] = None,
+    ) -> float:
+        """Run for up to *duration* seconds of simulated time.
+
+        Parameters
+        ----------
+        duration:
+            Simulated seconds to run.
+        decide:
+            Callback invoked once per decision step, *before* physics;
+            it is responsible for sensing and calling each agent's
+            ``decide`` (the encounter runner wires this up).
+        observers:
+            Called after every physics substep with (time, agents).
+        stop_condition:
+            Optional early-out checked after each decision step.
+
+        Returns
+        -------
+        The simulated time at which the run ended.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        sub_dt = self.decision_dt / self.physics_substeps
+        num_decisions = int(round(duration / self.decision_dt))
+        for _ in range(num_decisions):
+            decide(self.time, self.agents)
+            for _ in range(self.physics_substeps):
+                for agent in self.agents:
+                    agent.integrate(sub_dt)
+                self.time += sub_dt
+                for observer in observers:
+                    observer(self.time, self.agents)
+            if stop_condition is not None and stop_condition(self.time, self.agents):
+                break
+        return self.time
+
+    def reset(self) -> None:
+        """Zero the clock (agents are reset separately)."""
+        self.time = 0.0

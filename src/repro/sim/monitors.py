@@ -1,0 +1,92 @@
+"""Simulation monitors: the Proximity Measurer and Accident Detector.
+
+The paper instruments its simulations with two monitors (Section VI.C):
+the *Proximity Measurer* "measures the proximities (in horizontal
+distance and vertical distance) between the own-ship and the intruder
+at each simulation step, and records the minimum proximity experienced
+by the own-ship so far"; the *Accident Detector* "monitors the
+simulations and detects any mid-air collisions".  A mid-air collision
+is operationalized as an NMAC — simultaneous horizontal separation
+< 500 ft and vertical separation < 100 ft — the standard surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import field
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamics.aircraft import AircraftState
+from repro.util.units import NMAC_HORIZONTAL_M, NMAC_VERTICAL_M
+
+
+class ProximityMeasurer:
+    """Tracks minimum separations over a simulation run."""
+
+    def __init__(self) -> None:
+        self.min_distance_3d = np.inf
+        self.min_horizontal = np.inf
+        self.min_vertical_at_min_horizontal = np.inf
+        self.time_of_min_distance: Optional[float] = None
+
+    def observe(
+        self, time: float, own: AircraftState, intruder: AircraftState
+    ) -> None:
+        """Record separations at one simulation instant."""
+        horizontal = own.horizontal_distance_to(intruder)
+        vertical = own.vertical_distance_to(intruder)
+        distance = float(np.hypot(horizontal, vertical))
+        if distance < self.min_distance_3d:
+            self.min_distance_3d = distance
+            self.time_of_min_distance = time
+        if horizontal < self.min_horizontal:
+            self.min_horizontal = horizontal
+            self.min_vertical_at_min_horizontal = vertical
+
+    def reset(self) -> None:
+        """Prepare for a new run."""
+        self.__init__()
+
+
+class AccidentDetector:
+    """Flags mid-air collisions (NMACs).
+
+    Parameters
+    ----------
+    horizontal_threshold / vertical_threshold:
+        The NMAC cylinder dimensions, metres.  An accident requires
+        both separations below threshold at the same instant.
+    """
+
+    def __init__(
+        self,
+        horizontal_threshold: float = NMAC_HORIZONTAL_M,
+        vertical_threshold: float = NMAC_VERTICAL_M,
+    ):
+        if horizontal_threshold <= 0 or vertical_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        self.horizontal_threshold = horizontal_threshold
+        self.vertical_threshold = vertical_threshold
+        self.accident = False
+        self.time_of_accident: Optional[float] = None
+
+    def observe(
+        self, time: float, own: AircraftState, intruder: AircraftState
+    ) -> None:
+        """Check for an NMAC at one simulation instant."""
+        if self.accident:
+            return
+        horizontal = own.horizontal_distance_to(intruder)
+        vertical = own.vertical_distance_to(intruder)
+        if (
+            horizontal < self.horizontal_threshold
+            and vertical < self.vertical_threshold
+        ):
+            self.accident = True
+            self.time_of_accident = time
+
+    def reset(self) -> None:
+        """Prepare for a new run."""
+        self.accident = False
+        self.time_of_accident = None

@@ -1,0 +1,182 @@
+"""Trajectory traces: recording, export, and ASCII rendering.
+
+The paper's tool offers a visualization mode for analyzing identified
+situations (its Figs. 5, 7 and 8 are screenshots of it).  Headless
+Python gets the same information through :class:`TrajectoryTrace` — a
+per-step record of both aircraft plus the active advisory — and
+:func:`render_vertical_profile`, an ASCII side view of the encounter.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dynamics.aircraft import AircraftState
+
+
+@dataclass
+class TraceStep:
+    """One recorded simulation instant."""
+
+    time: float
+    own_position: np.ndarray
+    own_velocity: np.ndarray
+    intruder_position: np.ndarray
+    intruder_velocity: np.ndarray
+    own_advisory: str
+    intruder_advisory: str
+    separation_3d: float
+
+
+@dataclass
+class TrajectoryTrace:
+    """A full encounter recording."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        own: AircraftState,
+        intruder: AircraftState,
+        own_advisory: str = "",
+        intruder_advisory: str = "",
+    ) -> None:
+        """Append one instant."""
+        self.steps.append(
+            TraceStep(
+                time=time,
+                own_position=own.position.copy(),
+                own_velocity=own.velocity.copy(),
+                intruder_position=intruder.position.copy(),
+                intruder_velocity=intruder.velocity.copy(),
+                own_advisory=own_advisory,
+                intruder_advisory=intruder_advisory,
+                separation_3d=own.distance_to(intruder),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Recorded times, shape ``(n,)``."""
+        return np.array([s.time for s in self.steps])
+
+    @property
+    def own_altitudes(self) -> np.ndarray:
+        """Own-ship altitude series."""
+        return np.array([s.own_position[2] for s in self.steps])
+
+    @property
+    def intruder_altitudes(self) -> np.ndarray:
+        """Intruder altitude series."""
+        return np.array([s.intruder_position[2] for s in self.steps])
+
+    @property
+    def separations(self) -> np.ndarray:
+        """3-D separation series."""
+        return np.array([s.separation_3d for s in self.steps])
+
+    @property
+    def min_separation(self) -> float:
+        """Minimum recorded 3-D separation."""
+        if not self.steps:
+            return float("inf")
+        return float(self.separations.min())
+
+    def advisories_issued(self, who: str = "own") -> List[str]:
+        """Distinct advisory names displayed, in first-seen order."""
+        seen: List[str] = []
+        for step in self.steps:
+            advisory = step.own_advisory if who == "own" else step.intruder_advisory
+            if advisory and advisory not in seen:
+                seen.append(advisory)
+        return seen
+
+    def to_csv(self) -> str:
+        """Export as CSV text (one row per instant)."""
+        buffer = io.StringIO()
+        buffer.write(
+            "time,own_x,own_y,own_z,own_vx,own_vy,own_vz,"
+            "intr_x,intr_y,intr_z,intr_vx,intr_vy,intr_vz,"
+            "own_advisory,intruder_advisory,separation\n"
+        )
+        for s in self.steps:
+            own = ",".join(f"{v:.3f}" for v in (*s.own_position, *s.own_velocity))
+            intr = ",".join(
+                f"{v:.3f}" for v in (*s.intruder_position, *s.intruder_velocity)
+            )
+            buffer.write(
+                f"{s.time:.2f},{own},{intr},{s.own_advisory},"
+                f"{s.intruder_advisory},{s.separation_3d:.3f}\n"
+            )
+        return buffer.getvalue()
+
+
+def render_vertical_profile(
+    trace: TrajectoryTrace,
+    height: int = 15,
+    width: Optional[int] = None,
+) -> str:
+    """ASCII side view (altitude vs time) of an encounter.
+
+    ``O`` marks the own-ship, ``I`` the intruder, ``X`` near-coincidence;
+    lowercase marks steps where that aircraft had an active advisory.
+    """
+    if not trace.steps:
+        return "(empty trace)"
+    steps = trace.steps
+    if width is None or width >= len(steps):
+        sampled = steps
+    else:
+        picks = np.linspace(0, len(steps) - 1, width).astype(int)
+        sampled = [steps[i] for i in picks]
+
+    altitudes = np.concatenate(
+        [
+            [s.own_position[2] for s in sampled],
+            [s.intruder_position[2] for s in sampled],
+        ]
+    )
+    alt_low, alt_high = float(altitudes.min()), float(altitudes.max())
+    if alt_high - alt_low < 1e-9:
+        alt_high = alt_low + 1.0
+    span = alt_high - alt_low
+
+    def row_of(altitude: float) -> int:
+        frac = (altitude - alt_low) / span
+        return int(round((1.0 - frac) * (height - 1)))
+
+    canvas = [[" "] * len(sampled) for _ in range(height)]
+    for col, s in enumerate(sampled):
+        own_row = row_of(s.own_position[2])
+        intr_row = row_of(s.intruder_position[2])
+        own_char = "o" if s.own_advisory not in ("", "COC") else "O"
+        intr_char = "i" if s.intruder_advisory not in ("", "COC") else "I"
+        if own_row == intr_row:
+            canvas[own_row][col] = "X"
+        else:
+            canvas[own_row][col] = own_char
+            canvas[intr_row][col] = intr_char
+
+    lines = []
+    for r, row in enumerate(canvas):
+        altitude = alt_high - span * r / (height - 1)
+        lines.append(f"{altitude:8.1f}m |" + "".join(row))
+    lines.append(
+        " " * 10
+        + f"t={sampled[0].time:.0f}s"
+        + " " * max(0, len(sampled) - 12)
+        + f"t={sampled[-1].time:.0f}s"
+    )
+    lines.append(
+        "O/I own/intruder (lowercase = advisory active), X = co-altitude; "
+        f"min sep {trace.min_separation:.1f} m"
+    )
+    return "\n".join(lines)

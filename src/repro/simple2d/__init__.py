@@ -1,0 +1,44 @@
+"""The paper's Section III walkthrough: a toy 2-D collision avoidance MDP.
+
+Two UAVs meet in a 2-D vertical plane (Fig. 2 of the paper).  The
+own-ship sits at x = 0 and can *level off*, *move up* or *move down*;
+the intruder approaches one grid cell per step with white vertical
+noise.  Costs: 10000 for a collision, 100 for a climb/descend action,
+and a reward of 50 for levelling off.  Dynamic programming over this
+model produces a logic table — the smallest complete instance of the
+model-based optimization pipeline the paper describes.
+"""
+
+from repro.simple2d.model import (
+    LEVEL_OFF,
+    MOVE_DOWN,
+    MOVE_UP,
+    Simple2DConfig,
+    Simple2DModel,
+)
+from repro.simple2d.pomdp import (
+    BeliefFilter,
+    ObservationModel,
+    QmdpPolicy,
+    evaluate_under_partial_observability,
+)
+from repro.simple2d.simulator import (
+    EpisodeResult,
+    Simple2DSimulator,
+    render_episode,
+)
+
+__all__ = [
+    "LEVEL_OFF",
+    "MOVE_DOWN",
+    "MOVE_UP",
+    "BeliefFilter",
+    "EpisodeResult",
+    "ObservationModel",
+    "QmdpPolicy",
+    "Simple2DConfig",
+    "Simple2DModel",
+    "Simple2DSimulator",
+    "evaluate_under_partial_observability",
+    "render_episode",
+]

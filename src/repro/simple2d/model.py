@@ -1,0 +1,337 @@
+"""The toy 2-D collision avoidance MDP of the paper's Section III.
+
+State: ``(y_o, x_r, y_i)`` — the own-ship's altitude, the intruder's
+horizontal distance, and the intruder's altitude, all on an integer grid.
+The intruder closes one cell of horizontal distance per step; a collision
+occurs when ``x_r == 0`` and ``y_o == y_i``.
+
+The own-ship's action set is {level off, move up, move down}.  Its
+dynamics are noisy: the intended displacement happens with probability
+0.7, no displacement with 0.2, and the opposite with 0.1 (the paper's
+example for "move up": {(0,0)→0.2, (0,1)→0.7, (0,-1)→0.1}; "a similar
+distribution applies" to the other actions).  For *level off* we use the
+symmetric reading: stay with 0.8, drift ±1 with 0.1 each.
+
+The intruder's vertical motion is white noise:
+{0→0.5, -1→0.15, +1→0.15, -2→0.1, +2→0.1}.
+
+Costs follow the paper exactly: collision −10000, climb/descend −100,
+level off +50 (we phrase everything as rewards to maximize).
+
+Two solvable forms are exposed:
+
+- :meth:`Simple2DModel.stage_mdp` + backward induction over ``x_r``
+  (the natural finite-horizon reading — ``x_r`` strictly decreases);
+- :meth:`Simple2DModel.full_mdp` — ``x_r`` folded into the state with an
+  absorbing encounter-over state, suitable for infinite-horizon value
+  iteration and policy iteration (used to cross-check solvers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.mdp.model import TabularMDP
+from repro.mdp.policy import TabularPolicy
+from repro.mdp.value_iteration import backward_induction
+
+#: Action indices, matching the paper's {level off (0), up (+1), down (-1)}.
+LEVEL_OFF = 0
+MOVE_UP = 1
+MOVE_DOWN = 2
+
+ACTION_NAMES = ("level_off", "move_up", "move_down")
+
+#: Intended vertical displacement of each action.
+ACTION_DISPLACEMENT = {LEVEL_OFF: 0, MOVE_UP: 1, MOVE_DOWN: -1}
+
+
+@dataclass(frozen=True)
+class Simple2DConfig:
+    """Parameters of the toy model.
+
+    Attributes
+    ----------
+    y_max:
+        Altitude grid spans ``[-y_max, y_max]`` (clipped at the edges).
+    x_max:
+        Initial horizontal separation (the paper's Fig. 2 uses 9).
+    collision_cost:
+        Penalty for ``y_o == y_i`` at ``x_r == 0``.
+    maneuver_cost:
+        Penalty per climb/descend action.
+    level_reward:
+        Reward per level-off action.
+    own_intended_p / own_stay_p / own_opposite_p:
+        Own-ship action-outcome distribution (move actions).
+    level_stay_p / level_drift_p:
+        Level-off outcome distribution (drift is split between ±1).
+    intruder_noise:
+        Mapping vertical displacement → probability for the intruder.
+    """
+
+    y_max: int = 3
+    x_max: int = 9
+    collision_cost: float = 10_000.0
+    maneuver_cost: float = 100.0
+    level_reward: float = 50.0
+    own_intended_p: float = 0.7
+    own_stay_p: float = 0.2
+    own_opposite_p: float = 0.1
+    level_stay_p: float = 0.8
+    level_drift_p: float = 0.1
+    intruder_noise: Tuple[Tuple[int, float], ...] = (
+        (0, 0.5),
+        (-1, 0.15),
+        (1, 0.15),
+        (-2, 0.1),
+        (2, 0.1),
+    )
+
+    def __post_init__(self) -> None:
+        if self.y_max < 1 or self.x_max < 1:
+            raise ValueError("y_max and x_max must be positive")
+        own_total = self.own_intended_p + self.own_stay_p + self.own_opposite_p
+        if not np.isclose(own_total, 1.0):
+            raise ValueError(f"own-ship move distribution sums to {own_total}")
+        level_total = self.level_stay_p + 2 * self.level_drift_p
+        if not np.isclose(level_total, 1.0):
+            raise ValueError(f"level-off distribution sums to {level_total}")
+        intruder_total = sum(p for _, p in self.intruder_noise)
+        if not np.isclose(intruder_total, 1.0):
+            raise ValueError(f"intruder noise sums to {intruder_total}")
+
+
+class Simple2DModel:
+    """Builds MDP representations of the toy model and solves them."""
+
+    def __init__(self, config: Simple2DConfig | None = None):
+        self.config = config or Simple2DConfig()
+        c = self.config
+        #: Altitude grid points (shared by both aircraft).
+        self.y_values = np.arange(-c.y_max, c.y_max + 1)
+        self.num_y = len(self.y_values)
+
+    # ------------------------------------------------------------------
+    # State indexing
+    # ------------------------------------------------------------------
+    def y_index(self, y: int) -> int:
+        """Index of altitude *y* on the (clipped) altitude grid."""
+        return int(np.clip(y, -self.config.y_max, self.config.y_max)) + self.config.y_max
+
+    def stage_state_index(self, y_own: int, y_intruder: int) -> int:
+        """Flat index of ``(y_o, y_i)`` within one ``x_r`` stage."""
+        return self.y_index(y_own) * self.num_y + self.y_index(y_intruder)
+
+    def stage_state_of(self, index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`stage_state_index`."""
+        own, intr = divmod(index, self.num_y)
+        return int(self.y_values[own]), int(self.y_values[intr])
+
+    # ------------------------------------------------------------------
+    # Outcome distributions
+    # ------------------------------------------------------------------
+    def own_outcomes(self, action: int) -> List[Tuple[int, float]]:
+        """(displacement, probability) outcomes of an own-ship action."""
+        c = self.config
+        if action == LEVEL_OFF:
+            return [(0, c.level_stay_p), (1, c.level_drift_p), (-1, c.level_drift_p)]
+        intended = ACTION_DISPLACEMENT[action]
+        return [
+            (intended, c.own_intended_p),
+            (0, c.own_stay_p),
+            (-intended, c.own_opposite_p),
+        ]
+
+    def intruder_outcomes(self) -> List[Tuple[int, float]]:
+        """(displacement, probability) outcomes of the intruder's noise."""
+        return list(self.config.intruder_noise)
+
+    def action_reward(self, action: int) -> float:
+        """Immediate reward of an action (before any collision penalty)."""
+        c = self.config
+        if action == LEVEL_OFF:
+            return c.level_reward
+        return -c.maneuver_cost
+
+    # ------------------------------------------------------------------
+    # MDP construction
+    # ------------------------------------------------------------------
+    def stage_mdp(self) -> TabularMDP:
+        """The per-stage MDP over ``(y_o, y_i)``.
+
+        Transitions are identical at every ``x_r``; the collision
+        penalty enters through the terminal values of backward
+        induction (:meth:`solve`).
+        """
+        num_states = self.num_y * self.num_y
+        num_actions = len(ACTION_NAMES)
+        transitions = np.zeros((num_actions, num_states, num_states))
+        rewards = np.zeros((num_actions, num_states))
+        for state in range(num_states):
+            y_own, y_intr = self.stage_state_of(state)
+            for action in range(num_actions):
+                rewards[action, state] = self.action_reward(action)
+                for d_own, p_own in self.own_outcomes(action):
+                    for d_intr, p_intr in self.intruder_outcomes():
+                        next_state = self.stage_state_index(
+                            y_own + d_own, y_intr + d_intr
+                        )
+                        transitions[action, state, next_state] += p_own * p_intr
+        return TabularMDP(transitions, rewards)
+
+    def terminal_values(self) -> np.ndarray:
+        """Stage-0 values: the collision penalty where ``y_o == y_i``."""
+        values = np.zeros(self.num_y * self.num_y)
+        for state in range(values.size):
+            y_own, y_intr = self.stage_state_of(state)
+            if y_own == y_intr:
+                values[state] = -self.config.collision_cost
+        return values
+
+    def full_mdp(self) -> TabularMDP:
+        """The full-state MDP over ``(x_r, y_o, y_i)`` plus a sink.
+
+        ``x_r`` decrements deterministically; when the transition lands
+        on ``x_r == 0`` the collision penalty is charged (successor-
+        dependent reward) and the state is absorbing.  Suitable for
+        discounted value/policy iteration.
+        """
+        stage_states = self.num_y * self.num_y
+        num_states = (self.config.x_max + 1) * stage_states
+        num_actions = len(ACTION_NAMES)
+        transitions = np.zeros((num_actions, num_states, num_states))
+        rewards3 = np.zeros((num_actions, num_states, num_states))
+        terminal = np.zeros(num_states, dtype=bool)
+
+        def full_index(x_r: int, stage_state: int) -> int:
+            return x_r * stage_states + stage_state
+
+        terminal_vals = self.terminal_values()
+        for stage_state in range(stage_states):
+            # x_r == 0: encounter over, absorbing.
+            sink = full_index(0, stage_state)
+            terminal[sink] = True
+            transitions[:, sink, sink] = 1.0
+
+        for x_r in range(1, self.config.x_max + 1):
+            for stage_state in range(stage_states):
+                state = full_index(x_r, stage_state)
+                y_own, y_intr = self.stage_state_of(stage_state)
+                for action in range(num_actions):
+                    for d_own, p_own in self.own_outcomes(action):
+                        for d_intr, p_intr in self.intruder_outcomes():
+                            next_stage = self.stage_state_index(
+                                y_own + d_own, y_intr + d_intr
+                            )
+                            next_state = full_index(x_r - 1, next_stage)
+                            prob = p_own * p_intr
+                            transitions[action, state, next_state] += prob
+                            if x_r - 1 == 0:
+                                rewards3[action, state, next_state] = (
+                                    terminal_vals[next_stage]
+                                )
+                    rewards3[action, state, :] += self.action_reward(action)
+        return TabularMDP(transitions, rewards3, terminal=terminal)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self) -> "Simple2DLogicTable":
+        """Generate the logic table by backward induction over ``x_r``."""
+        result = backward_induction(
+            self.stage_mdp(),
+            horizon=self.config.x_max,
+            terminal_values=self.terminal_values(),
+            discount=1.0,
+        )
+        return Simple2DLogicTable(
+            self, result.policies, result.values, result.q_values
+        )
+
+
+class Simple2DLogicTable:
+    """The generated look-up table mapping ``(y_o, x_r, y_i)`` to actions."""
+
+    def __init__(
+        self,
+        model: Simple2DModel,
+        policies: List[np.ndarray],
+        values: List[np.ndarray],
+        q_values: List[np.ndarray] | None = None,
+    ):
+        self.model = model
+        #: ``policies[k]`` applies when ``x_r == k + 1``.
+        self._policies = policies
+        self._values = values
+        #: ``q_values[k][a, stage_state]`` for ``x_r == k + 1`` (used by
+        #: the QMDP extension in :mod:`repro.simple2d.pomdp`).
+        self._q_values = q_values or []
+
+    def action(self, y_own: int, x_r: int, y_intruder: int) -> int:
+        """Recommended action in state ``(y_o, x_r, y_i)``.
+
+        For ``x_r <= 0`` (encounter over) the table recommends
+        :data:`LEVEL_OFF` — there is nothing left to avoid.
+        """
+        if x_r <= 0:
+            return LEVEL_OFF
+        x_r = min(x_r, len(self._policies))
+        stage_state = self.model.stage_state_index(y_own, y_intruder)
+        return int(self._policies[x_r - 1][stage_state])
+
+    def q_values(self, y_own: int, x_r: int) -> np.ndarray:
+        """Q-values over (action, intruder altitude) at ``(y_o, x_r)``.
+
+        Shape ``(num_actions, num_y)`` — the slice the QMDP policy
+        weights by its belief over the intruder's altitude.  Requires
+        the table to have been solved with Q-value recording (the
+        default :meth:`Simple2DModel.solve` does).
+        """
+        if not self._q_values:
+            raise RuntimeError("table was built without Q-values")
+        if x_r < 1:
+            raise ValueError("q_values only defined while x_r >= 1")
+        x_r = min(x_r, len(self._q_values))
+        stage_q = self._q_values[x_r - 1]
+        own_index = self.model.y_index(y_own)
+        columns = own_index * self.model.num_y + np.arange(self.model.num_y)
+        return stage_q[:, columns]
+
+    def value(self, y_own: int, x_r: int, y_intruder: int) -> float:
+        """Optimal expected reward-to-go from ``(y_o, x_r, y_i)``."""
+        x_r = int(np.clip(x_r, 0, len(self._values) - 1))
+        stage_state = self.model.stage_state_index(y_own, y_intruder)
+        return float(self._values[x_r][stage_state])
+
+    def as_policy(self) -> TabularPolicy:
+        """Flatten into a :class:`TabularPolicy` over ``(x_r, y_o, y_i)``.
+
+        State ordering matches :meth:`Simple2DModel.full_mdp` (``x_r``
+        major), with ``x_r == 0`` states mapped to :data:`LEVEL_OFF`.
+        """
+        stage_states = self.model.num_y ** 2
+        actions = np.zeros(
+            (self.model.config.x_max + 1) * stage_states, dtype=np.int64
+        )
+        for x_r in range(1, self.model.config.x_max + 1):
+            actions[x_r * stage_states:(x_r + 1) * stage_states] = (
+                self._policies[x_r - 1]
+            )
+        return TabularPolicy(
+            actions=actions,
+            action_names=ACTION_NAMES,
+            metadata={"model": "simple2d", "x_max": self.model.config.x_max},
+        )
+
+    def summarize(self) -> Dict[str, int]:
+        """Count recommended actions across all ``x_r >= 1`` states."""
+        counts = {name: 0 for name in ACTION_NAMES}
+        for policy in self._policies:
+            binned = np.bincount(policy, minlength=len(ACTION_NAMES))
+            for name, count in zip(ACTION_NAMES, binned):
+                counts[name] += int(count)
+        return counts

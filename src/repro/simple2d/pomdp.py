@@ -1,0 +1,249 @@
+"""Partial observability for the toy model: belief filtering and QMDP.
+
+Among the model-structure questions the paper raises (Section IV):
+"Is the chosen modelling technique (i.e. MDP model) [expressive] enough
+... Or should another model (e.g. a POMDP) be used?"  This module makes
+the question concrete on the Section III toy model:
+
+- the own-ship no longer sees the intruder's altitude exactly; it
+  receives a noisy observation (discrete additive noise);
+- :class:`BeliefFilter` maintains the Bayes posterior over the
+  intruder's altitude (predict with the intruder's motion noise,
+  correct with the observation likelihood);
+- :class:`QmdpPolicy` selects actions by the QMDP approximation —
+  expected MDP Q-values under the belief — which is exactly how the
+  deployed ACAS X family handles state uncertainty (weighting the
+  solved table by a state distribution) without solving a POMDP.
+
+Comparing the certainty-equivalent policy (feed the raw noisy
+observation into the MDP table) against QMDP quantifies what belief
+tracking buys — a small, fully-worked instance of the paper's open
+question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.simple2d.model import (
+    LEVEL_OFF,
+    Simple2DLogicTable,
+    Simple2DModel,
+)
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class ObservationModel:
+    """Discrete additive noise on the observed intruder altitude.
+
+    ``noise`` maps observation error (grid cells) to probability.  The
+    observed value is clipped to the altitude grid, so boundary cells
+    absorb the tail mass (handled consistently in the likelihood).
+    """
+
+    noise: Tuple[Tuple[int, float], ...] = (
+        (0, 0.6),
+        (-1, 0.2),
+        (1, 0.2),
+    )
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in self.noise)
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"observation noise sums to {total}")
+        if any(p < 0 for _, p in self.noise):
+            raise ValueError("observation noise has negative probability")
+
+    def sample(
+        self, true_y: int, y_max: int, rng: np.random.Generator
+    ) -> int:
+        """Draw an observation of *true_y* (clipped to the grid)."""
+        errors = [e for e, _ in self.noise]
+        probs = [p for _, p in self.noise]
+        error = int(rng.choice(errors, p=probs))
+        return int(np.clip(true_y + error, -y_max, y_max))
+
+    def likelihood_matrix(self, y_values: np.ndarray) -> np.ndarray:
+        """``L[o_index, y_index] = P(observe o | true y)`` with clipping."""
+        y_values = np.asarray(y_values)
+        num_y = len(y_values)
+        y_max = int(y_values.max())
+        likelihood = np.zeros((num_y, num_y))
+        for y_index, y in enumerate(y_values):
+            for error, prob in self.noise:
+                observed = int(np.clip(y + error, -y_max, y_max))
+                o_index = observed + y_max
+                likelihood[o_index, y_index] += prob
+        return likelihood
+
+
+class BeliefFilter:
+    """Bayes filter over the intruder's altitude.
+
+    The intruder's horizontal position is deterministic and the
+    own-ship knows its own state, so the only hidden variable is the
+    intruder's altitude — a 1-D discrete belief.
+    """
+
+    def __init__(
+        self, model: Simple2DModel, observation: ObservationModel
+    ):
+        self.model = model
+        self.observation = observation
+        self._likelihood = observation.likelihood_matrix(model.y_values)
+        self._transition = self._motion_matrix()
+        self.belief = np.full(model.num_y, 1.0 / model.num_y)
+
+    def _motion_matrix(self) -> np.ndarray:
+        """``T[next, current]`` from the intruder's vertical noise."""
+        num_y = self.model.num_y
+        y_max = self.model.config.y_max
+        transition = np.zeros((num_y, num_y))
+        for current in range(num_y):
+            y = int(self.model.y_values[current])
+            for displacement, prob in self.model.intruder_outcomes():
+                nxt = int(np.clip(y + displacement, -y_max, y_max)) + y_max
+                transition[nxt, current] += prob
+        return transition
+
+    def reset(self, y_intruder: int | None = None) -> None:
+        """Uniform belief, or a point mass when the start is known."""
+        if y_intruder is None:
+            self.belief = np.full(self.model.num_y, 1.0 / self.model.num_y)
+        else:
+            self.belief = np.zeros(self.model.num_y)
+            self.belief[self.model.y_index(y_intruder)] = 1.0
+
+    def predict(self) -> None:
+        """Push the belief through the intruder's motion model."""
+        self.belief = self._transition @ self.belief
+
+    def update(self, observed_y: int) -> None:
+        """Bayes-correct the belief with an observation."""
+        o_index = self.model.y_index(observed_y)
+        posterior = self._likelihood[o_index, :] * self.belief
+        total = posterior.sum()
+        if total <= 0:
+            # Observation impossible under the prior (numerical corner):
+            # fall back to the likelihood row as the posterior.
+            posterior = self._likelihood[o_index, :].copy()
+            total = posterior.sum()
+        self.belief = posterior / total
+
+    def map_estimate(self) -> int:
+        """Most probable intruder altitude."""
+        return int(self.model.y_values[int(np.argmax(self.belief))])
+
+
+class QmdpPolicy:
+    """QMDP action selection over the solved toy logic table.
+
+    ``a* = argmax_a Σ_y b(y) · Q_MDP(y_o, x_r, y, a)`` — optimal if all
+    uncertainty vanished after one step; the standard tractable POMDP
+    approximation, and the shape of uncertainty handling in ACAS X.
+    """
+
+    def __init__(
+        self, table: Simple2DLogicTable, filter_: BeliefFilter
+    ):
+        self.table = table
+        self.filter = filter_
+
+    def action(self, y_own: int, x_r: int) -> int:
+        """Best action under the current belief."""
+        if x_r <= 0:
+            return LEVEL_OFF
+        q = self.table.q_values(y_own, x_r)  # (actions, y)
+        expected = q @ self.filter.belief
+        return int(np.argmax(expected))
+
+
+@dataclass
+class PartialObsResult:
+    """Outcome summary of a partially-observable evaluation."""
+
+    collision_rate: float
+    mean_return: float
+    runs: int
+
+
+def evaluate_under_partial_observability(
+    table: Simple2DLogicTable,
+    observation: ObservationModel,
+    use_qmdp: bool,
+    runs: int = 500,
+    seed: SeedLike = None,
+    known_start: bool = True,
+) -> PartialObsResult:
+    """Collision rate of the toy logic under noisy observations.
+
+    Parameters
+    ----------
+    table:
+        The solved (fully-observable) logic table.
+    observation:
+        The observation noise channel.
+    use_qmdp:
+        ``True``: filter + QMDP.  ``False``: certainty equivalence —
+        the raw noisy observation is fed into the MDP table directly.
+    runs:
+        Episodes simulated.
+    seed:
+        RNG seed.
+    known_start:
+        Whether the initial intruder altitude is known (point-mass
+        prior) or unknown (uniform prior).
+    """
+    model = table.model
+    config = model.config
+    rng = as_generator(seed)
+    filter_ = BeliefFilter(model, observation)
+    qmdp = QmdpPolicy(table, filter_)
+
+    collisions = 0
+    total_return = 0.0
+    for __ in range(runs):
+        y_own, y_intr, x_r = 0, 0, config.x_max
+        filter_.reset(y_intr if known_start else None)
+        episode_return = 0.0
+        while x_r > 0:
+            observed = observation.sample(y_intr, config.y_max, rng)
+            filter_.update(observed)
+            if use_qmdp:
+                action = qmdp.action(y_own, x_r)
+            else:
+                action = table.action(y_own, x_r, observed)
+            episode_return += model.action_reward(action)
+
+            # True dynamics advance.
+            d_own_choices = model.own_outcomes(action)
+            d_own = int(
+                rng.choice(
+                    [d for d, _ in d_own_choices],
+                    p=[p for _, p in d_own_choices],
+                )
+            )
+            d_intr_choices = model.intruder_outcomes()
+            d_intr = int(
+                rng.choice(
+                    [d for d, _ in d_intr_choices],
+                    p=[p for _, p in d_intr_choices],
+                )
+            )
+            y_own = int(np.clip(y_own + d_own, -config.y_max, config.y_max))
+            y_intr = int(np.clip(y_intr + d_intr, -config.y_max, config.y_max))
+            x_r -= 1
+            filter_.predict()
+        if y_own == y_intr:
+            collisions += 1
+            episode_return -= config.collision_cost
+        total_return += episode_return
+    return PartialObsResult(
+        collision_rate=collisions / runs,
+        mean_return=total_return / runs,
+        runs=runs,
+    )

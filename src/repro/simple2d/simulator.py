@@ -1,0 +1,197 @@
+"""Simulator for the Section III toy model.
+
+Runs stochastic episodes of the 2-D encounter under a given logic table
+(or a fixed strategy), reporting collisions and trajectories.  Includes
+an ASCII renderer reproducing the flavour of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.simple2d.model import (
+    ACTION_NAMES,
+    LEVEL_OFF,
+        Simple2DModel,
+)
+from repro.util.rng import SeedLike, as_generator
+
+#: A strategy maps ``(y_own, x_r, y_intruder)`` to an action index.
+Strategy = Callable[[int, int, int], int]
+
+
+def always_level(y_own: int, x_r: int, y_intruder: int) -> int:
+    """The do-nothing baseline strategy."""
+    return LEVEL_OFF
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one simulated episode.
+
+    Attributes
+    ----------
+    collided:
+        Whether ``y_o == y_i`` at ``x_r == 0``.
+    final_separation:
+        ``|y_o - y_i|`` at the end of the encounter.
+    own_track / intruder_track:
+        Lists of ``(x, y)`` positions over time (own-ship x is always 0;
+        the intruder's x is ``x_r``).
+    actions:
+        Action indices chosen at each step.
+    total_reward:
+        Accumulated reward under the paper's cost structure.
+    """
+
+    collided: bool
+    final_separation: int
+    own_track: List[Tuple[int, int]]
+    intruder_track: List[Tuple[int, int]]
+    actions: List[int]
+    total_reward: float
+
+
+@dataclass
+class Simple2DSimulator:
+    """Monte-Carlo episode runner for the toy model."""
+
+    model: Simple2DModel = field(default_factory=Simple2DModel)
+
+    def _sample_displacement(
+        self, outcomes: List[Tuple[int, float]], rng: np.random.Generator
+    ) -> int:
+        displacements = [d for d, _ in outcomes]
+        probs = [p for _, p in outcomes]
+        return int(rng.choice(displacements, p=probs))
+
+    def run_episode(
+        self,
+        strategy: Strategy,
+        y_own: int = 0,
+        y_intruder: int = 0,
+        x_r: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> EpisodeResult:
+        """Simulate one episode from the given initial state.
+
+        Parameters
+        ----------
+        strategy:
+            Action source — a :class:`Simple2DLogicTable`'s ``action``
+            method or any callable with the same signature.
+        y_own, y_intruder:
+            Initial altitudes.
+        x_r:
+            Initial horizontal separation (defaults to the model's
+            ``x_max``).
+        seed:
+            RNG seed / generator.
+        """
+        rng = as_generator(seed)
+        config = self.model.config
+        if x_r is None:
+            x_r = config.x_max
+        clip = lambda y: int(np.clip(y, -config.y_max, config.y_max))
+        y_own = clip(y_own)
+        y_intruder = clip(y_intruder)
+
+        own_track = [(0, y_own)]
+        intruder_track = [(x_r, y_intruder)]
+        actions: List[int] = []
+        total_reward = 0.0
+        while x_r > 0:
+            action = strategy(y_own, x_r, y_intruder)
+            actions.append(action)
+            total_reward += self.model.action_reward(action)
+            d_own = self._sample_displacement(self.model.own_outcomes(action), rng)
+            d_intr = self._sample_displacement(self.model.intruder_outcomes(), rng)
+            y_own = clip(y_own + d_own)
+            y_intruder = clip(y_intruder + d_intr)
+            x_r -= 1
+            own_track.append((0, y_own))
+            intruder_track.append((x_r, y_intruder))
+        collided = y_own == y_intruder
+        if collided:
+            total_reward -= config.collision_cost
+        return EpisodeResult(
+            collided=collided,
+            final_separation=abs(y_own - y_intruder),
+            own_track=own_track,
+            intruder_track=intruder_track,
+            actions=actions,
+            total_reward=total_reward,
+        )
+
+    def collision_rate(
+        self,
+        strategy: Strategy,
+        runs: int = 1000,
+        y_own: int = 0,
+        y_intruder: int = 0,
+        x_r: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> float:
+        """Fraction of *runs* episodes ending in a collision."""
+        rng = as_generator(seed)
+        collisions = 0
+        for _ in range(runs):
+            result = self.run_episode(
+                strategy, y_own=y_own, y_intruder=y_intruder, x_r=x_r, seed=rng
+            )
+            collisions += int(result.collided)
+        return collisions / runs
+
+    def expected_return(
+        self,
+        strategy: Strategy,
+        runs: int = 1000,
+        y_own: int = 0,
+        y_intruder: int = 0,
+        x_r: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> float:
+        """Mean episode reward under *strategy* — the MDP objective."""
+        rng = as_generator(seed)
+        total = 0.0
+        for _ in range(runs):
+            result = self.run_episode(
+                strategy, y_own=y_own, y_intruder=y_intruder, x_r=x_r, seed=rng
+            )
+            total += result.total_reward
+        return total / runs
+
+
+def render_episode(result: EpisodeResult, y_max: int = 3) -> str:
+    """ASCII rendering of an episode in the style of the paper's Fig. 2.
+
+    Time runs left to right.  ``O`` marks the own-ship, ``I`` the
+    intruder, ``X`` a cell where both coincide.
+    """
+    steps = len(result.own_track)
+    rows = []
+    for y in range(y_max, -y_max - 1, -1):
+        cells = []
+        for t in range(steps):
+            own_here = result.own_track[t][1] == y
+            intr_here = result.intruder_track[t][1] == y
+            if own_here and intr_here:
+                cells.append("X")
+            elif own_here:
+                cells.append("O")
+            elif intr_here:
+                cells.append("I")
+            else:
+                cells.append(".")
+        rows.append(f"{y:>3} | " + " ".join(cells))
+    footer = "      " + " ".join(str(t % 10) for t in range(steps))
+    action_line = "actions: " + ", ".join(
+        ACTION_NAMES[a] for a in result.actions
+    )
+    status = "COLLISION" if result.collided else (
+        f"separated by {result.final_separation}"
+    )
+    return "\n".join(rows + [footer, action_line, f"outcome: {status}"])

@@ -1,0 +1,38 @@
+"""Shared utilities: units, deterministic RNG plumbing, and configuration.
+
+These utilities are deliberately small and dependency-free so every other
+subpackage (MDP solvers, simulators, search) can rely on them without
+import cycles.
+"""
+
+from repro.util.rng import RngStream, as_generator, spawn_child
+from repro.util.units import (
+    FT_PER_M,
+    FPM_TO_MPS,
+    G,
+    KT_TO_MPS,
+    NMAC_HORIZONTAL_M,
+    NMAC_VERTICAL_M,
+    feet_to_meters,
+    fpm_to_mps,
+    knots_to_mps,
+    meters_to_feet,
+    mps_to_fpm,
+)
+
+__all__ = [
+    "FT_PER_M",
+    "FPM_TO_MPS",
+    "G",
+    "KT_TO_MPS",
+    "NMAC_HORIZONTAL_M",
+    "NMAC_VERTICAL_M",
+    "RngStream",
+    "as_generator",
+    "feet_to_meters",
+    "fpm_to_mps",
+    "knots_to_mps",
+    "meters_to_feet",
+    "mps_to_fpm",
+    "spawn_child",
+]

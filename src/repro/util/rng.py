@@ -1,0 +1,100 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library (aircraft disturbance, ADS-B
+sensor noise, GA operators, Monte-Carlo sampling) draws from an explicit
+``numpy.random.Generator``.  Nothing touches the global NumPy RNG, so an
+experiment is fully determined by the seed(s) passed at its entry point.
+
+``RngStream`` wraps a generator together with a spawn counter so a parent
+component can hand independent child streams to its sub-components —
+mirroring how the paper evaluates each encounter with many independent
+noisy simulation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, "RngStream", None]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce *seed* into a ``numpy.random.Generator``.
+
+    Accepts an int seed, an existing generator (returned unchanged), an
+    ``RngStream`` (its underlying generator is returned), or ``None`` for
+    OS-entropy seeding.
+    """
+    if isinstance(seed, RngStream):
+        return seed.generator
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_child(rng: np.random.Generator) -> np.random.Generator:
+    """Create an independent child generator from *rng*.
+
+    Uses the generator's bit-generator ``spawn`` support (PCG64 family),
+    which guarantees statistical independence between parent and child.
+    """
+    return np.random.Generator(rng.bit_generator.spawn(1)[0])
+
+
+class RngStream:
+    """A named, spawnable source of randomness.
+
+    Parameters
+    ----------
+    seed:
+        Anything :func:`as_generator` accepts.
+    name:
+        Optional label used in ``repr`` for debugging experiment setups.
+    """
+
+    def __init__(self, seed: SeedLike = None, name: str = "rng"):
+        self._generator = as_generator(seed)
+        self._name = name
+        self._spawned = 0
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying NumPy generator."""
+        return self._generator
+
+    @property
+    def name(self) -> str:
+        """Label given at construction."""
+        return self._name
+
+    def spawn(self, name: Optional[str] = None) -> "RngStream":
+        """Return an independent child stream.
+
+        Children are independent of the parent and of each other, so
+        components seeded from the same parent do not share randomness.
+        """
+        self._spawned += 1
+        child_name = name or f"{self._name}.{self._spawned}"
+        return RngStream(spawn_child(self._generator), name=child_name)
+
+    # Convenience passthroughs for the handful of draws used widely.
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        """Draw from a normal distribution (passthrough)."""
+        return self._generator.normal(loc, scale, size)
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        """Draw from a uniform distribution (passthrough)."""
+        return self._generator.uniform(low, high, size)
+
+    def integers(self, low, high=None, size=None):
+        """Draw random integers (passthrough)."""
+        return self._generator.integers(low, high, size)
+
+    def choice(self, a, size=None, replace=True, p=None):
+        """Draw a random sample (passthrough)."""
+        return self._generator.choice(a, size=size, replace=replace, p=p)
+
+    def __repr__(self) -> str:
+        return f"RngStream(name={self._name!r}, spawned={self._spawned})"

@@ -1,0 +1,59 @@
+"""Unit conversions and aviation constants.
+
+The library works in SI units internally (metres, metres/second, seconds).
+Aviation literature — including the ACAS X reports the paper draws on —
+quotes altitudes in feet, vertical rates in feet/minute and speeds in
+knots, so conversion helpers are provided and used at configuration
+boundaries.
+
+The Near Mid-Air Collision (NMAC) volume — a cylinder of 500 ft horizontal
+radius and 100 ft half-height — is the standard simulation surrogate for a
+mid-air collision and is what the paper's "Accident Detector" flags.
+"""
+
+from __future__ import annotations
+
+#: Feet per metre.
+FT_PER_M = 3.280839895013123
+
+#: Standard gravity, m/s^2. Pilot-response accelerations in the ACAS X
+#: reports are quoted as fractions of g (g/4 for an initial advisory,
+#: g/3 for a strengthening).
+G = 9.80665
+
+#: One foot-per-minute expressed in metres per second.
+FPM_TO_MPS = 0.3048 / 60.0
+
+#: One knot expressed in metres per second.
+KT_TO_MPS = 0.5144444444444445
+
+#: NMAC horizontal radius: 500 ft, in metres.
+NMAC_HORIZONTAL_M = 500.0 / FT_PER_M
+
+#: NMAC vertical half-height: 100 ft, in metres.
+NMAC_VERTICAL_M = 100.0 / FT_PER_M
+
+
+def feet_to_meters(feet: float) -> float:
+    """Convert feet to metres."""
+    return feet / FT_PER_M
+
+
+def meters_to_feet(meters: float) -> float:
+    """Convert metres to feet."""
+    return meters * FT_PER_M
+
+
+def fpm_to_mps(fpm: float) -> float:
+    """Convert a vertical rate in feet/minute to metres/second."""
+    return fpm * FPM_TO_MPS
+
+
+def mps_to_fpm(mps: float) -> float:
+    """Convert a vertical rate in metres/second to feet/minute."""
+    return mps / FPM_TO_MPS
+
+
+def knots_to_mps(knots: float) -> float:
+    """Convert a ground speed in knots to metres/second."""
+    return knots * KT_TO_MPS

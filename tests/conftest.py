@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+The logic-table solve is the only expensive setup, so tables are built
+once per session at two resolutions: ``tiny_table`` for controller and
+lookup mechanics, ``test_table`` (the library's ``test_config``) for
+behavioural and integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acasx import AcasConfig, build_logic_table, test_config
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> AcasConfig:
+    """A minimal-resolution model configuration."""
+    return AcasConfig(
+        h_max=300.0,
+        num_h=13,
+        rate_max=13.0,
+        num_rate=5,
+        horizon=15,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_table(tiny_config):
+    """A logic table solved on the minimal grid (fast)."""
+    return build_logic_table(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def test_table():
+    """A logic table solved at the library's test preset."""
+    return build_logic_table(test_config())

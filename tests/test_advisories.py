@@ -1,0 +1,91 @@
+"""Tests for repro.acasx.advisories."""
+
+import pytest
+
+from repro.acasx.advisories import (
+    ADVISORIES,
+    CLIMB,
+    COC,
+    DESCEND,
+    NUM_ADVISORIES,
+    STRONG_CLIMB,
+    STRONG_DESCEND,
+    AdvisorySense,
+    advisory_by_name,
+    is_new_alert,
+    is_reversal,
+    is_strengthening,
+)
+from repro.util.units import G, fpm_to_mps
+
+
+class TestVocabulary:
+    def test_five_advisories(self):
+        assert NUM_ADVISORIES == 5
+
+    def test_indices_match_positions(self):
+        for i, advisory in enumerate(ADVISORIES):
+            assert advisory.index == i
+
+    def test_coc_is_inactive(self):
+        assert not COC.is_active
+        assert COC.sense is AdvisorySense.NONE
+        assert COC.strength == 0
+
+    def test_climb_parameters(self):
+        assert CLIMB.target_rate == pytest.approx(fpm_to_mps(1500))
+        assert CLIMB.acceleration == pytest.approx(G / 4)
+        assert CLIMB.sense is AdvisorySense.UP
+        assert CLIMB.strength == 1
+
+    def test_strong_advisories(self):
+        assert STRONG_CLIMB.target_rate == pytest.approx(fpm_to_mps(2500))
+        assert STRONG_CLIMB.acceleration == pytest.approx(G / 3)
+        assert STRONG_DESCEND.target_rate == pytest.approx(-fpm_to_mps(2500))
+        assert STRONG_CLIMB.strength == 2
+
+    def test_senses_are_opposed(self):
+        assert CLIMB.sense.opposite is AdvisorySense.DOWN
+        assert DESCEND.sense.opposite is AdvisorySense.UP
+        assert AdvisorySense.NONE.opposite is AdvisorySense.NONE
+
+    def test_lookup_by_name(self):
+        assert advisory_by_name("DESCEND") is DESCEND
+        with pytest.raises(KeyError):
+            advisory_by_name("HOVER")
+
+    def test_str(self):
+        assert str(CLIMB) == "CLIMB"
+
+
+class TestTransitions:
+    def test_reversal_detection(self):
+        assert is_reversal(CLIMB, DESCEND)
+        assert is_reversal(STRONG_DESCEND, CLIMB)
+        assert not is_reversal(CLIMB, STRONG_CLIMB)
+        assert not is_reversal(COC, DESCEND)
+
+    def test_strengthening_detection(self):
+        assert is_strengthening(CLIMB, STRONG_CLIMB)
+        assert is_strengthening(DESCEND, STRONG_DESCEND)
+        assert not is_strengthening(STRONG_CLIMB, CLIMB)  # weakening
+        assert not is_strengthening(CLIMB, STRONG_DESCEND)  # reversal
+        assert not is_strengthening(COC, STRONG_CLIMB)  # new alert
+
+    def test_new_alert_detection(self):
+        assert is_new_alert(COC, CLIMB)
+        assert not is_new_alert(CLIMB, STRONG_CLIMB)
+        assert not is_new_alert(COC, COC)
+
+
+class TestCoordinationConflicts:
+    def test_active_advisory_conflicts_with_same_sense(self):
+        assert CLIMB.conflicts_with_sense(AdvisorySense.UP)
+        assert not CLIMB.conflicts_with_sense(AdvisorySense.DOWN)
+
+    def test_coc_never_conflicts(self):
+        assert not COC.conflicts_with_sense(AdvisorySense.UP)
+        assert not COC.conflicts_with_sense(AdvisorySense.DOWN)
+
+    def test_none_lock_never_conflicts(self):
+        assert not STRONG_DESCEND.conflicts_with_sense(AdvisorySense.NONE)

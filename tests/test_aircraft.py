@@ -1,0 +1,159 @@
+"""Tests for repro.dynamics.aircraft — point-mass dynamics and CPA geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamics.aircraft import (
+    AircraftState,
+    VerticalRateCommand,
+    cpa_horizontal_miss,
+    relative_horizontal_speed,
+    step_aircraft,
+    time_to_cpa,
+)
+from repro.util.units import G
+
+
+def state(x=0.0, y=0.0, z=0.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestAircraftState:
+    def test_accessors(self):
+        s = state(1, 2, 3, 4, 5, 6)
+        assert s.altitude == 3.0
+        assert s.vertical_rate == 6.0
+
+    def test_distances(self):
+        a = state(0, 0, 0)
+        b = state(3, 4, 12)
+        assert a.horizontal_distance_to(b) == pytest.approx(5.0)
+        assert a.vertical_distance_to(b) == pytest.approx(12.0)
+        assert a.distance_to(b) == pytest.approx(13.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AircraftState(np.zeros(2), np.zeros(3))
+
+    def test_defensive_copies(self):
+        position = np.zeros(3)
+        s = AircraftState(position, np.zeros(3))
+        position[0] = 99.0
+        assert s.position[0] == 0.0
+
+
+class TestStepAircraft:
+    def test_straight_flight(self):
+        s = step_aircraft(state(vx=10.0, vy=-2.0, vz=1.0), dt=2.0)
+        np.testing.assert_allclose(s.position, [20.0, -4.0, 2.0])
+        np.testing.assert_allclose(s.velocity, [10.0, -2.0, 1.0])
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            step_aircraft(state(), dt=0.0)
+
+    def test_command_ramps_at_bounded_acceleration(self):
+        cmd = VerticalRateCommand(target_rate=10.0, acceleration=2.0)
+        s = step_aircraft(state(), dt=1.0, command=cmd)
+        assert s.vertical_rate == pytest.approx(2.0)
+
+    def test_command_captures_target_exactly(self):
+        cmd = VerticalRateCommand(target_rate=1.0, acceleration=100.0)
+        s = step_aircraft(state(), dt=1.0, command=cmd)
+        assert s.vertical_rate == pytest.approx(1.0)
+
+    def test_ramp_altitude_is_trapezoidal(self):
+        # From rest to 4 m/s at 2 m/s^2 takes 2 s: altitude = 0.5*2*2^2 = 4 m.
+        cmd = VerticalRateCommand(target_rate=4.0, acceleration=2.0)
+        s = step_aircraft(state(), dt=2.0, command=cmd)
+        assert s.altitude == pytest.approx(4.0)
+        assert s.vertical_rate == pytest.approx(4.0)
+
+    def test_capture_then_cruise(self):
+        # 1 s ramp to 2 m/s then 1 s at 2 m/s: z = 1 + 2 = 3.
+        cmd = VerticalRateCommand(target_rate=2.0, acceleration=2.0)
+        s = step_aircraft(state(), dt=2.0, command=cmd)
+        assert s.altitude == pytest.approx(3.0)
+
+    def test_descend_command_symmetric(self):
+        cmd = VerticalRateCommand(target_rate=-4.0, acceleration=2.0)
+        s = step_aircraft(state(), dt=2.0, command=cmd)
+        assert s.altitude == pytest.approx(-4.0)
+
+    def test_vertical_noise_affects_rate_and_position(self):
+        s = step_aircraft(state(), dt=1.0, vertical_accel_noise=1.0)
+        assert s.vertical_rate == pytest.approx(1.0)
+        assert s.altitude == pytest.approx(0.5)
+
+    def test_horizontal_noise(self):
+        s = step_aircraft(
+            state(vx=1.0), dt=1.0, horizontal_accel_noise=np.array([2.0, 0.0])
+        )
+        assert s.velocity[0] == pytest.approx(3.0)
+        assert s.position[0] == pytest.approx(2.0)
+
+    def test_default_command_acceleration_is_quarter_g(self):
+        assert VerticalRateCommand(1.0).acceleration == pytest.approx(G / 4)
+
+    def test_command_validation(self):
+        with pytest.raises(ValueError):
+            VerticalRateCommand(1.0, acceleration=0.0)
+
+    @settings(max_examples=30)
+    @given(st.floats(-12, 12), st.floats(-12, 12), st.floats(0.1, 2.0))
+    def test_rate_never_overshoots_target(self, vz0, target, dt):
+        cmd = VerticalRateCommand(target_rate=target, acceleration=G / 4)
+        s = step_aircraft(state(vz=vz0), dt=dt, command=cmd)
+        lo, hi = min(vz0, target), max(vz0, target)
+        assert lo - 1e-9 <= s.vertical_rate <= hi + 1e-9
+
+
+class TestCpaGeometry:
+    def test_head_on_time_to_cpa(self):
+        own = state(vx=10.0)
+        intruder = state(x=100.0, vx=-10.0)
+        assert time_to_cpa(own, intruder) == pytest.approx(5.0)
+
+    def test_diverging_gives_zero(self):
+        own = state(vx=-10.0)
+        intruder = state(x=100.0, vx=10.0)
+        assert time_to_cpa(own, intruder) == 0.0
+
+    def test_no_relative_motion_gives_zero(self):
+        assert time_to_cpa(state(vx=5.0), state(x=50.0, vx=5.0)) == 0.0
+
+    def test_miss_distance_offset_track(self):
+        own = state(vx=10.0)
+        intruder = state(x=100.0, y=30.0, vx=-10.0)
+        assert cpa_horizontal_miss(own, intruder) == pytest.approx(30.0)
+
+    def test_direct_hit_miss_is_zero(self):
+        own = state(vx=10.0)
+        intruder = state(x=100.0, vx=-10.0)
+        assert cpa_horizontal_miss(own, intruder) == pytest.approx(0.0, abs=1e-9)
+
+    def test_relative_horizontal_speed(self):
+        assert relative_horizontal_speed(
+            state(vx=10.0), state(vx=-10.0)
+        ) == pytest.approx(20.0)
+
+    @settings(max_examples=30)
+    @given(st.floats(5, 50), st.floats(-300, 300), st.floats(5, 60))
+    def test_cpa_is_a_minimum(self, speed, offset, range_x):
+        # The separation at the reported CPA time is no larger than at
+        # nearby times.
+        own = state(vx=speed)
+        intruder = state(x=range_x, y=offset, vx=-speed)
+        t_star = time_to_cpa(own, intruder)
+
+        def separation(t):
+            rel = (intruder.position[:2] + intruder.velocity[:2] * t) - (
+                own.position[:2] + own.velocity[:2] * t
+            )
+            return np.hypot(rel[0], rel[1])
+
+        s_star = separation(t_star)
+        assert s_star <= separation(t_star + 0.5) + 1e-9
+        if t_star > 0.5:
+            assert s_star <= separation(t_star - 0.5) + 1e-9

@@ -1,0 +1,116 @@
+"""Tests for the multi-aircraft airspace simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.aircraft import AircraftState
+from repro.sim.airspace import (
+    AirspaceSimulation,
+    ThreatSelector,
+    TrafficConfig,
+)
+
+
+def state(x=0.0, y=0.0, z=1000.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestTrafficConfig:
+    def test_spawn_count_and_bounds(self):
+        config = TrafficConfig()
+        rng = np.random.default_rng(0)
+        states = config.spawn(20, rng)
+        assert len(states) == 20
+        for s in states:
+            radius = np.hypot(s.position[0], s.position[1])
+            assert radius == pytest.approx(config.radius, rel=1e-9)
+            assert config.altitude_band[0] <= s.altitude <= config.altitude_band[1]
+            speed = np.hypot(s.velocity[0], s.velocity[1])
+            assert config.speed_range[0] <= speed <= config.speed_range[1]
+
+    def test_spawned_tracks_point_inward(self):
+        config = TrafficConfig(inbound_offset=0.0)
+        rng = np.random.default_rng(1)
+        for s in config.spawn(10, rng):
+            # Velocity roughly opposes position (heading to the centre).
+            cos = float(
+                s.position[:2] @ s.velocity[:2]
+                / (np.linalg.norm(s.position[:2]) * np.linalg.norm(s.velocity[:2]))
+            )
+            assert cos == pytest.approx(-1.0, abs=1e-9)
+
+
+class TestThreatSelector:
+    def test_prefers_converging_traffic(self):
+        selector = ThreatSelector(horizon=40.0)
+        own = state(vx=20.0)
+        converging = state(x=400.0, vx=-20.0)       # tau = 10
+        parallel = state(x=50.0, vx=20.0)           # never converges
+        index = selector.select(own, [parallel, converging])
+        assert index == 1
+
+    def test_prefers_smaller_tau(self):
+        selector = ThreatSelector(horizon=40.0)
+        own = state(vx=20.0)
+        near = state(x=200.0, vx=-20.0)   # tau = 5
+        far = state(x=1200.0, vx=-20.0)   # tau = 30
+        assert selector.select(own, [far, near]) == 1
+
+    def test_fallback_to_nearest_when_none_converge(self):
+        selector = ThreatSelector(horizon=40.0)
+        own = state(vx=20.0)
+        near = state(x=100.0, vx=20.0)
+        far = state(x=900.0, vx=20.0)
+        assert selector.select(own, [far, near]) == 1
+
+    def test_empty_traffic(self):
+        assert ThreatSelector(40.0).select(state(), []) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThreatSelector(horizon=0.0)
+
+
+class TestAirspaceSimulation:
+    def test_needs_two_aircraft(self, test_table):
+        simulation = AirspaceSimulation(test_table)
+        with pytest.raises(ValueError):
+            simulation.run(1)
+
+    def test_unequipped_run(self):
+        simulation = AirspaceSimulation(None)
+        result = simulation.run(4, duration=60.0, seed=0)
+        assert result.num_aircraft == 4
+        assert result.alert_fraction == 0.0
+        assert result.min_pair_separation > 0.0
+
+    def test_equipped_run_alerts(self, test_table):
+        simulation = AirspaceSimulation(test_table)
+        result = simulation.run(6, duration=120.0, seed=0)
+        assert result.alert_fraction > 0.0
+        assert len(result.alerts_by_aircraft) == 6
+
+    def test_deterministic_given_seed(self, test_table):
+        simulation = AirspaceSimulation(test_table)
+        a = simulation.run(4, duration=60.0, seed=3)
+        b = simulation.run(4, duration=60.0, seed=3)
+        assert a.min_pair_separation == b.min_pair_separation
+        assert a.nmac_pairs == b.nmac_pairs
+
+    def test_equipped_beats_unequipped_on_average(self, test_table):
+        equipped = AirspaceSimulation(test_table)
+        unequipped = AirspaceSimulation(None)
+        eq_nmacs = sum(
+            equipped.run(6, duration=120.0, seed=s).nmac_count
+            for s in range(6)
+        )
+        uneq_nmacs = sum(
+            unequipped.run(6, duration=120.0, seed=s).nmac_count
+            for s in range(6)
+        )
+        assert eq_nmacs <= uneq_nmacs
+
+    def test_closest_pair_reported(self, test_table):
+        result = AirspaceSimulation(test_table).run(4, duration=60.0, seed=1)
+        assert len(result.closest_pair) == 2
+        assert result.closest_pair[0] != result.closest_pair[1]

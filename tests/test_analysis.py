@@ -1,0 +1,170 @@
+"""Tests for geometry classification and safety metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.geometry import (
+    classify_encounter,
+    is_vertical_crossing,
+    relative_horizontal_speed_of,
+)
+from repro.analysis.metrics import (
+    false_alarm_rate,
+    risk_ratio,
+    wilson_interval,
+)
+from repro.encounters import head_on_encounter, tail_approach_encounter
+from repro.encounters.encoding import EncounterParameters
+
+
+def params_with_bearing(bearing, own_vs=0.0, intr_vs=0.0, gs=30.0):
+    return EncounterParameters(
+        own_ground_speed=gs,
+        own_vertical_speed=own_vs,
+        time_to_cpa=30.0,
+        cpa_horizontal_distance=0.0,
+        cpa_angle=0.0,
+        cpa_vertical_distance=0.0,
+        intruder_ground_speed=gs,
+        intruder_bearing=bearing,
+        intruder_vertical_speed=intr_vs,
+    )
+
+
+class TestClassifier:
+    def test_head_on(self):
+        assert classify_encounter(params_with_bearing(math.pi)) == "head-on"
+        assert classify_encounter(head_on_encounter()) == "head-on"
+
+    def test_tail(self):
+        assert classify_encounter(params_with_bearing(0.1)) == "tail-approach"
+        assert classify_encounter(tail_approach_encounter()) == "tail-approach"
+
+    def test_crossing(self):
+        assert classify_encounter(params_with_bearing(math.pi / 2)) == "crossing"
+
+    def test_wrap_around(self):
+        assert classify_encounter(params_with_bearing(2 * math.pi - 0.1)) == (
+            "tail-approach"
+        )
+
+    @given(st.floats(-math.pi, math.pi))
+    def test_always_returns_valid_class(self, bearing):
+        assert classify_encounter(params_with_bearing(bearing)) in (
+            "head-on",
+            "tail-approach",
+            "crossing",
+        )
+
+
+class TestVerticalCrossing:
+    def test_opposite_rates(self):
+        assert is_vertical_crossing(params_with_bearing(0.0, -2.0, 2.0))
+
+    def test_same_direction_not_crossing(self):
+        assert not is_vertical_crossing(params_with_bearing(0.0, 2.0, 2.0))
+
+    def test_level_not_crossing(self):
+        assert not is_vertical_crossing(params_with_bearing(0.0, 0.0, 0.3))
+
+
+class TestRelativeSpeed:
+    def test_head_on_doubles(self):
+        params = params_with_bearing(math.pi, gs=20.0)
+        assert relative_horizontal_speed_of(params) == pytest.approx(40.0)
+
+    def test_parallel_same_speed_is_zero(self):
+        params = params_with_bearing(0.0, gs=20.0)
+        assert relative_horizontal_speed_of(params) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_tail_approach_small(self):
+        params = tail_approach_encounter(overtake_speed=2.0)
+        assert relative_horizontal_speed_of(params) == pytest.approx(2.0)
+
+
+class TestWilsonInterval:
+    def test_basic_properties(self):
+        estimate = wilson_interval(5, 100)
+        assert estimate.rate == pytest.approx(0.05)
+        assert 0.0 <= estimate.low <= estimate.rate <= estimate.high <= 1.0
+
+    def test_zero_successes_has_positive_upper_bound(self):
+        estimate = wilson_interval(0, 100)
+        assert estimate.low == 0.0
+        assert estimate.high > 0.0
+
+    def test_all_successes(self):
+        estimate = wilson_interval(50, 50)
+        assert estimate.high == 1.0
+        assert estimate.low < 1.0
+
+    def test_narrower_with_more_trials(self):
+        small = wilson_interval(5, 50)
+        large = wilson_interval(100, 1000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_higher_confidence_is_wider(self):
+        narrow = wilson_interval(10, 100, confidence=0.9)
+        wide = wilson_interval(10, 100, confidence=0.99)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_str(self):
+        assert "95% CI" in str(wilson_interval(3, 30))
+
+    @given(st.integers(0, 100))
+    def test_interval_contains_point_estimate(self, successes):
+        estimate = wilson_interval(successes, 100)
+        assert estimate.low <= estimate.rate <= estimate.high
+
+
+class TestRiskRatio:
+    def test_perfect_system(self):
+        assert risk_ratio(0, 100, 50, 100) == 0.0
+
+    def test_useless_system(self):
+        assert risk_ratio(50, 100, 50, 100) == pytest.approx(1.0)
+
+    def test_harmful_system(self):
+        assert risk_ratio(80, 100, 40, 100) == pytest.approx(2.0)
+
+    def test_zero_baseline_gives_inf(self):
+        assert risk_ratio(1, 100, 0, 100) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            risk_ratio(0, 0, 1, 10)
+
+
+class TestFalseAlarmRate:
+    def test_all_alerts_necessary(self):
+        alerted = np.array([True, True, False])
+        unmitigated = np.array([True, True, False])
+        assert false_alarm_rate(alerted, unmitigated) == 0.0
+
+    def test_all_alerts_spurious(self):
+        alerted = np.array([True, True])
+        unmitigated = np.array([False, False])
+        assert false_alarm_rate(alerted, unmitigated) == 1.0
+
+    def test_mixed(self):
+        alerted = np.array([True, True, True, False])
+        unmitigated = np.array([True, False, False, True])
+        assert false_alarm_rate(alerted, unmitigated) == pytest.approx(2 / 3)
+
+    def test_no_alerts(self):
+        assert false_alarm_rate(np.zeros(3, bool), np.ones(3, bool)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            false_alarm_rate(np.zeros(3, bool), np.zeros(4, bool))

@@ -1,0 +1,162 @@
+"""Tests for the vectorized batch simulator, including the statistical
+equivalence check against the agent-based reference engine."""
+
+import numpy as np
+import pytest
+
+from repro.encounters import head_on_encounter, tail_approach_encounter
+from repro.sim import (
+    BatchEncounterSimulator,
+    EncounterSimConfig,
+    run_encounter,
+)
+from repro.sim.disturbance import DisturbanceModel
+from repro.sim.encounter import make_acas_pair
+from repro.sim.sensors import AdsBSensor
+
+
+@pytest.fixture
+def quiet_config():
+    return EncounterSimConfig(
+        disturbance=DisturbanceModel(vertical_rate_std=0.0),
+        sensor=AdsBSensor.noiseless(),
+    )
+
+
+class TestConstruction:
+    def test_equipage_validated(self, test_table):
+        with pytest.raises(ValueError):
+            BatchEncounterSimulator(test_table, equipage="intruder-only")
+
+    def test_equipped_needs_table(self):
+        with pytest.raises(ValueError):
+            BatchEncounterSimulator(None, equipage="both")
+
+    def test_unequipped_without_table_ok(self):
+        BatchEncounterSimulator(None, equipage="none")
+
+    def test_run_count_validated(self, test_table):
+        simulator = BatchEncounterSimulator(test_table)
+        with pytest.raises(ValueError):
+            simulator.run(head_on_encounter(), 0)
+
+
+class TestDeterministicEquivalence:
+    """With zero noise the batch simulator must match the agent engine
+    run for run (identical deterministic trajectories)."""
+
+    def test_unequipped_exact_match(self, quiet_config):
+        params = head_on_encounter(miss_distance=120.0, vertical_offset=20.0)
+        reference = run_encounter(params, config=quiet_config, seed=0)
+        batch = BatchEncounterSimulator(None, quiet_config, equipage="none")
+        result = batch.run(params, 3, seed=0)
+        np.testing.assert_allclose(
+            result.min_separation,
+            reference.min_separation,
+            rtol=1e-9,
+        )
+        assert bool(result.nmac[0]) == reference.nmac
+
+    def test_equipped_exact_match(self, test_table, quiet_config):
+        params = head_on_encounter()
+        own, intruder = make_acas_pair(test_table)
+        reference = run_encounter(params, own, intruder, quiet_config, seed=0)
+        batch = BatchEncounterSimulator(test_table, quiet_config)
+        result = batch.run(params, 2, seed=0)
+        np.testing.assert_allclose(
+            result.min_separation, reference.min_separation, rtol=1e-6
+        )
+        assert bool(result.own_alerted[0]) == reference.own_alerted
+        assert bool(result.intruder_alerted[0]) == reference.intruder_alerted
+        assert bool(result.nmac[0]) == reference.nmac
+
+
+class TestStatisticalEquivalence:
+    """With noise on, per-run randomness differs between the two
+    implementations, but the distributions must agree."""
+
+    @pytest.mark.parametrize(
+        "params",
+        [head_on_encounter(), tail_approach_encounter(overtake_speed=2.0)],
+        ids=["head-on", "tail"],
+    )
+    def test_min_separation_distributions_agree(self, test_table, params):
+        config = EncounterSimConfig()
+        runs = 60
+        reference = []
+        for seed in range(runs):
+            own, intruder = make_acas_pair(test_table)
+            result = run_encounter(params, own, intruder, config, seed=seed)
+            reference.append(result.min_separation)
+        reference = np.array(reference)
+
+        batch = BatchEncounterSimulator(test_table, config)
+        result = batch.run(params, runs, seed=123)
+
+        ref_mean = reference.mean()
+        batch_mean = result.min_separation.mean()
+        pooled_se = np.sqrt(
+            reference.var() / runs + result.min_separation.var() / runs
+        )
+        # Means within 4 standard errors (generous: this is a smoke
+        # equivalence check, not a hypothesis test).
+        assert abs(ref_mean - batch_mean) < 4.0 * pooled_se + 1e-9
+
+
+class TestBatchBehaviour:
+    def test_result_shapes(self, test_table):
+        batch = BatchEncounterSimulator(test_table, EncounterSimConfig())
+        result = batch.run(head_on_encounter(), 17, seed=0)
+        assert result.num_runs == 17
+        for array in (
+            result.min_separation,
+            result.min_horizontal,
+            result.nmac,
+            result.own_alerted,
+            result.intruder_alerted,
+        ):
+            assert array.shape == (17,)
+
+    def test_deterministic_given_seed(self, test_table):
+        batch = BatchEncounterSimulator(test_table, EncounterSimConfig())
+        a = batch.run(head_on_encounter(), 10, seed=5)
+        b = batch.run(head_on_encounter(), 10, seed=5)
+        np.testing.assert_array_equal(a.min_separation, b.min_separation)
+
+    def test_equipage_ordering(self, test_table):
+        # More protection -> larger typical separation on a collision
+        # course: both >= own-only >= none (statistically).
+        params = head_on_encounter()
+        config = EncounterSimConfig()
+        runs = 80
+        none = BatchEncounterSimulator(None, config, equipage="none").run(
+            params, runs, seed=1
+        )
+        own_only = BatchEncounterSimulator(
+            test_table, config, equipage="own-only"
+        ).run(params, runs, seed=1)
+        both = BatchEncounterSimulator(test_table, config).run(
+            params, runs, seed=1
+        )
+        assert own_only.min_separation.mean() > none.min_separation.mean()
+        assert both.nmac_rate <= own_only.nmac_rate + 0.05
+
+    def test_unequipped_never_alerts(self):
+        batch = BatchEncounterSimulator(
+            None, EncounterSimConfig(), equipage="none"
+        )
+        result = batch.run(head_on_encounter(), 10, seed=0)
+        assert not result.own_alerted.any()
+        assert not result.intruder_alerted.any()
+
+    def test_coordination_toggle_runs(self, test_table):
+        batch = BatchEncounterSimulator(
+            test_table, EncounterSimConfig(), coordination=False
+        )
+        result = batch.run(head_on_encounter(), 10, seed=0)
+        assert result.num_runs == 10
+
+    def test_nmac_rate_property(self, test_table):
+        batch = BatchEncounterSimulator(None, EncounterSimConfig(), equipage="none")
+        result = batch.run(head_on_encounter(), 50, seed=3)
+        assert result.nmac_rate == pytest.approx(result.nmac.mean())

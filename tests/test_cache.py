@@ -1,0 +1,57 @@
+"""Tests for logic-table caching."""
+
+import numpy as np
+import pytest
+
+from repro.acasx.cache import build_or_load, cache_path, config_fingerprint
+from repro.acasx.config import AcasConfig
+
+
+@pytest.fixture
+def small_config():
+    return AcasConfig(num_h=7, num_rate=3, horizon=4)
+
+
+class TestFingerprint:
+    def test_stable(self, small_config):
+        assert config_fingerprint(small_config) == config_fingerprint(
+            AcasConfig(num_h=7, num_rate=3, horizon=4)
+        )
+
+    def test_sensitive_to_every_parameter(self, small_config):
+        base = config_fingerprint(small_config)
+        assert config_fingerprint(
+            AcasConfig(num_h=7, num_rate=3, horizon=5)
+        ) != base
+        assert config_fingerprint(
+            AcasConfig(num_h=7, num_rate=3, horizon=4, alert_cost=11.0)
+        ) != base
+        assert config_fingerprint(
+            AcasConfig(num_h=7, num_rate=3, horizon=4,
+                       own_noise=((0.0, 1.0),))
+        ) != base
+
+
+class TestBuildOrLoad:
+    def test_miss_then_hit(self, small_config, tmp_path):
+        path = cache_path(small_config, tmp_path)
+        assert not path.exists()
+        first = build_or_load(small_config, cache_dir=tmp_path)
+        assert path.exists()
+        second = build_or_load(small_config, cache_dir=tmp_path)
+        np.testing.assert_array_equal(first.q, second.q)
+
+    def test_corrupt_cache_rebuilt(self, small_config, tmp_path):
+        path = cache_path(small_config, tmp_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not an npz file")
+        table = build_or_load(small_config, cache_dir=tmp_path)
+        assert table.config == small_config
+        # The rebuild overwrote the corrupt entry with a loadable one.
+        reloaded = build_or_load(small_config, cache_dir=tmp_path)
+        np.testing.assert_array_equal(table.q, reloaded.q)
+
+    def test_different_configs_different_files(self, tmp_path):
+        a = AcasConfig(num_h=7, num_rate=3, horizon=4)
+        b = AcasConfig(num_h=7, num_rate=3, horizon=5)
+        assert cache_path(a, tmp_path) != cache_path(b, tmp_path)

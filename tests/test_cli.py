@@ -1,0 +1,135 @@
+"""Tests for the command-line interface.
+
+Every command runs in-process through ``repro.cli.main`` with the fast
+preset and a temporary cache, asserting on exit codes and output.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def temp_cache(tmp_path, monkeypatch):
+    """Point the table cache at a temp dir shared within one test."""
+    import repro.acasx.cache as cache_module
+
+    monkeypatch.setattr(cache_module, "DEFAULT_CACHE_DIR", tmp_path / "cache")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.preset == "test"
+        assert args.seed == 0
+
+
+class TestSolve:
+    def test_solve_runs(self, capsys):
+        assert main(["solve", "--preset", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "solved: LogicTable" in out
+
+    def test_solve_with_verification(self, capsys):
+        assert main(["solve", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+
+    def test_solve_saves_table(self, tmp_path, capsys):
+        out_path = tmp_path / "table.npz"
+        assert main(["solve", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+
+    def test_cache_reused(self, capsys):
+        main(["solve", "--verbose"])
+        first = capsys.readouterr().out
+        main(["solve", "--verbose"])
+        second = capsys.readouterr().out
+        assert "cached table" in first
+        assert "loaded cached table" in second
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("geometry", ["head-on", "tail", "random"])
+    def test_geometries(self, geometry, capsys):
+        assert main(["simulate", "--geometry", geometry, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "NMAC:" in out
+
+    def test_unequipped(self, capsys):
+        assert main(
+            ["simulate", "--geometry", "head-on", "--equipage", "none"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "own alerted: False" in out
+
+    def test_trace_rendering(self, capsys):
+        assert main(["simulate", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "min sep" in out
+
+
+class TestSearch:
+    def test_small_search_with_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "search",
+                "--population", "8",
+                "--generations", "2",
+                "--runs", "5",
+                "--top", "3",
+                "--out", str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert len(payload["top_encounters"]) == 3
+        assert len(payload["generation_summary"]) == 2
+        assert len(payload["top_encounters"][0]["genome"]) == 9
+        out = capsys.readouterr().out
+        assert "geometry counts" in out
+
+
+class TestMonteCarlo:
+    def test_small_campaign(self, capsys):
+        code = main(["montecarlo", "--encounters", "10", "--runs", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "risk ratio" in out
+
+
+class TestInspect:
+    def test_action_map_printed(self, capsys):
+        assert main(["inspect"]) == 0
+        out = capsys.readouterr().out
+        assert "alerting envelope" in out
+        assert "h=" in out
+        # The alerting glyphs must appear somewhere in the map.
+        assert any(glyph in out for glyph in "cdCD")
+
+
+class TestAirspace:
+    def test_equipped_run(self, capsys):
+        code = main(["airspace", "--aircraft", "4", "--duration", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closest pair" in out
+
+    def test_unequipped_run(self, capsys):
+        code = main(
+            ["airspace", "--aircraft", "3", "--duration", "30",
+             "--equipage", "none"]
+        )
+        assert code == 0
+        assert "alerted: 0.00" in capsys.readouterr().out

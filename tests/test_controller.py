@@ -1,0 +1,145 @@
+"""Tests for the online controller and the coordination protocol."""
+
+import numpy as np
+import pytest
+
+from repro.acasx.advisories import AdvisorySense, CLIMB, COC, DESCEND
+from repro.acasx.controller import AcasXuController, CoordinationChannel
+from repro.dynamics.aircraft import AircraftState
+
+
+def state(x=0.0, y=0.0, z=1000.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestCoordinationChannel:
+    def test_announce_and_read(self):
+        channel = CoordinationChannel()
+        channel.announce("a", AdvisorySense.UP)
+        assert channel.forbidden_senses("b") == [AdvisorySense.UP]
+        assert channel.forbidden_senses("a") == []
+
+    def test_none_releases_lock(self):
+        channel = CoordinationChannel()
+        channel.announce("a", AdvisorySense.DOWN)
+        channel.announce("a", AdvisorySense.NONE)
+        assert channel.forbidden_senses("b") == []
+
+    def test_locked_sense_query(self):
+        channel = CoordinationChannel()
+        assert channel.locked_sense("a") is AdvisorySense.NONE
+        channel.announce("a", AdvisorySense.UP)
+        assert channel.locked_sense("a") is AdvisorySense.UP
+
+    def test_reset(self):
+        channel = CoordinationChannel()
+        channel.announce("a", AdvisorySense.UP)
+        channel.reset()
+        assert channel.forbidden_senses("b") == []
+
+
+class TestConflictDetection:
+    def test_head_on_conflict_detected(self, test_table):
+        controller = AcasXuController(test_table)
+        own = state(vx=30.0)
+        intruder = state(x=600.0, vx=-30.0)  # CPA in 10 s, dead ahead
+        tau, miss, in_conflict = controller._conflict_geometry(own, intruder)
+        assert in_conflict
+        assert tau == pytest.approx(10.0)
+        assert miss == pytest.approx(0.0, abs=1e-9)
+
+    def test_diverging_not_in_conflict(self, test_table):
+        controller = AcasXuController(test_table)
+        own = state(vx=-30.0)
+        intruder = state(x=600.0, vx=30.0)
+        __, __, in_conflict = controller._conflict_geometry(own, intruder)
+        assert not in_conflict
+
+    def test_beyond_horizon_not_in_conflict(self, test_table):
+        controller = AcasXuController(test_table)
+        horizon = test_table.config.horizon
+        own = state(vx=1.0)
+        intruder = state(x=10.0 * horizon, vx=-1.0)  # tau = 5*horizon
+        tau, __, in_conflict = controller._conflict_geometry(own, intruder)
+        assert not in_conflict
+        assert tau > horizon
+
+    def test_wide_miss_not_in_conflict(self, test_table):
+        controller = AcasXuController(test_table)
+        own = state(vx=30.0)
+        intruder = state(x=300.0, y=2000.0, vx=-30.0)
+        __, miss, in_conflict = controller._conflict_geometry(own, intruder)
+        assert not in_conflict
+        assert miss > test_table.config.conflict_horizontal_radius
+
+    def test_slow_closure_tail_chase_not_in_conflict(self, test_table):
+        # The paper's challenging geometry: co-located tracks, tiny
+        # closure -> tau beyond horizon -> the logic sees no conflict.
+        controller = AcasXuController(test_table)
+        own = state(vx=30.0)
+        intruder = state(x=-100.0, vx=31.0)  # overtaking at 1 m/s
+        tau, __, in_conflict = controller._conflict_geometry(own, intruder)
+        assert tau > test_table.config.horizon
+        assert not in_conflict
+
+
+class TestDecide:
+    def test_no_conflict_gives_coc(self, test_table):
+        controller = AcasXuController(test_table)
+        advisory = controller.decide(state(vx=30.0), state(x=-500.0, vx=30.0))
+        assert advisory is COC
+        assert controller.command() is None
+
+    def test_conflict_eventually_alerts(self, test_table):
+        controller = AcasXuController(test_table)
+        own = state(vx=30.0)
+        intruder = state(x=900.0, vx=-30.0)  # head-on, CPA 15 s
+        advisory = controller.decide(own, intruder)
+        assert advisory.is_active
+        command = controller.command()
+        assert command is not None
+        assert command.target_rate == pytest.approx(advisory.target_rate)
+
+    def test_decisions_recorded(self, test_table):
+        controller = AcasXuController(test_table)
+        controller.decide(state(vx=30.0), state(x=900.0, vx=-30.0))
+        controller.decide(state(vx=30.0), state(x=870.0, vx=-30.0))
+        assert len(controller.decisions) == 2
+        assert controller.decisions[1].time == pytest.approx(
+            test_table.config.dt
+        )
+
+    def test_alert_bookkeeping(self, test_table):
+        controller = AcasXuController(test_table)
+        controller.decide(state(vx=30.0), state(x=900.0, vx=-30.0))
+        assert controller.ever_alerted
+        assert controller.alert_steps == 1
+
+    def test_reset_clears_state(self, test_table):
+        channel = CoordinationChannel()
+        controller = AcasXuController(test_table, "own", channel)
+        controller.decide(state(vx=30.0), state(x=900.0, vx=-30.0))
+        controller.reset()
+        assert controller.current_advisory is COC
+        assert controller.decisions == []
+        assert channel.locked_sense("own") is AdvisorySense.NONE
+
+
+class TestCoordinatedPair:
+    def test_paired_controllers_choose_complementary_senses(self, test_table):
+        channel = CoordinationChannel()
+        own_ctrl = AcasXuController(test_table, "own", channel)
+        intr_ctrl = AcasXuController(test_table, "intr", channel)
+        own = state(vx=30.0)
+        intruder = state(x=900.0, vx=-30.0)
+        a1 = own_ctrl.decide(own, intruder)
+        a2 = intr_ctrl.decide(intruder, own)
+        assert a1.is_active
+        if a2.is_active:
+            assert a2.sense is not a1.sense
+
+    def test_channel_lock_follows_advisory(self, test_table):
+        channel = CoordinationChannel()
+        controller = AcasXuController(test_table, "own", channel)
+        advisory = controller.decide(state(vx=30.0), state(x=900.0, vx=-30.0))
+        assert channel.locked_sense("own") is advisory.sense

@@ -1,0 +1,95 @@
+"""Determinism regression tests.
+
+Every experiment in the library must be a pure function of its seed.
+These tests pin that property across subsystem boundaries (two fully
+independent executions, not object reuse) so accidental global-RNG
+usage or hidden state is caught immediately.
+"""
+
+import numpy as np
+
+from repro.encounters import StatisticalEncounterModel, head_on_encounter
+from repro.montecarlo import MonteCarloEstimator
+from repro.search.fitness import EncounterFitness
+from repro.search.ga import GAConfig
+from repro.search.runner import SearchRunner
+from repro.sim import BatchEncounterSimulator, EncounterSimConfig, run_encounter
+from repro.sim.airspace import AirspaceSimulation
+from repro.sim.encounter import make_acas_pair
+
+
+def test_encounter_run_bitwise_reproducible(test_table):
+    results = []
+    for __ in range(2):
+        own, intruder = make_acas_pair(test_table)
+        result = run_encounter(
+            head_on_encounter(), own, intruder, EncounterSimConfig(),
+            seed=1234, record_trace=True,
+        )
+        results.append(result)
+    a, b = results
+    assert a.min_separation == b.min_separation
+    assert a.nmac == b.nmac
+    for step_a, step_b in zip(a.trace.steps, b.trace.steps):
+        np.testing.assert_array_equal(step_a.own_position, step_b.own_position)
+        np.testing.assert_array_equal(
+            step_a.intruder_position, step_b.intruder_position
+        )
+        assert step_a.own_advisory == step_b.own_advisory
+
+
+def test_batch_run_bitwise_reproducible(test_table):
+    runs = []
+    for __ in range(2):
+        simulator = BatchEncounterSimulator(test_table, EncounterSimConfig())
+        runs.append(simulator.run(head_on_encounter(), 20, seed=99))
+    np.testing.assert_array_equal(runs[0].min_separation, runs[1].min_separation)
+    np.testing.assert_array_equal(runs[0].nmac, runs[1].nmac)
+
+
+def test_search_reproducible(test_table):
+    outcomes = []
+    for __ in range(2):
+        runner = SearchRunner(
+            test_table,
+            ga_config=GAConfig(population_size=8, generations=2),
+            num_runs=4,
+        )
+        outcomes.append(runner.run(seed=5))
+    a, b = outcomes
+    np.testing.assert_array_equal(
+        a.ga_result.best_genome, b.ga_result.best_genome
+    )
+    assert a.ga_result.best_fitness == b.ga_result.best_fitness
+    for fa, fb in zip(a.ga_result.fitness_history, b.ga_result.fitness_history):
+        np.testing.assert_array_equal(fa, fb)
+
+
+def test_montecarlo_reproducible(test_table):
+    reports = []
+    for __ in range(2):
+        estimator = MonteCarloEstimator(
+            test_table, StatisticalEncounterModel(), runs_per_encounter=3
+        )
+        reports.append(estimator.estimate(8, seed=11))
+    assert reports[0].summary() == reports[1].summary()
+
+
+def test_airspace_reproducible(test_table):
+    results = []
+    for __ in range(2):
+        simulation = AirspaceSimulation(test_table)
+        results.append(simulation.run(4, duration=40.0, seed=21))
+    assert results[0].min_pair_separation == results[1].min_pair_separation
+    assert results[0].nmac_pairs == results[1].nmac_pairs
+    assert results[0].alerts_by_aircraft == results[1].alerts_by_aircraft
+
+
+def test_global_numpy_rng_untouched(test_table):
+    """Library calls must not consume or reseed the global NumPy RNG."""
+    np.random.seed(42)
+    expected = np.random.RandomState(42).uniform(size=3)
+    fitness = EncounterFitness(test_table, num_runs=3, seed=0)
+    fitness(head_on_encounter().as_array())
+    observed = np.random.uniform(size=3)
+    np.testing.assert_array_equal(observed, expected)

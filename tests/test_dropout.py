@@ -1,0 +1,76 @@
+"""Failure injection: ADS-B message loss end to end."""
+
+import numpy as np
+import pytest
+
+from repro.acasx.logic_table import LogicTable
+from repro.avoidance.acas import AcasXuAvoidance
+from repro.avoidance.tracked import TrackedAvoidance
+from repro.dynamics.aircraft import AircraftState
+from repro.encounters import head_on_encounter
+from repro.sim import EncounterSimConfig, run_encounter
+from repro.sim.sensors import AdsBSensor
+
+
+def state(x=0.0, y=0.0, z=1000.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestSensorDropout:
+    def test_dropout_rate_statistics(self):
+        sensor = AdsBSensor(dropout_rate=0.3)
+        rng = np.random.default_rng(0)
+        received = sum(
+            sensor.receive(state(), rng) is not None for _ in range(2000)
+        )
+        assert received / 2000 == pytest.approx(0.7, abs=0.05)
+
+    def test_zero_dropout_always_receives(self):
+        sensor = AdsBSensor()
+        rng = np.random.default_rng(0)
+        assert all(
+            sensor.receive(state(), rng) is not None for _ in range(100)
+        )
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            AdsBSensor(dropout_rate=1.0)
+        with pytest.raises(ValueError):
+            AdsBSensor(dropout_rate=-0.1)
+
+
+class TestDropoutInEncounters:
+    def test_untracked_acas_survives_moderate_dropout(self, test_table):
+        # The runner holds the previous maneuver through lost reports,
+        # so a moderate loss rate must not break head-on protection.
+        config = EncounterSimConfig(sensor=AdsBSensor(dropout_rate=0.3))
+        nmacs = 0
+        for seed in range(10):
+            own = AcasXuAvoidance(test_table, "own")
+            intruder = AcasXuAvoidance(test_table, "intr")
+            result = run_encounter(
+                head_on_encounter(), own, intruder, config, seed=seed
+            )
+            nmacs += int(result.nmac)
+        assert nmacs <= 1
+
+    def test_tracked_acas_handles_heavy_dropout(self, test_table):
+        config = EncounterSimConfig(sensor=AdsBSensor(dropout_rate=0.6))
+        separations = []
+        for seed in range(10):
+            own = TrackedAvoidance(AcasXuAvoidance(test_table, "own"))
+            intruder = TrackedAvoidance(AcasXuAvoidance(test_table, "intr"))
+            result = run_encounter(
+                head_on_encounter(), own, intruder, config, seed=seed
+            )
+            separations.append(result.min_separation)
+        # The tracker coasts through gaps: protection persists.
+        assert np.mean(separations) > 60.0
+
+    def test_tracked_alert_flag_propagates(self, test_table):
+        config = EncounterSimConfig(sensor=AdsBSensor(dropout_rate=0.2))
+        own = TrackedAvoidance(AcasXuAvoidance(test_table, "own"))
+        result = run_encounter(
+            head_on_encounter(), own, None, config, seed=0
+        )
+        assert result.own_alerted == own.ever_alerted

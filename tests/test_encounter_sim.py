@@ -1,0 +1,158 @@
+"""Integration tests for the agent-based encounter runner."""
+
+import numpy as np
+import pytest
+
+from repro.avoidance import NoAvoidance, SelectiveVelocityObstacle
+from repro.encounters import head_on_encounter, tail_approach_encounter
+from repro.sim import EncounterSimConfig, run_encounter
+from repro.sim.disturbance import DisturbanceModel
+from repro.sim.encounter import make_acas_pair
+from repro.sim.sensors import AdsBSensor
+
+
+@pytest.fixture
+def quiet_config():
+    """No disturbance, no sensor noise: deterministic runs."""
+    return EncounterSimConfig(
+        disturbance=DisturbanceModel(vertical_rate_std=0.0),
+        sensor=AdsBSensor.noiseless(),
+    )
+
+
+class TestUnequipped:
+    def test_direct_hit_collides(self, quiet_config):
+        result = run_encounter(
+            head_on_encounter(), config=quiet_config, seed=0
+        )
+        assert result.nmac
+        assert result.min_separation < 10.0
+
+    def test_offset_encounter_misses(self, quiet_config):
+        params = head_on_encounter(miss_distance=400.0, vertical_offset=80.0)
+        result = run_encounter(params, config=quiet_config, seed=0)
+        assert not result.nmac
+
+    def test_deterministic_given_seed(self):
+        config = EncounterSimConfig()
+        a = run_encounter(head_on_encounter(), config=config, seed=7)
+        b = run_encounter(head_on_encounter(), config=config, seed=7)
+        assert a.min_separation == b.min_separation
+        assert a.nmac == b.nmac
+
+    def test_different_seeds_differ(self):
+        config = EncounterSimConfig()
+        a = run_encounter(head_on_encounter(), config=config, seed=1)
+        b = run_encounter(head_on_encounter(), config=config, seed=2)
+        assert a.min_separation != b.min_separation
+
+
+class TestEquipped:
+    def test_head_on_resolved(self, test_table, quiet_config):
+        own, intruder = make_acas_pair(test_table)
+        result = run_encounter(
+            head_on_encounter(), own, intruder, quiet_config, seed=0
+        )
+        assert not result.nmac
+        assert result.own_alerted or result.intruder_alerted
+
+    def test_avoidance_improves_separation(self, test_table):
+        config = EncounterSimConfig()
+        params = head_on_encounter()
+        base = np.mean(
+            [
+                run_encounter(params, config=config, seed=s).min_separation
+                for s in range(10)
+            ]
+        )
+        own, intruder = make_acas_pair(test_table)
+        equipped = np.mean(
+            [
+                run_encounter(
+                    params, own, intruder, config, seed=s
+                ).min_separation
+                for s in range(10)
+            ]
+        )
+        assert equipped > base
+
+    def test_trace_recorded_on_request(self, test_table, quiet_config):
+        own, intruder = make_acas_pair(test_table)
+        result = run_encounter(
+            head_on_encounter(), own, intruder, quiet_config,
+            seed=0, record_trace=True,
+        )
+        assert result.trace is not None
+        assert len(result.trace) > 0
+        advisories = set(result.trace.advisories_issued("own")) | set(
+            result.trace.advisories_issued("intruder")
+        )
+        assert advisories - {"COC"}  # someone alerted
+
+    def test_no_trace_by_default(self, test_table, quiet_config):
+        own, intruder = make_acas_pair(test_table)
+        result = run_encounter(
+            head_on_encounter(), own, intruder, quiet_config, seed=0
+        )
+        assert result.trace is None
+
+    def test_coordination_produces_complementary_maneuvers(
+        self, test_table, quiet_config
+    ):
+        own, intruder = make_acas_pair(test_table, coordination=True)
+        result = run_encounter(
+            head_on_encounter(), own, intruder, quiet_config,
+            seed=0, record_trace=True,
+        )
+        own_senses = {
+            a for a in result.trace.advisories_issued("own")
+            if a not in ("", "COC")
+        }
+        intr_senses = {
+            a for a in result.trace.advisories_issued("intruder")
+            if a not in ("", "COC")
+        }
+        up = {"CLIMB", "STRONG_CLIMB"}
+        down = {"DESCEND", "STRONG_DESCEND"}
+        if own_senses and intr_senses:
+            # Coordinated aircraft never maneuver in the same sense.
+            assert not (own_senses & up and intr_senses & up)
+            assert not (own_senses & down and intr_senses & down)
+
+    def test_tail_approach_can_defeat_logic(self, test_table):
+        # The paper's challenging geometry produces NMACs at a rate
+        # head-on encounters do not approach.
+        config = EncounterSimConfig()
+        params = tail_approach_encounter(
+            overtake_speed=3.0, time_to_cpa=40.0,
+            own_vertical_speed=-5.0, intruder_vertical_speed=5.0,
+        )
+        nmacs = 0
+        for seed in range(20):
+            own, intruder = make_acas_pair(test_table)
+            result = run_encounter(params, own, intruder, config, seed=seed)
+            nmacs += int(result.nmac)
+        assert nmacs >= 1
+
+
+class TestSvoInSimulation:
+    def test_svo_improves_head_on(self, quiet_config):
+        params = head_on_encounter()
+        base = run_encounter(params, config=quiet_config, seed=0)
+        svo_result = run_encounter(
+            params,
+            SelectiveVelocityObstacle(),
+            SelectiveVelocityObstacle(),
+            quiet_config,
+            seed=0,
+        )
+        assert svo_result.min_separation > base.min_separation
+        assert svo_result.own_alerted
+
+    def test_svo_vs_unequipped_intruder(self, quiet_config):
+        params = head_on_encounter()
+        result = run_encounter(
+            params, SelectiveVelocityObstacle(), NoAvoidance(),
+            quiet_config, seed=0,
+        )
+        assert result.min_separation > 100.0

@@ -1,0 +1,90 @@
+"""Tests for encounter JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.encounters import head_on_encounter, tail_approach_encounter
+from repro.encounters.generator import ParameterRanges, ScenarioGenerator
+from repro.encounters.io import (
+    encounter_from_dict,
+    encounter_to_dict,
+    load_encounters,
+    load_ranges,
+    ranges_from_dict,
+    ranges_to_dict,
+    save_encounters,
+)
+
+
+class TestEncounterDicts:
+    def test_round_trip(self):
+        params = head_on_encounter()
+        assert encounter_from_dict(encounter_to_dict(params)) == params
+
+    def test_unknown_field_rejected(self):
+        payload = encounter_to_dict(head_on_encounter())
+        payload["warp_factor"] = 9.0
+        with pytest.raises(ValueError, match="unknown"):
+            encounter_from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = encounter_to_dict(head_on_encounter())
+        del payload["time_to_cpa"]
+        with pytest.raises(ValueError, match="missing"):
+            encounter_from_dict(payload)
+
+
+class TestRangesDicts:
+    def test_round_trip(self):
+        ranges = ParameterRanges(own_ground_speed=(10.0, 20.0))
+        recovered = ranges_from_dict(ranges_to_dict(ranges))
+        assert recovered == ranges
+
+    def test_missing_range_rejected(self):
+        payload = ranges_to_dict(ParameterRanges())
+        del payload["cpa_angle"]
+        with pytest.raises(ValueError, match="missing"):
+            ranges_from_dict(payload)
+
+
+class TestFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        encounters = [head_on_encounter(), tail_approach_encounter()]
+        path = save_encounters(
+            encounters,
+            tmp_path / "campaign" / "encounters.json",
+            ranges=ParameterRanges(),
+            metadata={"study": "unit-test"},
+        )
+        loaded = load_encounters(path)
+        assert loaded == encounters
+        ranges = load_ranges(path)
+        assert ranges == ParameterRanges()
+
+    def test_metadata_preserved_in_file(self, tmp_path):
+        path = save_encounters(
+            [head_on_encounter()], tmp_path / "e.json",
+            metadata={"seed": 42},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["seed"] == 42
+        assert payload["schema_version"] == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = save_encounters([head_on_encounter()], tmp_path / "e.json")
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema version"):
+            load_encounters(path)
+
+    def test_ranges_absent_rejected(self, tmp_path):
+        path = save_encounters([head_on_encounter()], tmp_path / "e.json")
+        with pytest.raises(ValueError, match="no ranges"):
+            load_ranges(path)
+
+    def test_generated_encounters_survive_round_trip(self, tmp_path):
+        encounters = ScenarioGenerator().random_encounters(20, seed=0)
+        path = save_encounters(encounters, tmp_path / "gen.json")
+        assert load_encounters(path) == encounters

@@ -1,0 +1,79 @@
+"""Tests for the repeated-trial search comparison harness."""
+
+import numpy as np
+import pytest
+
+from repro.encounters.generator import ParameterRanges
+from repro.search.experiments import (
+    best_so_far,
+    compare_ga_and_random,
+    time_to_target,
+)
+from repro.search.ga import GAConfig
+
+
+class TestCurves:
+    def test_best_so_far_monotone(self):
+        curve = best_so_far(np.array([3.0, 1.0, 5.0, 2.0]))
+        np.testing.assert_allclose(curve, [3.0, 3.0, 5.0, 5.0])
+
+    def test_time_to_target(self):
+        fitnesses = np.array([1.0, 2.0, 7.0, 3.0])
+        assert time_to_target(fitnesses, 5.0) == 2
+        assert time_to_target(fitnesses, 7.0) == 2
+        assert time_to_target(fitnesses, 100.0) is None
+
+
+def structured_fitness_factory(trial_seed: int):
+    """Deterministic structured fitness with mild per-trial noise."""
+    ranges = ParameterRanges()
+    mid = (ranges.lows() + ranges.highs()) / 2.0
+    widths = ranges.highs() - ranges.lows()
+    rng = np.random.default_rng(trial_seed)
+
+    def fitness(genome: np.ndarray) -> float:
+        z = (genome - mid) / widths
+        return float(100.0 - 200.0 * np.sum(z * z) + rng.normal(0, 0.5))
+
+    return fitness
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compare_ga_and_random(
+            ParameterRanges(),
+            structured_fitness_factory,
+            GAConfig(population_size=20, generations=5),
+            repetitions=4,
+            target=80.0,
+            seed=0,
+        )
+
+    def test_budget_and_shape(self, result):
+        assert result.budget == 100
+        assert result.repetitions == 4
+        assert result.ga.best_fitnesses.shape == (4,)
+        assert len(result.random.hit_times) == 4
+
+    def test_ga_outperforms_random_on_structured_landscape(self, result):
+        assert result.ga.mean_best > result.random.mean_best
+
+    def test_hit_statistics_sane(self, result):
+        for trials in (result.ga, result.random):
+            assert 0.0 <= trials.hit_rate <= 1.0
+            assert 0.0 < trials.mean_hit_time(result.budget) <= result.budget
+
+    def test_summary_mentions_both_methods(self, result):
+        text = result.summary()
+        assert "GA" in text
+        assert "random" in text
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ValueError):
+            compare_ga_and_random(
+                ParameterRanges(),
+                structured_fitness_factory,
+                GAConfig(population_size=4, generations=2),
+                repetitions=0,
+            )

@@ -1,0 +1,120 @@
+"""Tests for the scenario generator and the statistical encounter model."""
+
+import numpy as np
+import pytest
+
+from repro.encounters.encoding import PARAMETER_NAMES
+from repro.encounters.generator import ParameterRanges, ScenarioGenerator
+from repro.encounters.statistical import StatisticalEncounterModel
+from repro.util.units import NMAC_HORIZONTAL_M, NMAC_VERTICAL_M
+
+
+class TestParameterRanges:
+    def test_defaults_bound_near_collision_cpa(self):
+        ranges = ParameterRanges()
+        assert ranges.cpa_horizontal_distance[1] == pytest.approx(
+            NMAC_HORIZONTAL_M
+        )
+        assert ranges.cpa_vertical_distance == (
+            -NMAC_VERTICAL_M, NMAC_VERTICAL_M
+        )
+
+    def test_lows_highs_order(self):
+        ranges = ParameterRanges()
+        lows, highs = ranges.lows(), ranges.highs()
+        assert lows.shape == (9,)
+        assert np.all(highs >= lows)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterRanges(own_ground_speed=(50.0, 15.0))
+
+    def test_clip_and_contains(self):
+        ranges = ParameterRanges()
+        genome = ranges.lows() - 1.0
+        assert not ranges.contains(genome)
+        clipped = ranges.clip(genome)
+        assert ranges.contains(clipped)
+
+
+class TestScenarioGenerator:
+    def test_random_genome_in_ranges(self):
+        generator = ScenarioGenerator()
+        for seed in range(10):
+            genome = generator.random_genome(seed)
+            assert generator.ranges.contains(genome)
+
+    def test_random_genomes_shape(self):
+        genomes = ScenarioGenerator().random_genomes(7, seed=0)
+        assert genomes.shape == (7, 9)
+
+    def test_deterministic_given_seed(self):
+        g = ScenarioGenerator()
+        np.testing.assert_array_equal(
+            g.random_genome(123), g.random_genome(123)
+        )
+
+    def test_random_encounters_decodable(self):
+        encounters = ScenarioGenerator().random_encounters(5, seed=1)
+        assert len(encounters) == 5
+        for params in encounters:
+            assert params.time_to_cpa >= 20.0
+
+    def test_describe_lists_all_parameters(self):
+        description = ScenarioGenerator().describe()
+        assert set(description) == set(PARAMETER_NAMES)
+
+    def test_uniform_coverage(self):
+        # Sampled values should span most of each range.
+        generator = ScenarioGenerator()
+        genomes = generator.random_genomes(500, seed=2)
+        lows, highs = generator.ranges.lows(), generator.ranges.highs()
+        spans = (genomes.max(axis=0) - genomes.min(axis=0)) / (highs - lows)
+        assert np.all(spans > 0.9)
+
+
+class TestStatisticalModel:
+    def test_sample_count(self):
+        model = StatisticalEncounterModel()
+        assert len(model.sample(25, seed=0)) == 25
+
+    def test_speeds_within_bounds(self):
+        model = StatisticalEncounterModel()
+        for params in model.sample(200, seed=1):
+            assert model.min_speed <= params.own_ground_speed <= model.max_speed
+            assert (
+                model.min_speed
+                <= params.intruder_ground_speed
+                <= model.max_speed
+            )
+
+    def test_vertical_speeds_clipped(self):
+        model = StatisticalEncounterModel()
+        for params in model.sample(200, seed=2):
+            assert abs(params.own_vertical_speed) <= model.max_vs
+            assert abs(params.intruder_vertical_speed) <= model.max_vs
+
+    def test_level_mode_dominates(self):
+        # With level_fraction 0.6, most vertical speeds are near zero.
+        model = StatisticalEncounterModel()
+        vs = np.array(
+            [p.own_vertical_speed for p in model.sample(1000, seed=3)]
+        )
+        assert np.mean(np.abs(vs) < 1.0) > 0.5
+
+    def test_cpa_offsets_bounded(self):
+        model = StatisticalEncounterModel()
+        for params in model.sample(200, seed=4):
+            assert 0 <= params.cpa_horizontal_distance <= model.max_cpa_horizontal
+            assert abs(params.cpa_vertical_distance) <= model.max_cpa_vertical
+
+    def test_deterministic_given_seed(self):
+        model = StatisticalEncounterModel()
+        a = model.sample(5, seed=9)
+        b = model.sample(5, seed=9)
+        assert a == b
+
+    def test_tau_window_respected(self):
+        model = StatisticalEncounterModel()
+        for params in model.sample(100, seed=5):
+            assert 20.0 <= params.time_to_cpa <= 40.0

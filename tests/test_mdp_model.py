@@ -1,0 +1,120 @@
+"""Tests for repro.mdp.model."""
+
+import numpy as np
+import pytest
+
+from repro.mdp.model import MDPDefinition, TabularMDP, build_transition_tensor
+
+
+def two_state_mdp():
+    """A 2-state, 2-action MDP with known optimal behaviour.
+
+    Action 0 stays put (reward 0 in state 0, 1 in state 1); action 1
+    flips state (reward -0.1).  Optimal: flip from state 0, stay in 1.
+    """
+    transitions = np.zeros((2, 2, 2))
+    transitions[0, 0, 0] = 1.0
+    transitions[0, 1, 1] = 1.0
+    transitions[1, 0, 1] = 1.0
+    transitions[1, 1, 0] = 1.0
+    rewards = np.array([[0.0, 1.0], [-0.1, -0.1]])
+    return TabularMDP(transitions, rewards)
+
+
+class TestTabularMDP:
+    def test_shapes(self):
+        mdp = two_state_mdp()
+        assert mdp.num_states == 2
+        assert mdp.num_actions == 2
+
+    def test_rejects_bad_transition_shape(self):
+        with pytest.raises(ValueError):
+            TabularMDP(np.zeros((2, 3, 4)), np.zeros((2, 3)))
+
+    def test_rejects_unnormalized_rows(self):
+        transitions = np.zeros((1, 2, 2))
+        transitions[0, 0, 0] = 0.5  # row sums to 0.5
+        transitions[0, 1, 1] = 1.0
+        with pytest.raises(ValueError, match="sum to 1"):
+            TabularMDP(transitions, np.zeros((1, 2)))
+
+    def test_rejects_bad_reward_shape(self):
+        transitions = np.zeros((1, 2, 2))
+        transitions[:, np.arange(2), np.arange(2)] = 1.0
+        with pytest.raises(ValueError):
+            TabularMDP(transitions, np.zeros((1, 3)))
+
+    def test_successor_dependent_rewards_reduced(self):
+        transitions = np.zeros((1, 2, 2))
+        transitions[0, 0] = [0.5, 0.5]
+        transitions[0, 1] = [0.0, 1.0]
+        rewards3 = np.zeros((1, 2, 2))
+        rewards3[0, 0] = [10.0, 20.0]
+        mdp = TabularMDP(transitions, rewards3)
+        assert mdp.rewards[0, 0] == pytest.approx(15.0)
+
+    def test_q_backup(self):
+        mdp = two_state_mdp()
+        values = np.array([0.0, 10.0])
+        q = mdp.q_backup(values, discount=0.5)
+        # Action 1 from state 0: -0.1 + 0.5 * 10.
+        assert q[1, 0] == pytest.approx(4.9)
+        # Action 0 in state 0: 0 + 0.5 * 0.
+        assert q[0, 0] == pytest.approx(0.0)
+
+    def test_terminal_states_pinned(self):
+        transitions = np.zeros((1, 2, 2))
+        transitions[0, 0] = [0.0, 1.0]
+        transitions[0, 1] = [0.0, 1.0]
+        mdp = TabularMDP(
+            transitions,
+            np.array([[5.0, 99.0]]),
+            terminal=np.array([False, True]),
+        )
+        q = mdp.q_backup(np.array([1.0, 123.0]), discount=1.0)
+        # Continuation through the terminal state contributes zero.
+        assert q[0, 0] == pytest.approx(5.0)
+        # Terminal state's own action values are zeroed.
+        assert q[0, 1] == 0.0
+
+    def test_validate_policy(self):
+        mdp = two_state_mdp()
+        mdp.validate_policy(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            mdp.validate_policy(np.array([0]))
+        with pytest.raises(ValueError):
+            mdp.validate_policy(np.array([0, 5]))
+
+
+class _Chain(MDPDefinition):
+    """3-state chain: action 0 moves right, reward 1 on reaching end."""
+
+    @property
+    def num_states(self):
+        return 3
+
+    @property
+    def num_actions(self):
+        return 1
+
+    def successors(self, state, action):
+        nxt = min(state + 1, 2)
+        return [nxt], [1.0], 1.0 if nxt == 2 and state != 2 else 0.0
+
+
+class TestMDPDefinition:
+    def test_to_tabular(self):
+        mdp = _Chain().to_tabular()
+        assert mdp.num_states == 3
+        assert mdp.transitions[0, 0, 1] == 1.0
+        assert mdp.rewards[0, 1] == 1.0
+        assert mdp.rewards[0, 0] == 0.0
+
+
+class TestBuildTransitionTensor:
+    def test_accumulates_duplicates(self):
+        tensor = build_transition_tensor(
+            1, 2, [(0, 0, 1, 0.5), (0, 0, 1, 0.5), (0, 1, 1, 1.0)]
+        )
+        assert tensor[0, 0, 1] == pytest.approx(1.0)
+        assert tensor[0, 1, 1] == pytest.approx(1.0)

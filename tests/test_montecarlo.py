@@ -1,0 +1,72 @@
+"""Tests for the Monte-Carlo validation estimator."""
+
+import pytest
+
+from repro.encounters import StatisticalEncounterModel
+from repro.montecarlo import MonteCarloEstimator
+from repro.sim.encounter import EncounterSimConfig
+
+
+@pytest.fixture(scope="module")
+def report(test_table):
+    estimator = MonteCarloEstimator(
+        test_table,
+        StatisticalEncounterModel(),
+        sim_config=EncounterSimConfig(),
+        runs_per_encounter=8,
+    )
+    return estimator.estimate(num_encounters=40, seed=0)
+
+
+class TestEstimator:
+    def test_validation(self, test_table):
+        source = StatisticalEncounterModel()
+        with pytest.raises(ValueError):
+            MonteCarloEstimator(test_table, source, runs_per_encounter=0)
+        estimator = MonteCarloEstimator(test_table, source)
+        with pytest.raises(ValueError):
+            estimator.estimate(0)
+
+    def test_report_dimensions(self, report):
+        assert report.encounters == 40
+        assert report.runs_per_encounter == 8
+        assert report.equipped_nmac.trials == 320
+        assert report.unequipped_nmac.trials == 320
+
+    def test_system_reduces_risk(self, report):
+        # The generated logic must beat doing nothing on encounters
+        # drawn from the statistical model (the paper's acceptance
+        # criterion for a "good model").
+        assert report.equipped_nmac.rate < report.unequipped_nmac.rate
+        assert report.risk_ratio < 1.0
+
+    def test_unequipped_encounters_are_dangerous(self, report):
+        # The statistical model concentrates on conflict geometries, so
+        # the unmitigated NMAC rate must be substantial.
+        assert report.unequipped_nmac.rate > 0.2
+
+    def test_rates_have_sane_intervals(self, report):
+        for estimate in (report.equipped_nmac, report.unequipped_nmac):
+            assert 0.0 <= estimate.low <= estimate.rate <= estimate.high <= 1.0
+
+    def test_alert_rate_positive(self, report):
+        assert 0.0 < report.alert_rate <= 1.0
+
+    def test_false_alarm_rate_bounded(self, report):
+        assert 0.0 <= report.false_alarm_rate <= 1.0
+
+    def test_summary_text(self, report):
+        text = report.summary()
+        assert "risk ratio" in text
+        assert "equipped NMAC rate" in text
+
+    def test_deterministic_given_seed(self, test_table):
+        estimator = MonteCarloEstimator(
+            test_table,
+            StatisticalEncounterModel(),
+            runs_per_encounter=4,
+        )
+        a = estimator.estimate(10, seed=5)
+        b = estimator.estimate(10, seed=5)
+        assert a.equipped_nmac.rate == b.equipped_nmac.rate
+        assert a.unequipped_nmac.rate == b.unequipped_nmac.rate

@@ -1,0 +1,87 @@
+"""Tests for repro.mdp.policy (logic-table container)."""
+
+import numpy as np
+import pytest
+
+from repro.mdp.policy import TabularPolicy, policies_agree
+
+
+@pytest.fixture
+def policy():
+    return TabularPolicy(
+        actions=np.array([0, 1, 2, 1]),
+        action_names=("hold", "up", "down"),
+        values=np.array([0.0, -1.0, 2.0, 3.0]),
+        metadata={"source": "test"},
+    )
+
+
+class TestTabularPolicy:
+    def test_basic_accessors(self, policy):
+        assert policy.num_states == 4
+        assert policy.action(1) == 1
+        assert policy.action_name(2) == "down"
+
+    def test_action_counts(self, policy):
+        assert policy.action_counts() == {"hold": 1, "up": 2, "down": 1}
+
+    def test_rejects_out_of_range_actions(self):
+        with pytest.raises(ValueError):
+            TabularPolicy(np.array([0, 5]), action_names=("a", "b"))
+
+    def test_rejects_misaligned_values(self):
+        with pytest.raises(ValueError):
+            TabularPolicy(
+                np.array([0, 1]), action_names=("a", "b"), values=np.zeros(3)
+            )
+
+    def test_rejects_2d_actions(self):
+        with pytest.raises(ValueError):
+            TabularPolicy(np.zeros((2, 2), dtype=int), action_names=("a",))
+
+    def test_save_load_round_trip(self, policy, tmp_path):
+        path = tmp_path / "policy.npz"
+        policy.save(path)
+        loaded = TabularPolicy.load(path)
+        np.testing.assert_array_equal(loaded.actions, policy.actions)
+        np.testing.assert_array_equal(loaded.values, policy.values)
+        assert list(loaded.action_names) == list(policy.action_names)
+        assert loaded.metadata == {"source": "test"}
+
+    def test_save_load_without_values(self, tmp_path):
+        policy = TabularPolicy(np.array([0, 0]), action_names=("a",))
+        path = tmp_path / "p.npz"
+        policy.save(path)
+        assert TabularPolicy.load(path).values is None
+
+
+class TestPoliciesAgree:
+    def test_identical_policies_agree(self, policy):
+        other = TabularPolicy(policy.actions.copy(), policy.action_names)
+        assert policies_agree(policy, other)
+
+    def test_different_policies_disagree_without_q(self, policy):
+        other = TabularPolicy(
+            np.array([1, 1, 2, 1]), action_names=policy.action_names
+        )
+        assert not policies_agree(policy, other)
+
+    def test_tied_q_values_count_as_agreement(self, policy):
+        other = TabularPolicy(
+            np.array([1, 1, 2, 1]), action_names=policy.action_names
+        )
+        q = np.zeros((3, 4))  # all actions tie everywhere
+        assert policies_agree(policy, other, q_values=q)
+
+    def test_untied_q_values_detect_disagreement(self, policy):
+        other = TabularPolicy(
+            np.array([1, 1, 2, 1]), action_names=policy.action_names
+        )
+        q = np.zeros((3, 4))
+        q[0, 0] = 10.0  # state 0: action 0 strictly better
+        assert not policies_agree(policy, other, q_values=q)
+
+    def test_size_mismatch_raises(self, policy):
+        other = TabularPolicy(np.array([0]), action_names=policy.action_names)
+        with pytest.raises(ValueError):
+            policies_agree(policy, other)

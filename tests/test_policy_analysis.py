@@ -1,0 +1,98 @@
+"""Tests for logic-table inspection tools."""
+
+import numpy as np
+import pytest
+
+from repro.acasx.config import AcasConfig
+from repro.acasx.policy_analysis import (
+    action_map,
+    alert_boundary,
+    compare_tables,
+)
+from repro.acasx.solver import build_logic_table
+
+
+class TestAlertBoundary:
+    def test_coaltitude_alerts_separated_does_not(self, test_table):
+        boundary = dict(alert_boundary(test_table))
+        assert boundary[0.0] is not None  # co-altitude must alert
+        assert boundary[0.0] >= 5.0       # and with meaningful lead time
+        h_max = test_table.config.h_max
+        assert boundary[h_max] is None or boundary[h_max] < boundary[0.0]
+
+    def test_boundary_is_symmetricish(self, test_table):
+        boundary = dict(alert_boundary(test_table))
+        h = test_table.config.h_points
+        for altitude in h[h > 0]:
+            up = boundary[float(altitude)]
+            down = boundary[float(-altitude)]
+            # Mirror symmetry of the model ⇒ same alerting lead time.
+            assert (up is None) == (down is None)
+            if up is not None:
+                assert up == pytest.approx(down)
+
+    def test_custom_h_values(self, test_table):
+        boundary = alert_boundary(
+            test_table, h_values=np.array([0.0, 100.0])
+        )
+        assert len(boundary) == 2
+
+
+class TestActionMap:
+    def test_shape_and_glyphs(self, tiny_table):
+        text = action_map(tiny_table)
+        lines = text.splitlines()
+        # Header + one row per altitude grid point.
+        assert len(lines) == tiny_table.config.num_h + 1
+        body = "".join(lines[1:])
+        assert set(body) <= set(".cdCD=+-mh0123456789 ")
+
+    def test_alerting_region_present(self, test_table):
+        text = action_map(test_table)
+        assert any(glyph in text for glyph in "cdCD")
+
+    def test_coc_dominates_far_altitudes(self, test_table):
+        lines = action_map(test_table).splitlines()
+        top_row = lines[1]  # +h_max
+        glyphs = top_row.split("m ", 1)[1]
+        assert glyphs.count(".") > len(glyphs) * 0.8
+
+
+class TestCompareTables:
+    def test_table_agrees_with_itself(self, tiny_table):
+        comparison = compare_tables(tiny_table, tiny_table)
+        assert comparison.disagreements == 0
+        assert comparison.agreement_rate == 1.0
+        assert comparison.max_q_difference == 0.0
+
+    def test_different_resolutions_mostly_agree(self, tiny_table):
+        finer = build_logic_table(
+            AcasConfig(
+                h_max=tiny_table.config.h_max,
+                num_h=2 * tiny_table.config.num_h - 1,
+                rate_max=tiny_table.config.rate_max,
+                num_rate=tiny_table.config.num_rate,
+                horizon=tiny_table.config.horizon,
+            )
+        )
+        comparison = compare_tables(tiny_table, finer)
+        assert comparison.agreement_rate > 0.7
+        assert comparison.states_compared > 0
+
+    def test_different_costs_disagree(self, tiny_table):
+        config = tiny_table.config
+        aggressive = build_logic_table(
+            AcasConfig(
+                h_max=config.h_max,
+                num_h=config.num_h,
+                rate_max=config.rate_max,
+                num_rate=config.num_rate,
+                horizon=config.horizon,
+                alert_cost=0.1,
+                new_alert_cost=0.1,
+                coc_reward=0.0,
+            )
+        )
+        comparison = compare_tables(tiny_table, aggressive)
+        assert comparison.disagreements > 0
+        assert comparison.max_q_difference > 1.0

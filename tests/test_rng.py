@@ -1,0 +1,68 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, as_generator, spawn_child
+
+
+class TestAsGenerator:
+    def test_from_int_seed_is_deterministic(self):
+        a = as_generator(42).uniform(size=5)
+        b = as_generator(42).uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_from_generator_returns_same_object(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_stream_unwraps(self):
+        stream = RngStream(7)
+        assert as_generator(stream) is stream.generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnChild:
+    def test_child_differs_from_parent(self):
+        parent = as_generator(1)
+        child = spawn_child(parent)
+        a = parent.uniform(size=10)
+        b = child.uniform(size=10)
+        assert not np.allclose(a, b)
+
+    def test_spawn_is_deterministic_given_seed(self):
+        c1 = spawn_child(as_generator(5)).uniform(size=5)
+        c2 = spawn_child(as_generator(5)).uniform(size=5)
+        np.testing.assert_array_equal(c1, c2)
+
+
+class TestRngStream:
+    def test_spawned_children_are_independent(self):
+        root = RngStream(3)
+        a = root.spawn().uniform(size=10)
+        b = root.spawn().uniform(size=10)
+        assert not np.allclose(a, b)
+
+    def test_spawn_names(self):
+        root = RngStream(0, name="root")
+        child = root.spawn()
+        assert child.name == "root.1"
+        named = root.spawn("sensor")
+        assert named.name == "sensor"
+
+    def test_same_seed_same_spawn_tree(self):
+        a = RngStream(11).spawn().spawn().uniform(size=4)
+        b = RngStream(11).spawn().spawn().uniform(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_draws(self):
+        stream = RngStream(0)
+        assert stream.normal(size=3).shape == (3,)
+        assert stream.uniform(size=3).shape == (3,)
+        assert 0 <= stream.integers(0, 10) < 10
+        assert stream.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_repr_mentions_name(self):
+        assert "myname" in repr(RngStream(0, name="myname"))

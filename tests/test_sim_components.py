@@ -1,0 +1,250 @@
+"""Tests for the simulation building blocks: sensors, disturbance,
+monitors, traces and the engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.avoidance.base import Maneuver, NoAvoidance
+from repro.dynamics.aircraft import AircraftState, VerticalRateCommand
+from repro.sim.agents import UavAgent
+from repro.sim.disturbance import DisturbanceModel, noise_std
+from repro.sim.engine import SimulationEngine
+from repro.sim.monitors import AccidentDetector, ProximityMeasurer
+from repro.sim.sensors import AdsBSensor
+from repro.sim.trace import TrajectoryTrace, render_vertical_profile
+from repro.util.rng import RngStream
+from repro.util.units import NMAC_HORIZONTAL_M, NMAC_VERTICAL_M
+
+
+def state(x=0.0, y=0.0, z=1000.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestAdsBSensor:
+    def test_noiseless_is_identity(self):
+        sensor = AdsBSensor.noiseless()
+        true = state(1, 2, 3, 4, 5, 6)
+        sensed = sensor.sense(true, np.random.default_rng(0))
+        np.testing.assert_array_equal(sensed.position, true.position)
+        np.testing.assert_array_equal(sensed.velocity, true.velocity)
+
+    def test_noise_statistics(self):
+        sensor = AdsBSensor(
+            horizontal_position_std=5.0,
+            vertical_position_std=2.0,
+            horizontal_velocity_std=0.5,
+            vertical_velocity_std=0.1,
+        )
+        rng = np.random.default_rng(1)
+        true = state()
+        errors = np.array(
+            [sensor.sense(true, rng).position - true.position
+             for _ in range(3000)]
+        )
+        assert np.std(errors[:, 0]) == pytest.approx(5.0, rel=0.1)
+        assert np.std(errors[:, 2]) == pytest.approx(2.0, rel=0.1)
+        assert np.mean(errors) == pytest.approx(0.0, abs=0.3)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            AdsBSensor(horizontal_position_std=-1.0)
+
+
+class TestDisturbanceModel:
+    def test_noise_std_of_discrete_distribution(self):
+        # The paper's toy intruder noise in the 0.5 m/s scaling.
+        samples = ((0.0, 0.5), (-0.5, 0.15), (0.5, 0.15), (-1.0, 0.1), (1.0, 0.1))
+        expected = math.sqrt(0.15 * 0.25 * 2 + 0.1 * 1.0 * 2)
+        assert noise_std(samples) == pytest.approx(expected)
+
+    def test_brownian_scaling(self):
+        model = DisturbanceModel(vertical_rate_std=0.5)
+        rng = np.random.default_rng(0)
+        # Rate change over dt accumulates std * sqrt(dt).
+        for dt in (0.2, 1.0):
+            accels = model.sample_vertical_accel(dt, rng, size=20000)
+            rate_changes = accels * dt
+            assert np.std(rate_changes) == pytest.approx(
+                0.5 * math.sqrt(dt), rel=0.05
+            )
+
+    def test_zero_noise(self):
+        model = DisturbanceModel(vertical_rate_std=0.0)
+        assert model.sample_vertical_accel(1.0, np.random.default_rng(0)) == 0.0
+        assert model.sample_horizontal_accel(np.random.default_rng(0)) is None
+
+    def test_matching_offline_model(self):
+        from repro.acasx.config import FIVE_POINT_NOISE
+
+        model = DisturbanceModel.matching_offline_model(FIVE_POINT_NOISE)
+        assert model.vertical_rate_std == pytest.approx(
+            noise_std(FIVE_POINT_NOISE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DisturbanceModel(vertical_rate_std=-0.1)
+        with pytest.raises(ValueError):
+            DisturbanceModel().sample_vertical_accel(0.0, np.random.default_rng(0))
+
+
+class TestProximityMeasurer:
+    def test_tracks_minimum(self):
+        measurer = ProximityMeasurer()
+        measurer.observe(0.0, state(), state(x=100.0))
+        measurer.observe(1.0, state(), state(x=50.0, z=1010.0))
+        measurer.observe(2.0, state(), state(x=80.0))
+        assert measurer.min_horizontal == pytest.approx(50.0)
+        assert measurer.min_distance_3d == pytest.approx(
+            math.hypot(50.0, 10.0)
+        )
+        assert measurer.time_of_min_distance == 1.0
+
+    def test_vertical_at_min_horizontal(self):
+        measurer = ProximityMeasurer()
+        measurer.observe(0.0, state(), state(x=100.0, z=1050.0))
+        measurer.observe(1.0, state(), state(x=30.0, z=1020.0))
+        assert measurer.min_vertical_at_min_horizontal == pytest.approx(20.0)
+
+    def test_reset(self):
+        measurer = ProximityMeasurer()
+        measurer.observe(0.0, state(), state(x=5.0))
+        measurer.reset()
+        assert measurer.min_distance_3d == np.inf
+
+
+class TestAccidentDetector:
+    def test_nmac_requires_both_thresholds(self):
+        detector = AccidentDetector()
+        # Close horizontally but vertically separated: no accident.
+        detector.observe(0.0, state(), state(x=10.0, z=1000.0 + 2 * NMAC_VERTICAL_M))
+        assert not detector.accident
+        # Close vertically but far horizontally: no accident.
+        detector.observe(1.0, state(), state(x=2 * NMAC_HORIZONTAL_M))
+        assert not detector.accident
+        # Both inside: accident.
+        detector.observe(2.0, state(), state(x=10.0, z=1005.0))
+        assert detector.accident
+        assert detector.time_of_accident == 2.0
+
+    def test_first_accident_time_kept(self):
+        detector = AccidentDetector()
+        detector.observe(5.0, state(), state(x=1.0))
+        detector.observe(9.0, state(), state(x=1.0))
+        assert detector.time_of_accident == 5.0
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            AccidentDetector(horizontal_threshold=0.0)
+
+    def test_reset(self):
+        detector = AccidentDetector()
+        detector.observe(0.0, state(), state(x=1.0))
+        detector.reset()
+        assert not detector.accident
+        assert detector.time_of_accident is None
+
+
+class TestTrajectoryTrace:
+    def make_trace(self):
+        trace = TrajectoryTrace()
+        for t in range(5):
+            trace.record(
+                float(t),
+                state(x=10.0 * t, z=1000.0 + t),
+                state(x=100.0 - 10.0 * t, z=1010.0 - t),
+                own_advisory="COC" if t < 2 else "CLIMB",
+                intruder_advisory="COC",
+            )
+        return trace
+
+    def test_series(self):
+        trace = self.make_trace()
+        assert len(trace) == 5
+        np.testing.assert_allclose(trace.times, [0, 1, 2, 3, 4])
+        assert trace.own_altitudes[-1] == pytest.approx(1004.0)
+        assert trace.min_separation == trace.separations.min()
+
+    def test_advisories_issued(self):
+        trace = self.make_trace()
+        assert trace.advisories_issued("own") == ["COC", "CLIMB"]
+        assert trace.advisories_issued("intruder") == ["COC"]
+
+    def test_csv_export(self):
+        csv = self.make_trace().to_csv()
+        lines = csv.strip().split("\n")
+        assert len(lines) == 6  # header + 5 rows
+        assert lines[0].startswith("time,own_x")
+        assert "CLIMB" in csv
+
+    def test_render_profile(self):
+        art = render_vertical_profile(self.make_trace(), height=8)
+        assert "min sep" in art
+        assert "O" in art or "X" in art or "o" in art
+
+    def test_render_empty(self):
+        assert "empty" in render_vertical_profile(TrajectoryTrace())
+
+
+class TestSimulationEngine:
+    def make_agent(self, name="a", **kwargs):
+        return UavAgent(
+            name=name,
+            state=state(**kwargs),
+            avoidance=NoAvoidance(),
+            disturbance=DisturbanceModel(vertical_rate_std=0.0),
+            rng=RngStream(0),
+        )
+
+    def test_straight_line_integration(self):
+        agent = self.make_agent(vx=10.0)
+        engine = SimulationEngine([agent], decision_dt=1.0, physics_substeps=4)
+        end = engine.run(5.0, decide=lambda t, agents: None)
+        assert end == pytest.approx(5.0)
+        assert agent.state.position[0] == pytest.approx(50.0)
+
+    def test_observer_called_every_substep(self):
+        agent = self.make_agent()
+        calls = []
+        engine = SimulationEngine([agent], decision_dt=1.0, physics_substeps=3)
+        engine.run(2.0, decide=lambda t, a: None,
+                   observers=[lambda t, a: calls.append(t)])
+        assert len(calls) == 6
+        assert calls[-1] == pytest.approx(2.0)
+
+    def test_decide_called_per_decision_step(self):
+        agent = self.make_agent()
+        decisions = []
+        engine = SimulationEngine([agent], decision_dt=0.5)
+        engine.run(2.0, decide=lambda t, a: decisions.append(t))
+        assert len(decisions) == 4
+
+    def test_stop_condition(self):
+        agent = self.make_agent(vx=1.0)
+        engine = SimulationEngine([agent])
+        end = engine.run(
+            100.0,
+            decide=lambda t, a: None,
+            stop_condition=lambda t, a: t >= 3.0,
+        )
+        assert end == pytest.approx(3.0)
+
+    def test_maneuver_applied(self):
+        agent = self.make_agent()
+        agent.current_maneuver = Maneuver(
+            vertical=VerticalRateCommand(target_rate=2.0, acceleration=100.0)
+        )
+        agent.integrate(1.0)
+        assert agent.state.vertical_rate == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationEngine([], decision_dt=0.0)
+        with pytest.raises(ValueError):
+            SimulationEngine([], physics_substeps=0)
+        with pytest.raises(ValueError):
+            SimulationEngine([self.make_agent()]).run(
+                0.0, decide=lambda t, a: None
+            )

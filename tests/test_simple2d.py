@@ -1,0 +1,210 @@
+"""Tests for the Section III toy model (repro.simple2d).
+
+Covers the paper's stated parameters (costs 10000/100/+50, the noise
+distributions), solver cross-checks on the full-state MDP, and the
+behavioural claim the example exists to demonstrate: the generated
+logic table avoids collisions better than doing nothing, at reasonable
+maneuver cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.value_iteration import value_iteration
+from repro.simple2d import (
+    LEVEL_OFF,
+    MOVE_DOWN,
+    MOVE_UP,
+    Simple2DConfig,
+    Simple2DModel,
+    Simple2DSimulator,
+    render_episode,
+)
+from repro.simple2d.simulator import always_level
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Simple2DModel()
+
+
+@pytest.fixture(scope="module")
+def table(model):
+    return model.solve()
+
+
+class TestConfig:
+    def test_paper_costs_are_defaults(self):
+        config = Simple2DConfig()
+        assert config.collision_cost == 10_000.0
+        assert config.maneuver_cost == 100.0
+        assert config.level_reward == 50.0
+
+    def test_paper_noise_is_default(self):
+        config = Simple2DConfig()
+        assert config.own_intended_p == 0.7
+        assert dict(config.intruder_noise) == {
+            0: 0.5, -1: 0.15, 1: 0.15, -2: 0.1, 2: 0.1
+        }
+
+    def test_rejects_unnormalized_own_noise(self):
+        with pytest.raises(ValueError):
+            Simple2DConfig(own_intended_p=0.9, own_stay_p=0.2, own_opposite_p=0.1)
+
+    def test_rejects_unnormalized_intruder_noise(self):
+        with pytest.raises(ValueError):
+            Simple2DConfig(intruder_noise=((0, 0.5), (1, 0.1)))
+
+    def test_rejects_nonpositive_grid(self):
+        with pytest.raises(ValueError):
+            Simple2DConfig(y_max=0)
+
+
+class TestModelStructure:
+    def test_state_indexing_round_trip(self, model):
+        for index in range(model.num_y ** 2):
+            y_own, y_intr = model.stage_state_of(index)
+            assert model.stage_state_index(y_own, y_intr) == index
+
+    def test_outcomes_sum_to_one(self, model):
+        for action in (LEVEL_OFF, MOVE_UP, MOVE_DOWN):
+            total = sum(p for _, p in model.own_outcomes(action))
+            assert total == pytest.approx(1.0)
+        assert sum(p for _, p in model.intruder_outcomes()) == pytest.approx(1.0)
+
+    def test_move_up_distribution_matches_paper(self, model):
+        # {(0,1) -> 0.7, (0,0) -> 0.2, (0,-1) -> 0.1}
+        outcomes = dict(model.own_outcomes(MOVE_UP))
+        assert outcomes[1] == pytest.approx(0.7)
+        assert outcomes[0] == pytest.approx(0.2)
+        assert outcomes[-1] == pytest.approx(0.1)
+
+    def test_action_rewards(self, model):
+        assert model.action_reward(LEVEL_OFF) == 50.0
+        assert model.action_reward(MOVE_UP) == -100.0
+        assert model.action_reward(MOVE_DOWN) == -100.0
+
+    def test_stage_mdp_is_valid(self, model):
+        mdp = model.stage_mdp()
+        assert mdp.num_states == model.num_y ** 2
+        assert mdp.num_actions == 3
+
+    def test_terminal_values_penalize_coaltitude(self, model):
+        values = model.terminal_values()
+        same = model.stage_state_index(1, 1)
+        different = model.stage_state_index(1, -1)
+        assert values[same] == -10_000.0
+        assert values[different] == 0.0
+
+
+class TestLogicTable:
+    def test_collision_course_triggers_maneuver(self, table):
+        # Intruder at the same altitude, one step away: level off risks
+        # 50% * collision; the table must dodge.
+        assert table.action(0, 1, 0) in (MOVE_UP, MOVE_DOWN)
+
+    def test_far_apart_levels_off(self, table):
+        assert table.action(3, 9, -3) == LEVEL_OFF
+
+    def test_after_encounter_levels_off(self, table):
+        assert table.action(0, 0, 0) == LEVEL_OFF
+        assert table.action(0, -1, 0) == LEVEL_OFF
+
+    def test_values_worse_near_collision(self, table):
+        close = table.value(0, 1, 0)
+        far = table.value(3, 1, -3)
+        assert close < far
+
+    def test_as_policy_round_trip(self, table, model):
+        policy = table.as_policy()
+        stage_states = model.num_y ** 2
+        assert policy.num_states == (model.config.x_max + 1) * stage_states
+        # Spot-check one state: x_r=2, y_own=0, y_intr=1.
+        flat = 2 * stage_states + model.stage_state_index(0, 1)
+        assert policy.action(flat) == table.action(0, 2, 1)
+
+    def test_summary_counts_all_states(self, table, model):
+        counts = table.summarize()
+        total = sum(counts.values())
+        assert total == model.config.x_max * model.num_y ** 2
+
+
+class TestSolverCrossCheck:
+    def test_full_mdp_value_iteration_matches_backward_induction(self, model, table):
+        # With discount ~1 the full-state formulation reproduces the
+        # stage-wise backward induction values.
+        mdp = model.full_mdp()
+        result = value_iteration(mdp, discount=1.0 - 1e-9, tolerance=1e-6,
+                                 max_iterations=2000)
+        stage_states = model.num_y ** 2
+        for x_r in (1, 3, 9):
+            for stage in range(stage_states):
+                y_own, y_intr = model.stage_state_of(stage)
+                full_value = result.values[x_r * stage_states + stage]
+                assert full_value == pytest.approx(
+                    table.value(y_own, x_r, y_intr), rel=1e-4, abs=1e-3
+                )
+
+    def test_policy_iteration_agrees_on_full_mdp(self, model):
+        mdp = model.full_mdp()
+        vi = value_iteration(mdp, discount=0.999, tolerance=1e-10,
+                             max_iterations=5000)
+        pi = policy_iteration(mdp, discount=0.999)
+        np.testing.assert_allclose(pi.values, vi.values, atol=1e-4)
+
+
+class TestSimulator:
+    def test_collision_only_possible_at_zero_separation(self):
+        sim = Simple2DSimulator()
+        result = sim.run_episode(always_level, y_own=3, y_intruder=-3, seed=0)
+        # From maximum initial separation, a collision requires closing
+        # 6 cells in 9 steps — possible but the track data must be
+        # consistent with the verdict either way.
+        final_own = result.own_track[-1][1]
+        final_intr = result.intruder_track[-1][1]
+        assert result.collided == (final_own == final_intr)
+
+    def test_table_beats_no_avoidance(self, table):
+        sim = Simple2DSimulator(table.model)
+        base = sim.collision_rate(always_level, runs=600, seed=1)
+        with_table = sim.collision_rate(table.action, runs=600, seed=2)
+        assert with_table < base
+
+    def test_table_maximizes_expected_return(self, table):
+        # The solved policy's simulated return beats always-level
+        # (which banks +50/step but eats collisions).
+        sim = Simple2DSimulator(table.model)
+        ret_table = sim.expected_return(table.action, runs=800, seed=3)
+        ret_level = sim.expected_return(always_level, runs=800, seed=4)
+        assert ret_table > ret_level
+
+    def test_simulated_return_matches_dp_value(self, table):
+        # The DP value at the start state predicts the mean simulated
+        # return under the optimal policy.
+        sim = Simple2DSimulator(table.model)
+        predicted = table.value(0, 9, 0)
+        measured = sim.expected_return(
+            table.action, runs=4000, y_own=0, y_intruder=0, seed=5
+        )
+        assert measured == pytest.approx(predicted, abs=60.0)
+
+    def test_deterministic_given_seed(self, table):
+        sim = Simple2DSimulator(table.model)
+        a = sim.run_episode(table.action, seed=42)
+        b = sim.run_episode(table.action, seed=42)
+        assert a.own_track == b.own_track
+        assert a.intruder_track == b.intruder_track
+
+    def test_episode_length(self, table):
+        sim = Simple2DSimulator(table.model)
+        result = sim.run_episode(table.action, x_r=5, seed=0)
+        assert len(result.own_track) == 6  # initial + 5 steps
+        assert result.intruder_track[-1][0] == 0
+
+    def test_render_episode_mentions_outcome(self, table):
+        sim = Simple2DSimulator(table.model)
+        result = sim.run_episode(table.action, seed=3)
+        art = render_episode(result)
+        assert "outcome:" in art
+        assert ("COLLISION" in art) == result.collided

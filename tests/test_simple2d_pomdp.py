@@ -1,0 +1,144 @@
+"""Tests for the partial-observability extension of the toy model."""
+
+import numpy as np
+import pytest
+
+from repro.simple2d import Simple2DModel
+from repro.simple2d.pomdp import (
+    BeliefFilter,
+    ObservationModel,
+    QmdpPolicy,
+    evaluate_under_partial_observability,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Simple2DModel()
+
+
+@pytest.fixture(scope="module")
+def table(model):
+    return model.solve()
+
+
+NOISY = ObservationModel(
+    noise=((0, 0.4), (-1, 0.2), (1, 0.2), (-2, 0.1), (2, 0.1))
+)
+NOISELESS = ObservationModel(noise=((0, 1.0),))
+
+
+class TestObservationModel:
+    def test_noise_must_normalize(self):
+        with pytest.raises(ValueError):
+            ObservationModel(noise=((0, 0.5), (1, 0.2)))
+
+    def test_sample_clipped_to_grid(self):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            assert abs(NOISY.sample(3, 3, rng)) <= 3
+
+    def test_likelihood_columns_normalize(self, model):
+        likelihood = NOISY.likelihood_matrix(model.y_values)
+        np.testing.assert_allclose(likelihood.sum(axis=0), 1.0)
+
+    def test_noiseless_likelihood_is_identity(self, model):
+        likelihood = NOISELESS.likelihood_matrix(model.y_values)
+        np.testing.assert_allclose(likelihood, np.eye(model.num_y))
+
+
+class TestBeliefFilter:
+    def test_belief_normalized_through_cycle(self, model):
+        filter_ = BeliefFilter(model, NOISY)
+        rng = np.random.default_rng(1)
+        for __ in range(20):
+            filter_.update(int(rng.integers(-3, 4)))
+            assert filter_.belief.sum() == pytest.approx(1.0)
+            assert np.all(filter_.belief >= 0)
+            filter_.predict()
+            assert filter_.belief.sum() == pytest.approx(1.0)
+
+    def test_point_prior(self, model):
+        filter_ = BeliefFilter(model, NOISY)
+        filter_.reset(2)
+        assert filter_.belief[model.y_index(2)] == 1.0
+        assert filter_.map_estimate() == 2
+
+    def test_noiseless_observation_collapses_belief(self, model):
+        filter_ = BeliefFilter(model, NOISELESS)
+        filter_.reset(None)  # uniform
+        filter_.update(1)
+        assert filter_.map_estimate() == 1
+        assert filter_.belief[model.y_index(1)] == pytest.approx(1.0)
+
+    def test_repeated_observations_concentrate_belief(self, model):
+        filter_ = BeliefFilter(model, NOISY)
+        filter_.reset(None)
+        entropy_before = -(filter_.belief * np.log(filter_.belief + 1e-12)).sum()
+        for __ in range(5):
+            filter_.update(0)
+        entropy_after = -(filter_.belief * np.log(filter_.belief + 1e-12)).sum()
+        assert entropy_after < entropy_before
+        assert filter_.map_estimate() == 0
+
+    def test_prediction_diffuses_belief(self, model):
+        filter_ = BeliefFilter(model, NOISY)
+        filter_.reset(0)
+        filter_.predict()
+        assert filter_.belief[model.y_index(0)] < 1.0
+        assert filter_.belief[model.y_index(1)] > 0.0
+
+
+class TestQmdpPolicy:
+    def test_matches_mdp_policy_with_point_belief(self, model, table):
+        filter_ = BeliefFilter(model, NOISELESS)
+        policy = QmdpPolicy(table, filter_)
+        for y_intr in range(-3, 4):
+            for y_own in range(-3, 4):
+                for x_r in (1, 3, 6):
+                    filter_.reset(y_intr)
+                    assert policy.action(y_own, x_r) == table.action(
+                        y_own, x_r, y_intr
+                    )
+
+    def test_level_off_after_encounter(self, model, table):
+        filter_ = BeliefFilter(model, NOISY)
+        policy = QmdpPolicy(table, filter_)
+        assert policy.action(0, 0) == 0
+
+    def test_q_values_requires_solved_table(self, model):
+        from repro.simple2d.model import Simple2DLogicTable
+
+        bare = Simple2DLogicTable(model, [], [])
+        with pytest.raises(RuntimeError):
+            bare.q_values(0, 1)
+
+
+class TestEvaluation:
+    def test_noiseless_matches_fully_observable(self, table):
+        qmdp = evaluate_under_partial_observability(
+            table, NOISELESS, use_qmdp=True, runs=400, seed=0
+        )
+        ce = evaluate_under_partial_observability(
+            table, NOISELESS, use_qmdp=False, runs=400, seed=0
+        )
+        # With perfect observations the two controllers are identical.
+        assert qmdp.collision_rate == ce.collision_rate
+        assert qmdp.mean_return == ce.mean_return
+
+    def test_qmdp_beats_certainty_equivalence_under_noise(self, table):
+        qmdp = evaluate_under_partial_observability(
+            table, NOISY, use_qmdp=True, runs=2000, seed=3
+        )
+        ce = evaluate_under_partial_observability(
+            table, NOISY, use_qmdp=False, runs=2000, seed=3
+        )
+        # Belief tracking recovers return lost to observation noise.
+        assert qmdp.mean_return > ce.mean_return
+
+    def test_result_fields(self, table):
+        result = evaluate_under_partial_observability(
+            table, NOISY, use_qmdp=True, runs=50, seed=1
+        )
+        assert result.runs == 50
+        assert 0.0 <= result.collision_rate <= 1.0

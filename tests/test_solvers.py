@@ -1,0 +1,150 @@
+"""Tests for value iteration, backward induction and policy iteration.
+
+Includes the cross-solver consistency checks the paper's development
+process implicitly relies on ("the optimized logic is correct with
+respect to the model"): on the same model, all solvers must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mdp.model import TabularMDP
+from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.value_iteration import backward_induction, value_iteration
+
+
+def make_random_mdp(num_states=6, num_actions=3, seed=0):
+    rng = np.random.default_rng(seed)
+    transitions = rng.uniform(size=(num_actions, num_states, num_states))
+    transitions /= transitions.sum(axis=2, keepdims=True)
+    rewards = rng.uniform(-1, 1, size=(num_actions, num_states))
+    return TabularMDP(transitions, rewards)
+
+
+def chain_mdp():
+    """Deterministic 3-state chain with a known optimal value."""
+    # States 0,1,2; action 0 advances, action 1 stays.  Reward 1 for
+    # arriving at state 2, else 0.  State 2 is absorbing.
+    transitions = np.zeros((2, 3, 3))
+    transitions[0, 0, 1] = 1.0
+    transitions[0, 1, 2] = 1.0
+    transitions[0, 2, 2] = 1.0
+    transitions[1, 0, 0] = 1.0
+    transitions[1, 1, 1] = 1.0
+    transitions[1, 2, 2] = 1.0
+    rewards = np.zeros((2, 3))
+    rewards[0, 1] = 1.0  # advancing from 1 reaches the goal
+    return TabularMDP(transitions, rewards)
+
+
+class TestValueIteration:
+    def test_converges_on_random_mdp(self):
+        result = value_iteration(make_random_mdp(), discount=0.9)
+        assert result.converged
+        assert result.residual < 1e-8
+
+    def test_chain_optimal_values(self):
+        result = value_iteration(chain_mdp(), discount=0.5)
+        # V(1) = 1 (advance now); V(0) = 0 + 0.5 * V(1) = 0.5.
+        assert result.values[1] == pytest.approx(1.0, abs=1e-6)
+        assert result.values[0] == pytest.approx(0.5, abs=1e-6)
+        np.testing.assert_array_equal(result.policy[:2], [0, 0])
+
+    def test_bellman_fixed_point(self):
+        mdp = make_random_mdp(seed=3)
+        result = value_iteration(mdp, discount=0.8)
+        q = mdp.q_backup(result.values, 0.8)
+        np.testing.assert_allclose(q.max(axis=0), result.values, atol=1e-6)
+
+    def test_warm_start_accepted(self):
+        mdp = make_random_mdp(seed=1)
+        cold = value_iteration(mdp, discount=0.9)
+        warm = value_iteration(mdp, discount=0.9, initial_values=cold.values)
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(warm.values, cold.values, atol=1e-6)
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValueError):
+            value_iteration(make_random_mdp(), discount=1.5)
+
+    def test_max_iterations_respected(self):
+        result = value_iteration(
+            make_random_mdp(), discount=0.99, max_iterations=3
+        )
+        assert result.iterations == 3
+        assert not result.converged
+
+
+class TestPolicyIteration:
+    def test_agrees_with_value_iteration(self):
+        mdp = make_random_mdp(seed=7)
+        vi = value_iteration(mdp, discount=0.9, tolerance=1e-12)
+        pi = policy_iteration(mdp, discount=0.9)
+        assert pi.converged
+        np.testing.assert_allclose(pi.values, vi.values, atol=1e-6)
+        # Policies agree wherever Q-values are not tied.
+        q = vi.q_values
+        for s in range(mdp.num_states):
+            assert q[pi.policy[s], s] == pytest.approx(
+                q[vi.policy[s], s], abs=1e-6
+            )
+
+    def test_multiple_seeds(self):
+        for seed in range(5):
+            mdp = make_random_mdp(seed=seed)
+            vi = value_iteration(mdp, discount=0.85, tolerance=1e-12)
+            pi = policy_iteration(mdp, discount=0.85)
+            np.testing.assert_allclose(pi.values, vi.values, atol=1e-5)
+
+    def test_rejects_discount_one(self):
+        with pytest.raises(ValueError):
+            policy_iteration(make_random_mdp(), discount=1.0)
+
+    def test_initial_policy_used(self):
+        mdp = make_random_mdp(seed=2)
+        result = policy_iteration(
+            mdp, discount=0.9, initial_policy=np.ones(6, dtype=int)
+        )
+        assert result.converged
+
+
+class TestBackwardInduction:
+    def test_horizon_one_is_greedy_on_terminal(self):
+        mdp = chain_mdp()
+        terminal = np.array([0.0, 0.0, 5.0])
+        result = backward_induction(mdp, horizon=1, terminal_values=terminal)
+        # From state 1, advancing earns 1 + terminal(2) = 6.
+        assert result.values[1][1] == pytest.approx(6.0)
+        assert result.policies[0][1] == 0
+
+    def test_values_are_monotone_in_horizon_for_positive_rewards(self):
+        transitions = np.zeros((1, 2, 2))
+        transitions[0] = [[0.5, 0.5], [0.5, 0.5]]
+        rewards = np.ones((1, 2))
+        mdp = TabularMDP(transitions, rewards)
+        result = backward_induction(mdp, horizon=4)
+        for k in range(4):
+            assert np.all(result.values[k + 1] >= result.values[k])
+
+    def test_horizon_matches_length(self):
+        result = backward_induction(chain_mdp(), horizon=3)
+        assert result.horizon == 3
+        assert len(result.values) == 4  # includes terminal stage
+
+    def test_infinite_horizon_limit_matches_value_iteration(self):
+        # With discounting, long-horizon backward induction converges
+        # to the infinite-horizon values.
+        mdp = make_random_mdp(seed=9)
+        vi = value_iteration(mdp, discount=0.7, tolerance=1e-12)
+        bi = backward_induction(mdp, horizon=80, discount=0.7)
+        np.testing.assert_allclose(bi.values[-1], vi.values, atol=1e-8)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            backward_induction(chain_mdp(), horizon=0)
+
+    def test_bad_terminal_shape_rejected(self):
+        with pytest.raises(ValueError):
+            backward_induction(
+                chain_mdp(), horizon=2, terminal_values=np.zeros(5)
+            )

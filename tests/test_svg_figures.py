@@ -1,0 +1,139 @@
+"""Tests for the SVG writer and figure regeneration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    fitness_scatter,
+    generation_means_figure,
+    trajectory_figure,
+)
+from repro.analysis.svg import Bounds, SvgFigure
+from repro.search.ga import GAResult
+from repro.sim.trace import TrajectoryTrace
+from repro.dynamics.aircraft import AircraftState
+
+
+class TestBounds:
+    def test_of_data(self):
+        bounds = Bounds.of([0.0, 10.0], [5.0, 15.0], pad=0.0)
+        assert bounds.x_min == 0.0 and bounds.x_max == 10.0
+        assert bounds.y_min == 5.0 and bounds.y_max == 15.0
+
+    def test_degenerate_data_widened(self):
+        bounds = Bounds.of([3.0, 3.0], [7.0, 7.0])
+        assert bounds.x_max > bounds.x_min
+        assert bounds.y_max > bounds.y_min
+
+    def test_empty_data(self):
+        bounds = Bounds.of([], [])
+        assert bounds.x_max > bounds.x_min
+
+
+class TestSvgFigure:
+    def make_figure(self):
+        return SvgFigure(
+            Bounds(0.0, 10.0, 0.0, 10.0),
+            title="T<est>",
+            x_label="x",
+            y_label="y",
+        )
+
+    def test_render_is_valid_svg_shell(self):
+        svg = self.make_figure().render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_title_escaped(self):
+        svg = self.make_figure().render()
+        assert "T&lt;est&gt;" in svg
+        assert "<est>" not in svg
+
+    def test_scatter_adds_circles(self):
+        figure = self.make_figure()
+        figure.scatter([1, 2, 3], [4, 5, 6], label="pts")
+        svg = figure.render()
+        assert svg.count("<circle") == 3
+        assert "pts" in svg  # legend entry
+
+    def test_line_adds_polyline(self):
+        figure = self.make_figure()
+        figure.line([0, 5, 10], [0, 5, 10])
+        assert "<polyline" in figure.render()
+
+    def test_reference_lines_and_annotation(self):
+        figure = self.make_figure()
+        figure.hline(5.0)
+        figure.vline(5.0)
+        figure.annotate(1.0, 1.0, "note")
+        svg = figure.render()
+        assert "note" in svg
+        assert "stroke-dasharray" in svg
+
+    def test_coordinate_mapping_flips_y(self):
+        figure = self.make_figure()
+        low = figure._sy(0.0)
+        high = figure._sy(10.0)
+        assert high < low  # larger data y is higher on screen
+
+    def test_save(self, tmp_path):
+        figure = self.make_figure()
+        path = figure.save(tmp_path / "sub" / "fig.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+def fake_ga_result():
+    rng = np.random.default_rng(0)
+    generations = [rng.uniform(0, 100, size=(10, 9)) for _ in range(3)]
+    fitness = [
+        rng.uniform(0, 100, size=10) + 40 * gen for gen in range(3)
+    ]
+    return GAResult(
+        best_genome=generations[-1][0],
+        best_fitness=float(max(f.max() for f in fitness)),
+        generations=generations,
+        fitness_history=fitness,
+        evaluations=30,
+    )
+
+
+def fake_trace():
+    trace = TrajectoryTrace()
+    for t in range(10):
+        trace.record(
+            float(t),
+            AircraftState(np.array([30.0 * t, 0.0, 1000.0 + t]),
+                          np.array([30.0, 0.0, 1.0])),
+            AircraftState(np.array([900.0 - 30.0 * t, 10.0, 1010.0 - t]),
+                          np.array([-30.0, 0.0, -1.0])),
+            own_advisory="CLIMB" if t > 5 else "COC",
+            intruder_advisory="COC",
+        )
+    return trace
+
+
+class TestFigures:
+    def test_fitness_scatter(self, tmp_path):
+        path = fitness_scatter(fake_ga_result(), tmp_path / "fig6.svg")
+        svg = path.read_text()
+        assert svg.count("<circle") == 30
+        assert "generation 2" in svg
+
+    def test_generation_means(self, tmp_path):
+        path = generation_means_figure(fake_ga_result(), tmp_path / "means.svg")
+        svg = path.read_text()
+        assert "mean" in svg and "max" in svg
+
+    def test_trajectory_figure(self, tmp_path):
+        path = trajectory_figure(fake_trace(), tmp_path / "traj.svg")
+        assert path.exists()
+        plan = path.with_name("traj.plan.svg")
+        assert plan.exists()
+        profile_svg = path.read_text()
+        assert "advisory active" in profile_svg
+
+    def test_trajectory_figure_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            trajectory_figure(TrajectoryTrace(), tmp_path / "x.svg")

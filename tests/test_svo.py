@@ -1,0 +1,106 @@
+"""Tests for the Selective Velocity Obstacle baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.avoidance.base import NoAvoidance
+from repro.avoidance.svo import SelectiveVelocityObstacle, _wrap_angle
+from repro.dynamics.aircraft import AircraftState
+
+
+def state(x=0.0, y=0.0, z=1000.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestWrapAngle:
+    def test_wraps_into_pi(self):
+        # ±π are the same heading; floating point may yield either sign.
+        assert abs(_wrap_angle(3 * math.pi)) == pytest.approx(math.pi)
+        assert abs(_wrap_angle(-3 * math.pi)) == pytest.approx(math.pi)
+        assert _wrap_angle(0.3) == pytest.approx(0.3)
+        assert _wrap_angle(2 * math.pi + 0.5) == pytest.approx(0.5)
+
+
+class TestConflictDetection:
+    def test_head_on_is_conflict(self):
+        svo = SelectiveVelocityObstacle(protected_radius=100.0)
+        rel_pos = np.array([1000.0, 0.0])
+        rel_vel = np.array([20.0, 0.0])  # own moving toward intruder
+        assert svo._in_conflict(rel_pos, rel_vel)
+
+    def test_diverging_is_not_conflict(self):
+        svo = SelectiveVelocityObstacle(protected_radius=100.0)
+        assert not svo._in_conflict(
+            np.array([1000.0, 0.0]), np.array([-20.0, 0.0])
+        )
+
+    def test_passing_wide_is_not_conflict(self):
+        svo = SelectiveVelocityObstacle(protected_radius=50.0)
+        # Relative velocity pointing well off the intruder bearing.
+        assert not svo._in_conflict(
+            np.array([1000.0, 0.0]), np.array([10.0, 15.0])
+        )
+
+    def test_inside_protected_zone_is_conflict(self):
+        svo = SelectiveVelocityObstacle(protected_radius=100.0)
+        assert svo._in_conflict(np.array([50.0, 0.0]), np.array([0.1, 0.0]))
+
+    def test_beyond_lookahead_ignored(self):
+        svo = SelectiveVelocityObstacle(protected_radius=50.0, lookahead=10.0)
+        # 1000 m away closing at 1 m/s: 950 s out.
+        assert not svo._in_conflict(
+            np.array([1000.0, 0.0]), np.array([1.0, 0.0])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectiveVelocityObstacle(protected_radius=0.0)
+
+
+class TestDecide:
+    def test_no_conflict_no_maneuver(self):
+        svo = SelectiveVelocityObstacle()
+        maneuver = svo.decide(state(vx=20.0), state(x=-2000.0, vx=20.0))
+        assert not maneuver.is_active
+        assert not svo.ever_alerted
+
+    def test_head_on_commands_turn(self):
+        svo = SelectiveVelocityObstacle()
+        maneuver = svo.decide(state(vx=20.0), state(x=2000.0, vx=-20.0))
+        assert maneuver.heading is not None
+        assert svo.ever_alerted
+
+    def test_prefers_right_turn(self):
+        # Symmetric head-on: the selective rule resolves to the right
+        # (negative heading offset from a +x track).
+        svo = SelectiveVelocityObstacle()
+        maneuver = svo.decide(state(vx=20.0), state(x=2000.0, vx=-20.0))
+        assert _wrap_angle(maneuver.heading.target_heading) < 0.0
+
+    def test_commanded_heading_clears_cone(self):
+        svo = SelectiveVelocityObstacle()
+        own = state(vx=20.0)
+        intruder = state(x=2000.0, vx=-20.0)
+        maneuver = svo.decide(own, intruder)
+        heading = maneuver.heading.target_heading
+        new_vel = 20.0 * np.array([math.cos(heading), math.sin(heading)])
+        rel_vel = new_vel - intruder.velocity[:2]
+        rel_pos = intruder.position[:2] - own.position[:2]
+        assert not svo._in_conflict(rel_pos, rel_vel)
+
+    def test_hovering_ownship_cannot_steer(self):
+        svo = SelectiveVelocityObstacle()
+        maneuver = svo.decide(state(), state(x=500.0, vx=-20.0))
+        assert maneuver.heading is None
+
+    def test_reset_clears_alert_flag(self):
+        svo = SelectiveVelocityObstacle()
+        svo.decide(state(vx=20.0), state(x=2000.0, vx=-20.0))
+        svo.reset()
+        assert not svo.ever_alerted
+
+    def test_name(self):
+        assert SelectiveVelocityObstacle().name == "SVO"
+        assert NoAvoidance().name == "NoAvoidance"

@@ -1,0 +1,171 @@
+"""Tests for the alpha-beta tracker and the tracked-avoidance wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.avoidance.base import NoAvoidance
+from repro.avoidance.tracked import TrackedAvoidance
+from repro.dynamics.aircraft import AircraftState
+from repro.estimation.tracker import AlphaBetaFilter, StateTracker
+
+
+def state(x=0.0, y=0.0, z=1000.0, vx=0.0, vy=0.0, vz=0.0):
+    return AircraftState(np.array([x, y, z]), np.array([vx, vy, vz]))
+
+
+class TestAlphaBetaFilter:
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            AlphaBetaFilter(alpha=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaFilter(beta=2.5)
+
+    def test_first_measurement_initializes(self):
+        filt = AlphaBetaFilter()
+        filt.update(10.0, dt=1.0, measured_velocity=2.0)
+        assert filt.position == 10.0
+        assert filt.velocity == 2.0
+
+    def test_uninitialized_access_raises(self):
+        filt = AlphaBetaFilter()
+        assert not filt.initialized
+        with pytest.raises(RuntimeError):
+            filt.predict(1.0)
+        with pytest.raises(RuntimeError):
+            __ = filt.position
+
+    def test_tracks_constant_velocity_exactly(self):
+        filt = AlphaBetaFilter(alpha=0.5, beta=0.3)
+        for t in range(1, 20):
+            filt.update(5.0 * t, dt=1.0, measured_velocity=5.0)
+        assert filt.position == pytest.approx(5.0 * 19, abs=1e-6)
+        assert filt.velocity == pytest.approx(5.0, abs=1e-6)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        filt = AlphaBetaFilter(alpha=0.3, beta=0.1)
+        errors = []
+        for t in range(1, 200):
+            truth = 3.0 * t
+            filt.update(truth + rng.normal(0, 5.0), dt=1.0,
+                        measured_velocity=3.0 + rng.normal(0, 1.0))
+            errors.append(filt.position - truth)
+        # Steady-state tracking error must be well below measurement noise.
+        assert np.std(errors[50:]) < 5.0
+
+    def test_coast_uses_velocity(self):
+        filt = AlphaBetaFilter()
+        filt.update(0.0, dt=1.0, measured_velocity=4.0)
+        filt.predict(2.0)
+        assert filt.position == pytest.approx(8.0)
+
+    def test_velocity_from_positions_when_no_velocity_report(self):
+        filt = AlphaBetaFilter(alpha=0.8, beta=0.5)
+        for t in range(1, 30):
+            filt.update(2.0 * t, dt=1.0)
+        assert filt.velocity == pytest.approx(2.0, abs=0.2)
+
+    def test_reset(self):
+        filt = AlphaBetaFilter()
+        filt.update(5.0, dt=1.0)
+        filt.reset()
+        assert not filt.initialized
+
+
+class TestStateTracker:
+    def test_update_then_estimate(self):
+        tracker = StateTracker()
+        estimate = tracker.update(state(x=100.0, vx=-20.0), dt=1.0)
+        assert estimate.position[0] == pytest.approx(100.0)
+        assert estimate.velocity[0] == pytest.approx(-20.0)
+
+    def test_coast_and_staleness(self):
+        tracker = StateTracker(max_coast=3.0)
+        tracker.update(state(x=0.0, vx=10.0), dt=1.0)
+        for __ in range(3):
+            tracker.coast(1.0)
+        assert not tracker.is_stale
+        tracker.coast(1.0)
+        assert tracker.is_stale
+        assert tracker.estimate().position[0] == pytest.approx(40.0)
+
+    def test_update_clears_staleness(self):
+        tracker = StateTracker(max_coast=1.0)
+        tracker.update(state(), dt=1.0)
+        tracker.coast(2.0)
+        assert tracker.is_stale
+        tracker.update(state(), dt=1.0)
+        assert not tracker.is_stale
+
+    def test_uninitialized_coast_raises(self):
+        with pytest.raises(RuntimeError):
+            StateTracker().coast(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StateTracker(max_coast=0.0)
+
+
+class _RecordingAvoidance(NoAvoidance):
+    """Records the intruder states it was shown."""
+
+    def __init__(self):
+        self.seen = []
+
+    def decide(self, own, sensed_intruder):
+        self.seen.append(sensed_intruder)
+        return super().decide(own, sensed_intruder)
+
+
+class TestTrackedAvoidance:
+    def test_passes_smoothed_estimate(self):
+        inner = _RecordingAvoidance()
+        tracked = TrackedAvoidance(inner, dt=1.0)
+        tracked.decide(state(), state(x=50.0, vx=-5.0))
+        assert len(inner.seen) == 1
+        assert inner.seen[0].position[0] == pytest.approx(50.0)
+
+    def test_coasts_through_dropout(self):
+        inner = _RecordingAvoidance()
+        tracked = TrackedAvoidance(inner, dt=1.0)
+        tracked.decide(state(), state(x=50.0, vx=-5.0))
+        tracked.decide(state(), None)  # dropped report
+        assert len(inner.seen) == 2
+        assert inner.seen[1].position[0] == pytest.approx(45.0)
+
+    def test_stale_track_holds_last_maneuver(self):
+        inner = _RecordingAvoidance()
+        tracked = TrackedAvoidance(
+            inner, tracker=__import__(
+                "repro.estimation.tracker", fromlist=["StateTracker"]
+            ).StateTracker(max_coast=1.0),
+            dt=1.0,
+        )
+        tracked.decide(state(), state(x=50.0, vx=-5.0))
+        tracked.decide(state(), None)
+        tracked.decide(state(), None)  # now stale
+        # The inner algorithm was not consulted on the stale step.
+        assert len(inner.seen) == 2
+
+    def test_no_report_ever_no_maneuver(self):
+        tracked = TrackedAvoidance(_RecordingAvoidance())
+        maneuver = tracked.decide(state(), None)
+        assert not maneuver.is_active
+
+    def test_handles_dropout_flag(self):
+        assert TrackedAvoidance(NoAvoidance()).handles_dropout
+        assert not NoAvoidance().handles_dropout
+
+    def test_reset_propagates(self):
+        inner = _RecordingAvoidance()
+        tracked = TrackedAvoidance(inner)
+        tracked.decide(state(), state(x=10.0))
+        tracked.reset()
+        assert not tracked.tracker.initialized
+
+    def test_name(self):
+        assert TrackedAvoidance(NoAvoidance()).name == "Tracked(NoAvoidance)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackedAvoidance(NoAvoidance(), dt=0.0)

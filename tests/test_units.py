@@ -1,0 +1,55 @@
+"""Tests for repro.util.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import units
+
+
+class TestConstants:
+    def test_feet_per_meter(self):
+        assert units.FT_PER_M == pytest.approx(3.28084, rel=1e-5)
+
+    def test_nmac_horizontal_is_500_ft(self):
+        assert units.meters_to_feet(units.NMAC_HORIZONTAL_M) == pytest.approx(500.0)
+
+    def test_nmac_vertical_is_100_ft(self):
+        assert units.meters_to_feet(units.NMAC_VERTICAL_M) == pytest.approx(100.0)
+
+    def test_gravity(self):
+        assert units.G == pytest.approx(9.80665)
+
+    def test_1500_fpm_in_mps(self):
+        # The CLIMB advisory's 1500 ft/min target.
+        assert units.fpm_to_mps(1500.0) == pytest.approx(7.62)
+
+    def test_2500_fpm_in_mps(self):
+        assert units.fpm_to_mps(2500.0) == pytest.approx(12.7)
+
+    def test_knot(self):
+        assert units.knots_to_mps(1.0) == pytest.approx(0.514444, rel=1e-5)
+
+
+class TestConversions:
+    @given(st.floats(-1e6, 1e6))
+    def test_feet_meters_round_trip(self, value):
+        assert units.feet_to_meters(units.meters_to_feet(value)) == pytest.approx(
+            value, abs=1e-9
+        )
+
+    @given(st.floats(-1e5, 1e5))
+    def test_fpm_round_trip(self, value):
+        assert units.mps_to_fpm(units.fpm_to_mps(value)) == pytest.approx(
+            value, abs=1e-9
+        )
+
+    def test_zero_maps_to_zero(self):
+        assert units.feet_to_meters(0.0) == 0.0
+        assert units.fpm_to_mps(0.0) == 0.0
+        assert units.knots_to_mps(0.0) == 0.0
+
+    def test_sign_preserved(self):
+        assert units.fpm_to_mps(-1500.0) == pytest.approx(-7.62)
+        assert units.feet_to_meters(-100.0) < 0

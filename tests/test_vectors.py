@@ -1,0 +1,84 @@
+"""Tests for repro.dynamics.vectors (paper Eq. (1))."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dynamics.vectors import (
+    Velocity,
+    cartesian_to_polar,
+    polar_to_cartesian,
+)
+
+
+class TestPolarToCartesian:
+    def test_eastbound(self):
+        np.testing.assert_allclose(
+            polar_to_cartesian(10.0, 0.0, 2.0), [10.0, 0.0, 2.0]
+        )
+
+    def test_northbound(self):
+        np.testing.assert_allclose(
+            polar_to_cartesian(10.0, math.pi / 2, -1.0),
+            [0.0, 10.0, -1.0],
+            atol=1e-12,
+        )
+
+    def test_reciprocal_heading(self):
+        forward = polar_to_cartesian(5.0, 0.3, 0.0)
+        backward = polar_to_cartesian(5.0, 0.3 + math.pi, 0.0)
+        np.testing.assert_allclose(forward[:2], -backward[:2], atol=1e-12)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            polar_to_cartesian(-1.0, 0.0, 0.0)
+
+    @given(
+        st.floats(0.0, 100.0),
+        st.floats(-math.pi, math.pi),
+        st.floats(-10.0, 10.0),
+    )
+    def test_ground_speed_preserved(self, gs, bearing, vs):
+        vx, vy, vz = polar_to_cartesian(gs, bearing, vs)
+        assert math.hypot(vx, vy) == pytest.approx(gs, abs=1e-9)
+        assert vz == vs
+
+
+class TestCartesianToPolar:
+    @given(
+        st.floats(0.1, 100.0),
+        st.floats(-math.pi + 1e-6, math.pi),
+        st.floats(-10.0, 10.0),
+    )
+    def test_round_trip(self, gs, bearing, vs):
+        cart = polar_to_cartesian(gs, bearing, vs)
+        gs2, bearing2, vs2 = cartesian_to_polar(cart)
+        assert gs2 == pytest.approx(gs, rel=1e-9)
+        assert bearing2 == pytest.approx(bearing, abs=1e-9)
+        assert vs2 == pytest.approx(vs)
+
+    def test_hovering_bearing_is_zero(self):
+        assert cartesian_to_polar(np.array([0.0, 0.0, 3.0]))[1] == 0.0
+
+
+class TestVelocity:
+    def test_from_polar(self):
+        v = Velocity.from_polar(10.0, 0.0, 1.0)
+        assert v.vx == pytest.approx(10.0)
+        assert v.ground_speed == pytest.approx(10.0)
+        assert v.vertical_speed == 1.0
+
+    def test_array_view(self):
+        v = Velocity(1.0, 2.0, 3.0)
+        np.testing.assert_allclose(v.array, [1.0, 2.0, 3.0])
+
+    def test_addition_and_scaling(self):
+        v = Velocity(1.0, 2.0, 3.0) + Velocity(1.0, 1.0, 1.0)
+        assert (v.vx, v.vy, v.vz) == (2.0, 3.0, 4.0)
+        s = v.scaled(0.5)
+        assert (s.vx, s.vy, s.vz) == (1.0, 1.5, 2.0)
+
+    def test_bearing(self):
+        assert Velocity(0.0, 5.0, 0.0).bearing == pytest.approx(math.pi / 2)
