@@ -1,0 +1,66 @@
+"""Benchmark: the campaign API's backend fidelity/speed trade-off.
+
+Runs the same reference campaign — the paper's two canonical geometries
+plus sampled encounters from the statistical model — through both
+registered simulation backends and through the process-parallel path,
+recording each run's :class:`~repro.experiments.ResultSet` (aggregates
+plus wall-clock timing) under ``benchmarks/results/``.  The recorded
+ratio is the price of the faithful agent engine relative to the
+vectorized fast path, and the parallel run documents the fan-out the
+campaign seam buys.
+"""
+
+from conftest import record_campaign, record_result
+
+from repro.encounters import StatisticalEncounterModel
+from repro.experiments import Campaign, ExplicitSource, SampledSource
+
+RUNS_PER_SCENARIO = 30
+SAMPLED_ENCOUNTERS = 10
+
+
+def _campaign(table, backend):
+    return Campaign(
+        ExplicitSource(["head_on", "tail_approach"]),
+        backend=backend,
+        table=table,
+        runs_per_scenario=RUNS_PER_SCENARIO,
+    )
+
+
+def test_bench_campaign_vectorized(benchmark, fast_table):
+    campaign = _campaign(fast_table, "vectorized")
+    results = benchmark.pedantic(
+        lambda: campaign.run(seed=0), rounds=1, iterations=1
+    )
+    record_campaign("campaign_vectorized", results)
+
+
+def test_bench_campaign_agent(benchmark, fast_table):
+    campaign = _campaign(fast_table, "agent")
+    results = benchmark.pedantic(
+        lambda: campaign.run(seed=0), rounds=1, iterations=1
+    )
+    record_campaign("campaign_agent", results)
+    assert results.total_runs == 2 * RUNS_PER_SCENARIO
+
+
+def test_bench_campaign_parallel_speedup(fast_table):
+    campaign = Campaign(
+        SampledSource(StatisticalEncounterModel(), SAMPLED_ENCOUNTERS),
+        backend="agent",
+        table=fast_table,
+        runs_per_scenario=10,
+    )
+    serial = campaign.run(seed=1, workers=1)
+    parallel = campaign.run(seed=1, workers=4)
+    record_campaign("campaign_parallel", parallel)
+    record_result(
+        "campaign_parallel_speedup",
+        f"serial wall:   {serial.wall_time:.2f}s\n"
+        f"parallel wall: {parallel.wall_time:.2f}s (4 workers)\n"
+        f"speedup:       {serial.wall_time / parallel.wall_time:.2f}x\n"
+        f"identical results: "
+        f"{(serial.min_separations() == parallel.min_separations()).all()}\n",
+    )
+    assert (serial.min_separations() == parallel.min_separations()).all()

@@ -26,6 +26,20 @@ def record_result(name: str, text: str) -> None:
     print(text)
 
 
+def record_campaign(name: str, result_set) -> None:
+    """Persist a campaign :class:`~repro.experiments.ResultSet` as JSON.
+
+    The export carries the campaign's own wall-clock timing alongside
+    the per-scenario aggregates, so every campaign-shaped benchmark
+    leaves a machine-readable timing record next to its text output.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.campaign.json"
+    result_set.to_json(path)
+    print(f"\n----- {name} ({result_set.wall_time:.2f}s wall) -----")
+    print(result_set.summary())
+
+
 @pytest.fixture(scope="session")
 def fast_table():
     """Logic table at test resolution (for search-heavy benches)."""

@@ -26,14 +26,20 @@ def main() -> None:
     table = build_logic_table(test_config())
 
     model = StatisticalEncounterModel()
+    # The estimator runs paired repro.experiments campaigns; backend and
+    # worker count are campaign knobs ("agent" trades speed for the
+    # faithful engine, workers>1 fans encounters across processes
+    # without changing the estimate).
     estimator = MonteCarloEstimator(
-        table, model, runs_per_encounter=20
+        table, model, runs_per_encounter=20,
+        backend="vectorized", workers=2,
     )
 
     print("=== Monte-Carlo campaign: 100 encounters x 20 runs x 2 arms ===")
     start = time.perf_counter()
     report = estimator.estimate(num_encounters=100, seed=0)
-    print(f"campaign took {time.perf_counter() - start:.1f}s")
+    print(f"campaign took {time.perf_counter() - start:.1f}s "
+          f"(equipped arm wall: {report.equipped_results.wall_time:.1f}s)")
     print()
     print(report.summary())
     print()

@@ -1,12 +1,15 @@
-"""Quickstart: build the logic, fly an encounter, inspect the outcome.
+"""Quickstart: build the logic, run a validation campaign, inspect it.
 
-Runs the full pipeline of the paper in miniature:
+Runs the full pipeline of the paper in miniature through the unified
+campaign API:
 
 1. solve the ACAS XU-like MDP into a logic table (model-based
    optimization, Sections II-III);
-2. simulate a head-on encounter with both UAVs equipped and
-   coordinated (Section VI);
-3. compare with the unequipped outcome and print the trajectory.
+2. declare a campaign over the canonical geometries — equipped and
+   coordinated — and run it with the vectorized backend (Section VI);
+3. compare against the unequipped counterfactual campaign;
+4. replay the worst scenario through the faithful agent engine to see
+   its trajectory and advisories.
 
 Usage::
 
@@ -14,14 +17,17 @@ Usage::
 """
 
 from repro import (
+    Campaign,
     build_logic_table,
-    head_on_encounter,
     make_acas_pair,
     run_encounter,
     test_config,
 )
 from repro.sim import EncounterSimConfig
 from repro.sim.trace import render_vertical_profile
+
+SCENARIOS = ["head_on", "tail_approach"]
+RUNS = 50
 
 
 def main() -> None:
@@ -30,26 +36,40 @@ def main() -> None:
     print(f"solved: {table}")
     print()
 
-    params = head_on_encounter(ground_speed=30.0, time_to_cpa=30.0)
-    config = EncounterSimConfig()
-
-    print("=== 2. Unequipped baseline (no avoidance) ===")
-    baseline = run_encounter(params, config=config, seed=42)
-    print(f"NMAC: {baseline.nmac}")
-    print(f"minimum separation: {baseline.min_separation:.1f} m")
+    print(f"=== 2. Campaign: {SCENARIOS} x {RUNS} runs, equipped ===")
+    equipped = Campaign(
+        SCENARIOS,
+        backend="vectorized",   # or "agent" for the faithful engine
+        table=table,
+        runs_per_scenario=RUNS,
+    ).run(seed=42)              # workers=4 would give identical bits
+    print(equipped.summary())
     print()
 
-    print("=== 3. Both UAVs equipped, coordinated ===")
+    print("=== 3. Unequipped counterfactual ===")
+    baseline = Campaign(
+        SCENARIOS,
+        equipage="none",
+        runs_per_scenario=RUNS,
+    ).run(seed=42)
+    print(f"unequipped NMAC rate: {baseline.nmac_rate:.2f} "
+          f"vs equipped: {equipped.nmac_rate:.2f}")
+    print()
+
+    print("=== 4. Replay the worst scenario through the agent engine ===")
+    worst = equipped.worst()
     own, intruder = make_acas_pair(table, coordination=True)
-    result = run_encounter(
-        params, own, intruder, config, seed=42, record_trace=True
+    replay = run_encounter(
+        worst.params, own, intruder, EncounterSimConfig(),
+        seed=42, record_trace=True,
     )
-    print(f"NMAC: {result.nmac}")
-    print(f"minimum separation: {result.min_separation:.1f} m")
-    print(f"own-ship advisories:  {result.trace.advisories_issued('own')}")
-    print(f"intruder advisories:  {result.trace.advisories_issued('intruder')}")
+    print(f"worst scenario: {worst.name} "
+          f"(campaign NMAC rate {worst.nmac_rate:.2f})")
+    print(f"replay min separation: {replay.min_separation:.1f} m")
+    print(f"own-ship advisories:  {replay.trace.advisories_issued('own')}")
+    print(f"intruder advisories:  {replay.trace.advisories_issued('intruder')}")
     print()
-    print(render_vertical_profile(result.trace, height=12, width=60))
+    print(render_vertical_profile(replay.trace, height=12, width=60))
 
 
 if __name__ == "__main__":

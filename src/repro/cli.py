@@ -6,12 +6,17 @@ search and interactively for analysis):
 - ``repro solve``      — build (and cache) a logic table, optionally
   running the verification checks;
 - ``repro simulate``   — run one encounter and print the outcome/trace;
+- ``repro campaign``   — a declarative simulation campaign (scenarios ×
+  backend × equipage × runs) with JSON/CSV export;
 - ``repro search``     — GA search for challenging encounters, with a
   JSON report of generations and top encounters;
 - ``repro montecarlo`` — Monte-Carlo rate estimation;
 - ``repro airspace``   — a multi-aircraft stress run.
 
-Every command takes ``--seed`` and is fully deterministic given it.
+Simulation-heavy commands take ``--backend``/``--equipage``/
+``--coordination`` with the same spellings the library's experiment
+registry accepts.  Every command takes ``--seed`` and is fully
+deterministic given it (including ``campaign --workers N``).
 """
 
 from __future__ import annotations
@@ -33,6 +38,14 @@ from repro.encounters import (
     tail_approach_encounter,
 )
 from repro.encounters.generator import ScenarioGenerator
+from repro.experiments import (
+    EQUIPAGES,
+    PRESETS,
+    Campaign,
+    PresetSource,
+    SampledSource,
+    available_backends,
+)
 from repro.montecarlo import MonteCarloEstimator
 from repro.search.ga import GAConfig
 from repro.search.runner import SearchRunner
@@ -122,6 +135,44 @@ def cmd_simulate(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# campaign
+# ----------------------------------------------------------------------
+def cmd_campaign(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.sample < 0:
+        raise SystemExit("--sample must be >= 1")
+    if args.sample and args.scenarios is not None:
+        raise SystemExit("--sample and --scenarios are mutually exclusive")
+    if args.sample:
+        scenarios = SampledSource(StatisticalEncounterModel(), args.sample)
+    else:
+        listing = args.scenarios or ",".join(sorted(PRESETS))
+        names = [n.strip() for n in listing.split(",") if n.strip()]
+        try:
+            scenarios = PresetSource(*names)
+        except ValueError as error:
+            raise SystemExit(str(error))
+    table = None if args.equipage == "none" else _load_table(args)
+    campaign = Campaign(
+        scenarios,
+        backend=args.backend,
+        table=table,
+        equipage=args.equipage,
+        coordination=args.coordination == "on",
+        runs_per_scenario=args.runs,
+        sim_config=EncounterSimConfig(),
+    )
+    results = campaign.run(seed=args.seed, workers=args.workers)
+    print(results.summary())
+    if args.out:
+        print(f"JSON written to {results.to_json(args.out)}")
+    if args.csv:
+        print(f"CSV written to {results.to_csv(args.csv)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # search
 # ----------------------------------------------------------------------
 def cmd_search(args) -> int:
@@ -132,6 +183,9 @@ def cmd_search(args) -> int:
             population_size=args.population, generations=args.generations
         ),
         num_runs=args.runs,
+        backend=args.backend,
+        equipage=args.equipage,
+        coordination=args.coordination == "on",
     )
     outcome = runner.run(seed=args.seed, top_k=args.top, verbose=args.verbose)
 
@@ -176,11 +230,15 @@ def cmd_search(args) -> int:
 # montecarlo
 # ----------------------------------------------------------------------
 def cmd_montecarlo(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
     table = _load_table(args)
     estimator = MonteCarloEstimator(
         table,
         StatisticalEncounterModel(),
         runs_per_encounter=args.runs,
+        backend=args.backend,
+        workers=args.workers,
     )
     report = estimator.estimate(args.encounters, seed=args.seed)
     print(report.summary())
@@ -248,6 +306,19 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--no-cache", action="store_true",
                          help="always re-solve the logic table")
 
+    def add_backend_args(sub, equipage_choices=EQUIPAGES):
+        # Same spellings as the library's experiment registry, so CLI
+        # invocations translate 1:1 into Campaign(...) calls.
+        sub.add_argument("--backend", default="vectorized",
+                         choices=available_backends(),
+                         help="simulation backend (fidelity vs. speed)")
+        sub.add_argument("--equipage", default="both",
+                         choices=equipage_choices)
+        sub.add_argument("--coordination", default="on",
+                         choices=("on", "off"),
+                         help="maneuver-sense exchange between equipped "
+                              "aircraft")
+
     solve = subparsers.add_parser("solve", help="build a logic table")
     add_common(solve)
     solve.add_argument("--out", help="also save the table to this .npz path")
@@ -267,10 +338,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print an ASCII vertical profile")
     simulate.set_defaults(func=cmd_simulate)
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a declarative simulation campaign",
+    )
+    add_common(campaign)
+    add_backend_args(campaign)
+    campaign.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated preset names "
+             f"(available: {', '.join(sorted(PRESETS))}; "
+             "default: all presets)",
+    )
+    campaign.add_argument(
+        "--sample", type=int, default=0, metavar="N",
+        help="instead of presets, draw N encounters from the "
+             "statistical model",
+    )
+    campaign.add_argument("--runs", type=int, default=20,
+                          help="stochastic runs per scenario")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="process-parallel scenario fan-out")
+    campaign.add_argument("--out", help="write the full JSON export here")
+    campaign.add_argument("--csv", help="write per-scenario CSV here")
+    campaign.set_defaults(func=cmd_campaign)
+
     search = subparsers.add_parser(
         "search", help="GA search for challenging encounters"
     )
     add_common(search)
+    add_backend_args(search, equipage_choices=("both", "own-only"))
     search.add_argument("--population", type=int, default=30)
     search.add_argument("--generations", type=int, default=4)
     search.add_argument("--runs", type=int, default=20,
@@ -283,9 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
         "montecarlo", help="Monte-Carlo rate estimation"
     )
     add_common(montecarlo)
+    montecarlo.add_argument("--backend", default="vectorized",
+                            choices=available_backends(),
+                            help="simulation backend for both arms")
     montecarlo.add_argument("--encounters", type=int, default=100)
     montecarlo.add_argument("--runs", type=int, default=10,
                             help="runs per encounter per arm")
+    montecarlo.add_argument("--workers", type=int, default=1,
+                            help="process-parallel encounter fan-out")
     montecarlo.set_defaults(func=cmd_montecarlo)
 
     inspect = subparsers.add_parser(

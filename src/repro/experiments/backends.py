@@ -1,0 +1,215 @@
+"""Pluggable simulation backends behind a string-keyed registry.
+
+The library has two ways to simulate the N stochastic runs of one
+encounter: the faithful agent-based engine (:func:`repro.sim.encounter.
+run_encounter`, one Python-level simulation per run) and the vectorized
+NumPy fast path (:class:`repro.sim.batch.BatchEncounterSimulator`, all
+runs advance simultaneously).  They trade fidelity scrutiny for speed;
+a dedicated test keeps them statistically equivalent.
+
+This module puts both behind one :class:`SimulationBackend` interface so
+every consumer — campaigns, GA fitness, Monte-Carlo estimation, the CLI
+— selects the trade-off with a single string (``"agent"`` or
+``"vectorized"``) instead of importing a different class.  New backends
+(e.g. a future multi-host dispatcher) register under their own key and
+become available everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple, Union
+
+import numpy as np
+
+from repro.acasx.logic_table import LogicTable
+from repro.avoidance.acas import AcasXuAvoidance
+from repro.encounters.encoding import EncounterParameters
+from repro.sim.batch import BatchEncounterSimulator, BatchResult
+from repro.sim.encounter import EncounterSimConfig, make_acas_pair, run_encounter
+from repro.util.rng import SeedLike, as_seed_sequence
+
+#: Equipage spellings shared by the library and the CLI.
+EQUIPAGES: Tuple[str, ...] = ("both", "own-only", "none")
+
+
+class SimulationBackend(Protocol):
+    """Simulates the N stochastic runs of one encounter.
+
+    A backend is constructed for a fixed (table, config, equipage,
+    coordination) and then asked to simulate scenarios; per-run
+    randomness derives from the :class:`~numpy.random.SeedSequence`
+    passed to each :meth:`simulate` call, so results are independent of
+    where (which process) the call executes.
+    """
+
+    #: Registry key the backend was created under.
+    name: str
+
+    def simulate(
+        self,
+        params: EncounterParameters,
+        num_runs: int,
+        seed: SeedLike = None,
+    ) -> BatchResult:
+        """Per-run outcome arrays for *num_runs* runs of *params*."""
+        ...
+
+
+BackendFactory = Callable[..., SimulationBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
+    """Class decorator registering a backend factory under *name*.
+
+    The factory is called as ``factory(table=..., config=...,
+    equipage=..., coordination=...)``.
+    """
+
+    def decorate(factory: BackendFactory) -> BackendFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"backend {name!r} is already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_backend(
+    spec: Union[str, SimulationBackend],
+    table: Optional[LogicTable] = None,
+    config: EncounterSimConfig | None = None,
+    equipage: str = "both",
+    coordination: bool = True,
+) -> SimulationBackend:
+    """Resolve *spec* (a registry key or a ready backend) to a backend."""
+    if not isinstance(spec, str):
+        return spec
+    if spec not in _REGISTRY:
+        known = ", ".join(available_backends())
+        raise ValueError(f"unknown backend {spec!r} (available: {known})")
+    return _REGISTRY[spec](
+        table=table, config=config, equipage=equipage, coordination=coordination
+    )
+
+
+def _validate_equipage(equipage: str, table: Optional[LogicTable]) -> None:
+    if equipage not in EQUIPAGES:
+        raise ValueError(
+            f"unknown equipage {equipage!r} (use one of {', '.join(EQUIPAGES)})"
+        )
+    if equipage != "none" and table is None:
+        raise ValueError("equipped simulations need a logic table")
+
+
+@register_backend("agent")
+class AgentBackend:
+    """The faithful path: one agent-based simulation per stochastic run.
+
+    Each run gets a fresh avoidance pair (stateful controllers never
+    leak between runs) and an independent child of the call's seed
+    sequence, so a campaign's results do not depend on which process
+    executed which run.
+    """
+
+    name = "agent"
+
+    def __init__(
+        self,
+        table: Optional[LogicTable] = None,
+        config: EncounterSimConfig | None = None,
+        equipage: str = "both",
+        coordination: bool = True,
+    ):
+        _validate_equipage(equipage, table)
+        self.table = table
+        self.config = config or EncounterSimConfig()
+        self.equipage = equipage
+        self.coordination = coordination
+
+    def _make_pair(self):
+        if self.equipage == "both":
+            return make_acas_pair(self.table, coordination=self.coordination)
+        if self.equipage == "own-only":
+            return AcasXuAvoidance(self.table, aircraft_id="ownship"), None
+        return None, None
+
+    def simulate(
+        self,
+        params: EncounterParameters,
+        num_runs: int,
+        seed: SeedLike = None,
+    ) -> BatchResult:
+        """Run *num_runs* independent agent-based simulations."""
+        if num_runs < 1:
+            raise ValueError("num_runs must be >= 1")
+        children = as_seed_sequence(seed).spawn(num_runs)
+        min_sep = np.empty(num_runs)
+        min_horiz = np.empty(num_runs)
+        nmac = np.empty(num_runs, dtype=bool)
+        own_alerted = np.empty(num_runs, dtype=bool)
+        intr_alerted = np.empty(num_runs, dtype=bool)
+        for i, child in enumerate(children):
+            own, intruder = self._make_pair()
+            result = run_encounter(
+                params,
+                own,
+                intruder,
+                self.config,
+                seed=np.random.default_rng(child),
+            )
+            min_sep[i] = result.min_separation
+            min_horiz[i] = result.min_horizontal
+            nmac[i] = result.nmac
+            own_alerted[i] = result.own_alerted
+            intr_alerted[i] = result.intruder_alerted
+        return BatchResult(
+            min_separation=min_sep,
+            min_horizontal=min_horiz,
+            nmac=nmac,
+            own_alerted=own_alerted,
+            intruder_alerted=intr_alerted,
+        )
+
+
+@register_backend("vectorized")
+class VectorizedBackend:
+    """The NumPy fast path: all runs of one scenario advance together."""
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        table: Optional[LogicTable] = None,
+        config: EncounterSimConfig | None = None,
+        equipage: str = "both",
+        coordination: bool = True,
+    ):
+        _validate_equipage(equipage, table)
+        self.table = table
+        self.config = config or EncounterSimConfig()
+        self.equipage = equipage
+        self.coordination = coordination
+        self._simulator = BatchEncounterSimulator(
+            table,
+            self.config,
+            equipage=equipage,
+            coordination=coordination,
+        )
+
+    def simulate(
+        self,
+        params: EncounterParameters,
+        num_runs: int,
+        seed: SeedLike = None,
+    ) -> BatchResult:
+        """Run *num_runs* runs as one vectorized batch."""
+        return self._simulator.run(
+            params, num_runs, seed=np.random.default_rng(as_seed_sequence(seed))
+        )

@@ -1,0 +1,375 @@
+"""Declarative simulation campaigns with deterministic parallel fan-out.
+
+A :class:`Campaign` is the paper's validation workflow as one object:
+*scenarios* (any :mod:`~repro.experiments.scenario` source) × a
+*backend* (registry key) × *equipage/coordination* × *runs per
+scenario*.  Running it produces a :class:`ResultSet` of per-scenario
+:class:`RunRecord`s carrying the NMAC / separation / alert aggregates
+every pipeline in the library reports, with JSON and CSV export.
+
+Determinism is the load-bearing property: the campaign's root seed is
+expanded with ``SeedSequence.spawn`` into one child per scenario before
+any simulation starts, so the result is bitwise identical whether the
+scenarios execute serially (``workers=1``) or fan out across a
+``ProcessPoolExecutor`` (``workers>1``).  That is the seam later work
+(sharded or multi-host execution, result stores) attaches to.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.acasx.logic_table import LogicTable
+from repro.encounters.encoding import EncounterParameters
+from repro.experiments.backends import SimulationBackend, make_backend
+from repro.experiments.scenario import Scenario, as_scenario_source
+from repro.sim.batch import BatchResult
+from repro.sim.encounter import EncounterSimConfig
+from repro.util.rng import SeedLike, as_seed_sequence
+
+#: CSV column order of :meth:`ResultSet.to_csv`.
+CSV_FIELDS: Tuple[str, ...] = (
+    "index",
+    "name",
+    "num_runs",
+    "nmac_rate",
+    "mean_min_separation",
+    "min_separation",
+    "min_horizontal",
+    "own_alert_rate",
+    "intruder_alert_rate",
+)
+
+
+@dataclass
+class RunRecord:
+    """One scenario's simulated outcome: per-run arrays + aggregates."""
+
+    index: int
+    name: str
+    params: EncounterParameters
+    runs: BatchResult
+
+    @property
+    def num_runs(self) -> int:
+        """Stochastic runs simulated for this scenario."""
+        return self.runs.num_runs
+
+    @property
+    def nmac_rate(self) -> float:
+        """Fraction of runs that entered the NMAC cylinder."""
+        return self.runs.nmac_rate
+
+    @property
+    def mean_min_separation(self) -> float:
+        """Mean over runs of the per-run minimum 3-D separation (m)."""
+        return float(self.runs.min_separation.mean())
+
+    @property
+    def min_separation(self) -> float:
+        """Worst (smallest) minimum separation across runs (m)."""
+        return float(self.runs.min_separation.min())
+
+    @property
+    def min_horizontal(self) -> float:
+        """Worst minimum horizontal separation across runs (m)."""
+        return float(self.runs.min_horizontal.min())
+
+    @property
+    def own_alert_rate(self) -> float:
+        """Fraction of runs in which the own-ship alerted."""
+        return float(self.runs.own_alerted.mean())
+
+    @property
+    def intruder_alert_rate(self) -> float:
+        """Fraction of runs in which the intruder alerted."""
+        return float(self.runs.intruder_alerted.mean())
+
+    def to_dict(self, include_genome: bool = True) -> Dict[str, object]:
+        """Aggregates (and optionally the genome) as plain JSON types."""
+        row: Dict[str, object] = {f: getattr(self, f) for f in CSV_FIELDS}
+        if include_genome:
+            row["genome"] = self.params.as_array().tolist()
+        return row
+
+
+@dataclass
+class ResultSet:
+    """Everything one campaign run produced, plus its provenance."""
+
+    records: List[RunRecord]
+    backend: str
+    equipage: str
+    coordination: bool
+    runs_per_scenario: int
+    seed_entropy: Optional[int] = None
+    workers: int = 1
+    wall_time: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RunRecord:
+        return self.records[index]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_runs(self) -> int:
+        """Simulated runs across all scenarios."""
+        return sum(record.num_runs for record in self.records)
+
+    @property
+    def nmac_count(self) -> int:
+        """Runs that ended in an NMAC, across all scenarios."""
+        return int(sum(record.runs.nmac.sum() for record in self.records))
+
+    @property
+    def nmac_rate(self) -> float:
+        """Overall fraction of runs ending in an NMAC."""
+        return self.nmac_count / self.total_runs
+
+    @property
+    def alert_rate(self) -> float:
+        """Overall fraction of runs in which the own-ship alerted."""
+        alerts = sum(record.runs.own_alerted.sum() for record in self.records)
+        return float(alerts) / self.total_runs
+
+    def min_separations(self) -> np.ndarray:
+        """Per-run minimum separations across all scenarios, concatenated."""
+        return np.concatenate(
+            [record.runs.min_separation for record in self.records]
+        )
+
+    def worst(self) -> RunRecord:
+        """The scenario with the smallest minimum separation."""
+        return min(self.records, key=lambda record: record.min_separation)
+
+    def aggregates(self) -> Dict[str, object]:
+        """Campaign-level aggregate metrics as plain JSON types."""
+        return {
+            "scenarios": len(self.records),
+            "total_runs": self.total_runs,
+            "nmac_count": self.nmac_count,
+            "nmac_rate": self.nmac_rate,
+            "alert_rate": self.alert_rate,
+            "mean_min_separation": float(self.min_separations().mean()),
+            "worst_min_separation": self.worst().min_separation,
+            "wall_time": self.wall_time,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        worst = self.worst()
+        lines = [
+            f"campaign: {len(self.records)} scenarios x "
+            f"{self.runs_per_scenario} runs "
+            f"[backend={self.backend} equipage={self.equipage} "
+            f"coordination={self.coordination} workers={self.workers}]",
+            f"NMAC: {self.nmac_count}/{self.total_runs} "
+            f"(rate {self.nmac_rate:.4f})",
+            f"alert rate: {self.alert_rate:.4f}",
+            f"mean min separation: {self.min_separations().mean():.1f} m",
+            f"worst scenario: {worst.name} "
+            f"(min separation {worst.min_separation:.1f} m, "
+            f"NMAC rate {worst.nmac_rate:.2f})",
+            f"wall time: {self.wall_time:.2f}s",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_json(
+        self, path: Union[str, Path], include_genomes: bool = True
+    ) -> Path:
+        """Write provenance, aggregates, and per-scenario rows as JSON."""
+        path = Path(path)
+        payload = {
+            "backend": self.backend,
+            "equipage": self.equipage,
+            "coordination": self.coordination,
+            "runs_per_scenario": self.runs_per_scenario,
+            "seed_entropy": self.seed_entropy,
+            "workers": self.workers,
+            "metadata": self.metadata,
+            "aggregates": self.aggregates(),
+            "scenarios": [
+                record.to_dict(include_genome=include_genomes)
+                for record in self.records
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write one aggregate row per scenario as CSV."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+            writer.writeheader()
+            for record in self.records:
+                writer.writerow(record.to_dict(include_genome=False))
+        return path
+
+
+def _simulate_shard(
+    backend: SimulationBackend,
+    num_runs: int,
+    shard: List[Tuple[int, EncounterParameters, np.random.SeedSequence]],
+) -> List[Tuple[int, BatchResult]]:
+    """Worker entry point: simulate one shard of (index, params, seed)."""
+    return [
+        (index, backend.simulate(params, num_runs, seed=seed))
+        for index, params, seed in shard
+    ]
+
+
+class Campaign:
+    """A declarative validation campaign: scenarios × backend × runs.
+
+    Parameters
+    ----------
+    scenarios:
+        Anything :func:`~repro.experiments.scenario.as_scenario_source`
+        accepts — a source object, preset name(s), parameters, genomes.
+    backend:
+        Registry key (``"agent"`` or ``"vectorized"``) or a ready
+        :class:`SimulationBackend` instance.
+    table:
+        Logic table for equipped aircraft (``None`` only with
+        ``equipage='none'``).
+    equipage:
+        ``'both'``, ``'own-only'`` or ``'none'``.
+    coordination:
+        Whether two equipped aircraft exchange maneuver senses.
+    runs_per_scenario:
+        Stochastic simulation runs per scenario (the paper uses 100).
+    sim_config:
+        Simulation configuration shared by every run.
+    """
+
+    def __init__(
+        self,
+        scenarios,
+        backend: Union[str, SimulationBackend] = "vectorized",
+        table: Optional[LogicTable] = None,
+        equipage: str = "both",
+        coordination: bool = True,
+        runs_per_scenario: int = 100,
+        sim_config: EncounterSimConfig | None = None,
+    ):
+        if runs_per_scenario < 1:
+            raise ValueError("runs_per_scenario must be >= 1")
+        self.source = as_scenario_source(scenarios)
+        self.backend = make_backend(
+            backend,
+            table=table,
+            config=sim_config,
+            equipage=equipage,
+            coordination=coordination,
+        )
+        self.backend_name = (
+            backend if isinstance(backend, str)
+            else getattr(backend, "name", type(backend).__name__)
+        )
+        self.equipage = equipage
+        self.coordination = coordination
+        self.runs_per_scenario = runs_per_scenario
+
+    def run(self, seed: SeedLike = None, workers: int = 1) -> ResultSet:
+        """Execute the campaign and aggregate a :class:`ResultSet`.
+
+        Parameters
+        ----------
+        seed:
+            Root seed; everything (scenario sampling and every
+            simulation run) derives from it deterministically.
+        workers:
+            ``1`` runs serially; ``>1`` shards the scenarios across a
+            ``ProcessPoolExecutor``.  The result is bitwise identical
+            either way.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        start = time.perf_counter()
+        root = as_seed_sequence(seed)
+        sample_seq, run_seq = root.spawn(2)
+        scenario_list = self.source.scenarios(
+            seed=np.random.default_rng(sample_seq)
+        )
+        if not scenario_list:
+            raise ValueError("scenario source produced no scenarios")
+        children = run_seq.spawn(len(scenario_list))
+
+        work = [
+            (i, scenario.params, child)
+            for i, (scenario, child) in enumerate(zip(scenario_list, children))
+        ]
+        # Clamp before branching so the ResultSet records the worker
+        # count actually used, not the one requested.
+        workers = min(workers, len(work))
+        if workers == 1:
+            outcomes = _simulate_shard(
+                self.backend, self.runs_per_scenario, work
+            )
+        else:
+            # Strided round-robin shards, one per worker, so the
+            # (sizeable) logic table is pickled once per worker rather
+            # than per scenario.
+            shards = [work[i::workers] for i in range(workers)]
+            outcomes = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _simulate_shard,
+                        self.backend,
+                        self.runs_per_scenario,
+                        shard,
+                    )
+                    for shard in shards
+                ]
+                for future in futures:
+                    outcomes.extend(future.result())
+
+        by_index = dict(outcomes)
+        records = [
+            RunRecord(
+                index=i,
+                name=scenario.name,
+                params=scenario.params,
+                runs=by_index[i],
+            )
+            for i, scenario in enumerate(scenario_list)
+        ]
+        return ResultSet(
+            records=records,
+            backend=self.backend_name,
+            equipage=self.equipage,
+            coordination=self.coordination,
+            runs_per_scenario=self.runs_per_scenario,
+            seed_entropy=_entropy_of(root),
+            workers=workers,
+            wall_time=time.perf_counter() - start,
+        )
+
+
+def _entropy_of(seq: np.random.SeedSequence) -> Optional[int]:
+    """The root entropy as a plain int (for provenance), when small."""
+    entropy = seq.entropy
+    if isinstance(entropy, (int, np.integer)):
+        return int(entropy)
+    return None

@@ -2,8 +2,9 @@
 
 Draws encounters from a generative model (the synthetic
 :class:`~repro.encounters.statistical.StatisticalEncounterModel`, or
-any object with a compatible ``sample``), simulates each with and
-without the avoidance system, and reports:
+any object with a compatible ``sample``), runs two paired
+:class:`~repro.experiments.Campaign`\\ s — equipped and unequipped —
+over the same encounters, and reports:
 
 - the *equipped* and *unequipped* NMAC rates (with Wilson CIs);
 - the *risk ratio* between them;
@@ -11,12 +12,17 @@ without the avoidance system, and reports:
   whose unmitigated counterfactual was safe);
 - *induced* NMACs: encounters safe without the system but not with it
   — the pathology validation most wants to rule out.
+
+The campaigns inherit the experiment API's properties: the simulation
+backend is registry-selected (``"vectorized"`` default, ``"agent"`` for
+the faithful engine) and ``workers>1`` fans the encounters out across
+processes without changing the result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Protocol
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
 
 import numpy as np
 
@@ -28,7 +34,7 @@ from repro.analysis.metrics import (
     wilson_interval,
 )
 from repro.encounters.encoding import EncounterParameters
-from repro.sim.batch import BatchEncounterSimulator
+from repro.experiments.campaign import Campaign, ResultSet
 from repro.sim.encounter import EncounterSimConfig
 from repro.util.rng import SeedLike, as_generator
 
@@ -55,6 +61,10 @@ class MonteCarloReport:
     alert_rate: float
     false_alarm_rate: float
     induced_nmac_rate: float
+    #: The underlying per-arm campaign results (per-scenario records,
+    #: wall time, export) — ``None`` only on reports built by hand.
+    equipped_results: Optional[ResultSet] = field(default=None, repr=False)
+    unequipped_results: Optional[ResultSet] = field(default=None, repr=False)
 
     def summary(self) -> str:
         """Human-readable multi-line summary."""
@@ -83,6 +93,11 @@ class MonteCarloEstimator:
         Simulation settings.
     runs_per_encounter:
         Stochastic runs per encounter per equipage arm.
+    backend:
+        Simulation backend registry key shared by both arms.
+    workers:
+        Process-parallel fan-out of each arm's campaign (1 = serial;
+        the estimate is identical either way).
     """
 
     def __init__(
@@ -91,17 +106,19 @@ class MonteCarloEstimator:
         source: EncounterSource,
         sim_config: EncounterSimConfig | None = None,
         runs_per_encounter: int = 20,
+        backend: str = "vectorized",
+        workers: int = 1,
     ):
         if runs_per_encounter < 1:
             raise ValueError("runs_per_encounter must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.table = table
         self.source = source
         self.sim_config = sim_config or EncounterSimConfig()
         self.runs_per_encounter = runs_per_encounter
-        self._equipped = BatchEncounterSimulator(table, self.sim_config)
-        self._unequipped = BatchEncounterSimulator(
-            None, self.sim_config, equipage="none"
-        )
+        self.backend = backend
+        self.workers = workers
 
     def estimate(
         self,
@@ -109,31 +126,42 @@ class MonteCarloEstimator:
         seed: SeedLike = None,
         confidence: float = 0.95,
     ) -> MonteCarloReport:
-        """Run the campaign and aggregate the metrics."""
+        """Run the paired campaigns and aggregate the metrics."""
         if num_encounters < 1:
             raise ValueError("num_encounters must be >= 1")
         rng = as_generator(seed)
         encounters = self.source.sample(num_encounters, seed=rng)
 
-        equipped_nmacs = 0
-        unequipped_nmacs = 0
-        trials = 0
-        per_encounter_alert = np.zeros(num_encounters, dtype=bool)
-        per_encounter_unmitigated = np.zeros(num_encounters, dtype=bool)
-        induced = 0
+        def arm(equipage: str) -> ResultSet:
+            campaign = Campaign(
+                encounters,
+                backend=self.backend,
+                table=None if equipage == "none" else self.table,
+                equipage=equipage,
+                runs_per_scenario=self.runs_per_encounter,
+                sim_config=self.sim_config,
+            )
+            return campaign.run(seed=rng, workers=self.workers)
 
-        for i, params in enumerate(encounters):
-            eq = self._equipped.run(params, self.runs_per_encounter, seed=rng)
-            uneq = self._unequipped.run(params, self.runs_per_encounter, seed=rng)
-            equipped_nmacs += int(eq.nmac.sum())
-            unequipped_nmacs += int(uneq.nmac.sum())
-            trials += self.runs_per_encounter
-            per_encounter_alert[i] = bool(eq.own_alerted.any())
-            per_encounter_unmitigated[i] = bool(uneq.nmac.any())
-            # Induced: equipped run collides while the unmitigated
-            # counterfactual rate for this encounter is zero.
-            if eq.nmac.any() and not uneq.nmac.any():
-                induced += int(eq.nmac.sum())
+        equipped = arm("both")
+        unequipped = arm("none")
+
+        equipped_nmacs = equipped.nmac_count
+        unequipped_nmacs = unequipped.nmac_count
+        trials = equipped.total_runs
+        per_encounter_alert = np.array(
+            [bool(record.runs.own_alerted.any()) for record in equipped]
+        )
+        per_encounter_unmitigated = np.array(
+            [bool(record.runs.nmac.any()) for record in unequipped]
+        )
+        # Induced: equipped runs collide while the unmitigated
+        # counterfactual rate for this encounter is zero.
+        induced = sum(
+            int(eq.runs.nmac.sum())
+            for eq, uneq in zip(equipped, unequipped)
+            if eq.runs.nmac.any() and not uneq.runs.nmac.any()
+        )
 
         equipped_est = wilson_interval(equipped_nmacs, trials, confidence)
         unequipped_est = wilson_interval(unequipped_nmacs, trials, confidence)
@@ -150,4 +178,6 @@ class MonteCarloEstimator:
                 per_encounter_alert, per_encounter_unmitigated
             ),
             induced_nmac_rate=induced / trials,
+            equipped_results=equipped,
+            unequipped_results=unequipped,
         )

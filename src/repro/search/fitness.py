@@ -9,22 +9,26 @@ model 10000 was assigned to mid-air collision states".  The worse the
 avoidance logic behaves in an encounter, the higher the encounter's
 fitness, so maximizing it steers the GA toward challenging situations.
 
-Evaluation runs through the vectorized batch simulator; an ablation
-variant (:class:`CollisionRateFitness`) scores the raw NMAC rate
-instead, to show why the paper's shaped fitness searches better (a
-pure indicator gives the GA no gradient until a collision is found).
+Evaluation executes through :class:`repro.experiments.Campaign` with a
+registry-selected backend (``"vectorized"`` by default — the NumPy fast
+path; ``"agent"`` for the faithful engine); an ablation variant
+(:class:`CollisionRateFitness`) scores the raw NMAC rate instead, to
+show why the paper's shaped fitness searches better (a pure indicator
+gives the GA no gradient until a collision is found).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Union
 
 import numpy as np
 
 from repro.acasx.logic_table import LogicTable
 from repro.encounters.encoding import EncounterParameters
-from repro.sim.batch import BatchEncounterSimulator, BatchResult
+from repro.experiments.backends import SimulationBackend, make_backend
+from repro.experiments.campaign import Campaign
+from repro.sim.batch import BatchResult
 from repro.sim.encounter import EncounterSimConfig
 from repro.util.rng import SeedLike, as_generator
 
@@ -49,7 +53,7 @@ def paper_fitness(min_separations: np.ndarray) -> float:
 
 
 class EncounterFitness:
-    """Evaluates encounter genomes by batched stochastic simulation.
+    """Evaluates encounter genomes by campaigns of stochastic runs.
 
     Parameters
     ----------
@@ -60,11 +64,14 @@ class EncounterFitness:
     num_runs:
         Stochastic runs per evaluation (the paper uses 100).
     equipage / coordination:
-        Passed through to :class:`BatchEncounterSimulator`.
+        Passed through to the simulation backend.
     seed:
         Base seed; each evaluation derives an independent stream so
         repeated evaluations of the same genome differ (as in the
         paper, where fitness is a noisy estimate).
+    backend:
+        Simulation backend registry key (or a ready backend instance);
+        see :func:`repro.experiments.available_backends`.
     """
 
     def __init__(
@@ -75,25 +82,39 @@ class EncounterFitness:
         equipage: str = "both",
         coordination: bool = True,
         seed: SeedLike = None,
+        backend: Union[str, SimulationBackend] = "vectorized",
     ):
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")
-        self.simulator = BatchEncounterSimulator(
-            table,
-            config or EncounterSimConfig(),
-            equipage=equipage,
-            coordination=coordination,
+        self.table = table
+        self.config = config or EncounterSimConfig()
+        self.equipage = equipage
+        self.coordination = coordination
+        # Resolve once so an unknown backend or missing table fails at
+        # construction and every evaluation reuses the same instance.
+        self.backend = make_backend(
+            backend, table=table, config=self.config,
+            equipage=equipage, coordination=coordination,
         )
         self.num_runs = num_runs
         self._rng = as_generator(seed)
         self.evaluations = 0
 
     def simulate(self, genome: np.ndarray) -> BatchResult:
-        """Run the batch simulation for one genome."""
+        """Run one genome's campaign of stochastic simulation runs."""
         params = EncounterParameters.from_array(genome)
-        result = self.simulator.run(params, self.num_runs, seed=self._rng)
+        campaign = Campaign(
+            params,
+            backend=self.backend,
+            table=self.table,
+            equipage=self.equipage,
+            coordination=self.coordination,
+            runs_per_scenario=self.num_runs,
+            sim_config=self.config,
+        )
+        result_set = campaign.run(seed=self._rng)
         self.evaluations += 1
-        return result
+        return result_set[0].runs
 
     def report(self, genome: np.ndarray) -> FitnessReport:
         """Fitness together with the run statistics."""
@@ -153,6 +174,8 @@ class FalseAlarmFitness:
         encounter with a 1 km unmitigated miss score 1000.
     seed:
         Base seed.
+    backend:
+        Simulation backend registry key shared by both arms.
     """
 
     def __init__(
@@ -162,15 +185,22 @@ class FalseAlarmFitness:
         num_runs: int = 50,
         scale: float = 1.0,
         seed: SeedLike = None,
+        backend: Union[str, SimulationBackend] = "vectorized",
     ):
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")
         if scale <= 0:
             raise ValueError("scale must be positive")
         config = config or EncounterSimConfig()
-        self._equipped = BatchEncounterSimulator(table, config)
-        self._unequipped = BatchEncounterSimulator(
-            None, config, equipage="none"
+        # The two arms need different equipage, so a ready backend
+        # instance cannot serve both: resolve its registry key and
+        # construct each arm from that.
+        key = backend if isinstance(backend, str) else backend.name
+        self._equipped = make_backend(
+            key, table=table, config=config, equipage="both"
+        )
+        self._unequipped = make_backend(
+            key, table=None, config=config, equipage="none"
         )
         self.num_runs = num_runs
         self.scale = scale
@@ -180,8 +210,8 @@ class FalseAlarmFitness:
     def components(self, genome: np.ndarray) -> tuple[float, float]:
         """(alert rate, mean unmitigated miss distance) for one genome."""
         params = EncounterParameters.from_array(genome)
-        equipped = self._equipped.run(params, self.num_runs, seed=self._rng)
-        unmitigated = self._unequipped.run(
+        equipped = self._equipped.simulate(params, self.num_runs, seed=self._rng)
+        unmitigated = self._unequipped.simulate(
             params, self.num_runs, seed=self._rng
         )
         self.evaluations += 1

@@ -75,6 +75,11 @@ class SearchRunner:
         Simulation settings shared by every evaluation.
     num_runs:
         Stochastic simulation runs per fitness evaluation (paper: 100).
+    backend:
+        Simulation backend registry key for the fitness campaigns
+        (``"vectorized"`` default, ``"agent"`` for the faithful engine).
+    equipage / coordination:
+        Equipage of the simulated encounters.
     """
 
     def __init__(
@@ -84,12 +89,18 @@ class SearchRunner:
         ga_config: GAConfig | None = None,
         sim_config: EncounterSimConfig | None = None,
         num_runs: int = 100,
+        backend: str = "vectorized",
+        equipage: str = "both",
+        coordination: bool = True,
     ):
         self.table = table
         self.ranges = ranges or ParameterRanges()
         self.ga_config = ga_config or GAConfig()
         self.sim_config = sim_config or EncounterSimConfig()
         self.num_runs = num_runs
+        self.backend = backend
+        self.equipage = equipage
+        self.coordination = coordination
 
     def run(
         self, seed: SeedLike = None, top_k: int = 10, verbose: bool = False
@@ -100,7 +111,10 @@ class SearchRunner:
             self.table,
             config=self.sim_config,
             num_runs=self.num_runs,
+            equipage=self.equipage,
+            coordination=self.coordination,
             seed=rng,
+            backend=self.backend,
         )
         ga = GeneticAlgorithm(self.ranges, self.ga_config)
 

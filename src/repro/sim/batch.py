@@ -281,7 +281,9 @@ class BatchEncounterSimulator:
 
         observe()
         duration = params.time_to_cpa + config.extra_duration
-        num_decisions = int(round(duration / config.decision_dt))
+        # Same rounding as SimulationEngine.run, including its at-least-
+        # one-decision floor, to keep the two paths step-for-step equal.
+        num_decisions = max(1, int(round(duration / config.decision_dt)))
         sub_dt = config.decision_dt / config.physics_substeps
 
         own_equipped = self.equipage in ("both", "own-only")

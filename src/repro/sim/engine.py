@@ -79,7 +79,10 @@ class SimulationEngine:
         if duration <= 0:
             raise ValueError("duration must be positive")
         sub_dt = self.decision_dt / self.physics_substeps
-        num_decisions = int(round(duration / self.decision_dt))
+        # Round to the nearest whole decision step, but never to zero: a
+        # positive duration shorter than decision_dt/2 must still
+        # simulate one step rather than silently doing nothing.
+        num_decisions = max(1, int(round(duration / self.decision_dt)))
         for _ in range(num_decisions):
             decide(self.time, self.agents)
             for _ in range(self.physics_substeps):

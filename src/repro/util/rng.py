@@ -34,6 +34,28 @@ def as_generator(seed: SeedLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def as_seed_sequence(
+    seed: Union[SeedLike, np.random.SeedSequence],
+) -> np.random.SeedSequence:
+    """Coerce *seed* into a ``numpy.random.SeedSequence``.
+
+    Seed sequences are the substrate of deterministic fan-out: a parent
+    sequence ``spawn``s one child per unit of work, so results are
+    identical whether the units run serially or across processes.
+    Accepts a ``SeedSequence`` (returned unchanged), an int or ``None``
+    (wrapped directly), or a ``Generator``/:class:`RngStream` (an
+    entropy word is drawn from it, advancing its state so successive
+    calls yield independent sequences).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, RngStream):
+        seed = seed.generator
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    return np.random.SeedSequence(seed)
+
+
 def spawn_child(rng: np.random.Generator) -> np.random.Generator:
     """Create an independent child generator from *rng*.
 

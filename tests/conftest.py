@@ -13,6 +13,32 @@ import pytest
 from repro.acasx import AcasConfig, build_logic_table, test_config
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="smoke mode: skip tests marked slow (multi-worker / "
+        "long-running) so the tier-1 loop stays fast",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-worker or long-running test (skipped under --smoke)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--smoke"):
+        return
+    skip_slow = pytest.mark.skip(reason="skipped in --smoke mode")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture(scope="session")
 def tiny_config() -> AcasConfig:
     """A minimal-resolution model configuration."""

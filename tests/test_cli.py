@@ -79,6 +79,77 @@ class TestSimulate:
         assert "min sep" in out
 
 
+class TestCampaign:
+    def test_preset_campaign(self, capsys):
+        assert main(["campaign", "--runs", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 scenarios x 4 runs" in out
+        assert "backend=vectorized" in out
+
+    def test_agent_backend_and_exports(self, tmp_path, capsys):
+        out_json = tmp_path / "campaign.json"
+        out_csv = tmp_path / "campaign.csv"
+        code = main(
+            [
+                "campaign",
+                "--scenarios", "head_on",
+                "--backend", "agent",
+                "--runs", "2",
+                "--out", str(out_json),
+                "--csv", str(out_csv),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["backend"] == "agent"
+        assert len(payload["scenarios"]) == 1
+        assert out_csv.read_text().startswith("index,name,num_runs")
+
+    def test_sampled_unequipped_campaign(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--sample", "3",
+                "--equipage", "none",
+                "--runs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios x 2 runs" in out
+        assert "equipage=none" in out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--scenarios", "corkscrew"])
+
+    def test_bad_numeric_flags_exit_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--sample", "-2"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "--sample", "2", "--scenarios", "head_on"])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--backend", "quantum"])
+
+    @pytest.mark.slow
+    def test_workers_match_serial(self, capsys):
+        argv = ["campaign", "--sample", "4", "--runs", "3", "--seed", "9"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical apart from the workers= label and wall time lines.
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if "workers=" not in line and "wall time" not in line
+        ]
+        assert strip(serial) == strip(parallel)
+
+
 class TestSearch:
     def test_small_search_with_report(self, tmp_path, capsys):
         report_path = tmp_path / "report.json"
@@ -100,6 +171,22 @@ class TestSearch:
         out = capsys.readouterr().out
         assert "geometry counts" in out
 
+    def test_backend_flag_accepted(self, capsys):
+        code = main(
+            [
+                "search",
+                "--backend", "vectorized",
+                "--equipage", "own-only",
+                "--coordination", "off",
+                "--population", "6",
+                "--generations", "2",
+                "--runs", "3",
+                "--top", "2",
+            ]
+        )
+        assert code == 0
+        assert "top encounters" in capsys.readouterr().out
+
 
 class TestMonteCarlo:
     def test_small_campaign(self, capsys):
@@ -107,6 +194,15 @@ class TestMonteCarlo:
         assert code == 0
         out = capsys.readouterr().out
         assert "risk ratio" in out
+
+    @pytest.mark.slow
+    def test_workers_match_serial(self, capsys):
+        argv = ["montecarlo", "--encounters", "6", "--runs", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
 
 
 class TestInspect:
