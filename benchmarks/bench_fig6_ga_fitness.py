@@ -13,19 +13,23 @@ import os
 from pathlib import Path
 
 import numpy as np
-from conftest import record_result
+from conftest import record_campaign, record_result
 
 from repro.analysis.figures import fitness_scatter, generation_means_figure
+from repro.experiments import Campaign
 from repro.search.ga import GAConfig
 from repro.search.runner import SearchRunner
 
 PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE") == "1"
 
 
-def test_bench_fig6_fitness_over_generations(benchmark, fast_table):
+def test_bench_fig6_fitness_over_generations(benchmark, fast_table, smoke):
     if PAPER_SCALE:
         ga_config = GAConfig(population_size=200, generations=5)
         num_runs = 100
+    elif smoke:
+        ga_config = GAConfig(population_size=10, generations=2)
+        num_runs = 5
     else:
         ga_config = GAConfig(population_size=40, generations=5)
         num_runs = 25
@@ -64,6 +68,19 @@ def test_bench_fig6_fitness_over_generations(benchmark, fast_table):
     lines.append(f"figures: {scatter_path.name}, {means_path.name}")
     record_result("fig6_ga_fitness", "\n".join(lines) + "\n")
 
+    # Re-simulate the search's top encounters through the campaign API
+    # (megabatch backend) and persist the timed per-campaign record.
+    top_genomes = np.stack([e.genome for e in outcome.top_encounters])
+    validation = Campaign(
+        top_genomes,
+        backend="vectorized-batch",
+        table=fast_table,
+        runs_per_scenario=num_runs,
+    ).run(seed=2016)
+    record_campaign("fig6_top_encounters", validation)
+
     # The paper's qualitative claim: later generations concentrate on
-    # higher fitness.
-    assert last_mean > first_mean
+    # higher fitness.  (Smoke runs are too tiny for it to hold
+    # reliably; they only exercise the wiring.)
+    if not smoke:
+        assert last_mean > first_mean

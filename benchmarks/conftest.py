@@ -18,12 +18,48 @@ from repro.acasx import build_logic_table, paper_config, test_config
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    try:
+        parser.addoption(
+            "--smoke",
+            action="store_true",
+            default=False,
+            help="smoke mode: shrink benchmark workloads to CI size "
+            "(exercises the wiring, does not overwrite recorded "
+            "results)",
+        )
+    except ValueError:
+        # Already registered by tests/conftest.py when both trees are
+        # collected in one pytest invocation.
+        pass
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """Whether this run is a CI smoke pass (tiny workloads, no records)."""
+    return bool(request.config.getoption("--smoke"))
+
+
+_SMOKE_RUN = False
+
+
+def pytest_configure(config):
+    global _SMOKE_RUN
+    _SMOKE_RUN = bool(config.getoption("--smoke", default=False))
+
+
 def record_result(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    """Print a result block and persist it under benchmarks/results/.
+
+    Smoke runs print but do not persist: shrunken workloads must not
+    overwrite the recorded full-size results.
+    """
     print(f"\n----- {name} -----")
     print(text)
+    if _SMOKE_RUN:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
 
 
 def record_campaign(name: str, result_set) -> None:
@@ -32,12 +68,15 @@ def record_campaign(name: str, result_set) -> None:
     The export carries the campaign's own wall-clock timing alongside
     the per-scenario aggregates, so every campaign-shaped benchmark
     leaves a machine-readable timing record next to its text output.
+    Smoke runs print the summary but do not persist.
     """
+    print(f"\n----- {name} ({result_set.wall_time:.2f}s wall) -----")
+    print(result_set.summary())
+    if _SMOKE_RUN:
+        return
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.campaign.json"
     result_set.to_json(path)
-    print(f"\n----- {name} ({result_set.wall_time:.2f}s wall) -----")
-    print(result_set.summary())
 
 
 @pytest.fixture(scope="session")

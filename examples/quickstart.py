@@ -6,10 +6,28 @@ campaign API:
 1. solve the ACAS XU-like MDP into a logic table (model-based
    optimization, Sections II-III);
 2. declare a campaign over the canonical geometries — equipped and
-   coordinated — and run it with the vectorized backend (Section VI);
+   coordinated — and run it with the megabatch backend (Section VI);
 3. compare against the unequipped counterfactual campaign;
 4. replay the worst scenario through the faithful agent engine to see
    its trajectory and advisories.
+
+**Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
+registered simulation backends.  Measured on a 50-scenario × 100-run
+campaign (the paper's GA-evaluation shape, test-resolution table,
+single core; regenerate with ``pytest benchmarks/bench_campaign.py``):
+
+- ``"agent"``            — one faithful agent-based simulation per run:
+  96.7 s.  Full scrutiny: traces, advisory timelines.
+- ``"vectorized"``       — all runs of one scenario advance as one
+  NumPy array: 2.4 s.
+- ``"vectorized-batch"`` — whole chunks of scenarios flattened into a
+  single lane array (the megabatch path, default everywhere): 0.67 s.
+
+``"vectorized-batch"`` replays the exact per-scenario noise streams of
+``"vectorized"``, so the two produce bitwise-identical campaigns; the
+agent engine agrees statistically (both properties are under test).
+Very large campaigns can stream records without materializing the list
+via ``Campaign.iter_records(seed=...)``.
 
 Usage::
 
@@ -39,10 +57,10 @@ def main() -> None:
     print(f"=== 2. Campaign: {SCENARIOS} x {RUNS} runs, equipped ===")
     equipped = Campaign(
         SCENARIOS,
-        backend="vectorized",   # or "agent" for the faithful engine
-        table=table,
-        runs_per_scenario=RUNS,
-    ).run(seed=42)              # workers=4 would give identical bits
+        backend="vectorized-batch",  # "vectorized" / "agent" trade
+        table=table,                 # speed for scrutiny (see module
+        runs_per_scenario=RUNS,      # docstring timing table)
+    ).run(seed=42)                   # workers=4 gives identical bits
     print(equipped.summary())
     print()
 

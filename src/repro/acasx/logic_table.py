@@ -11,6 +11,7 @@ machinery Section IV of the paper flags as validation-relevant.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Dict, Optional, Sequence
@@ -20,6 +21,12 @@ import numpy as np
 from repro.acasx.advisories import ADVISORIES, NUM_ADVISORIES, Advisory, AdvisorySense
 from repro.acasx.config import AcasConfig
 from repro.mdp.grid import Grid, UniformAxis
+
+
+#: Rows per block of the vectorized Q lookup: 256 rows × 2 stages ×
+#: NUM_ADVISORIES × 8 corners of float64 ≈ 160 KB of temporaries, small
+#: enough to stay in cache at any batch width.
+_Q_BATCH_BLOCK = 256
 
 
 def make_cube_grid(config: AcasConfig) -> Grid:
@@ -137,7 +144,6 @@ class LogicTable:
         """
         tau = np.asarray(tau, dtype=float)
         current_indices = np.asarray(current_indices, dtype=np.int64)
-        n = tau.shape[0]
         k_float = np.clip(tau / self.config.dt, 0.0, self.config.horizon)
         k_lo = np.floor(k_float).astype(np.int64)
         k_hi = np.minimum(k_lo + 1, self.config.horizon)
@@ -146,15 +152,33 @@ class LogicTable:
         indices, weights = self.grid.interp_table(coords)  # (n, 8)
         cube = self.config.cube_size
         flat_q = self.q.reshape(-1)
+        # One gather over an (n, 2, NUM_ADVISORIES, corners) index block
+        # instead of a per-advisory Python loop: the flat offset of
+        # corner c of action a at stage k is
+        # ((k * A + current) * A + a) * cube + indices[c]; the second
+        # axis packs the bracketing stages (k_lo, k_hi) so both ends of
+        # the tau interpolation come out of a single fancy index.
+        action_offsets = np.arange(NUM_ADVISORIES, dtype=np.int64) * cube
+        stages = np.stack([k_lo, k_hi], axis=1)  # (n, 2)
+        blocks = (
+            ((stages * NUM_ADVISORIES + current_indices[:, None])
+             * NUM_ADVISORIES * cube)[:, :, None] + action_offsets
+        )  # (n, 2, A)
+        n = tau.shape[0]
         out = np.empty((n, NUM_ADVISORIES))
-        for a in range(NUM_ADVISORIES):
-            base_lo = ((k_lo * NUM_ADVISORIES + current_indices)
-                       * NUM_ADVISORIES + a) * cube
-            base_hi = ((k_hi * NUM_ADVISORIES + current_indices)
-                       * NUM_ADVISORIES + a) * cube
-            q_lo = np.sum(flat_q[base_lo[:, None] + indices] * weights, axis=1)
-            q_hi = np.sum(flat_q[base_hi[:, None] + indices] * weights, axis=1)
-            out[:, a] = (1.0 - w_hi) * q_lo + w_hi * q_hi
+        # Evaluate in row blocks so the gathered float64 temporaries
+        # stay cache-sized at megabatch widths; every op is row-wise,
+        # so blocking cannot change any output bit.
+        for start in range(0, n, _Q_BATCH_BLOCK):
+            rows = slice(start, min(start + _Q_BATCH_BLOCK, n))
+            gathered = flat_q[
+                blocks[rows, :, :, None] + indices[rows, None, None, :]
+            ]
+            q_pair = np.sum(gathered * weights[rows, None, None, :], axis=3)
+            out[rows] = (
+                (1.0 - w_hi[rows])[:, None] * q_pair[:, 0]
+                + w_hi[rows][:, None] * q_pair[:, 1]
+            )
         return out
 
     def best_advisory(
@@ -203,6 +227,27 @@ class LogicTable:
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
         """Store the table (compressed npz + JSON config/metadata)."""
+        self._write_npz(Path(path))
+
+    def to_bytes(self) -> bytes:
+        """The table as compressed npz bytes (see :meth:`from_bytes`).
+
+        The byte form is what crosses process boundaries when campaign
+        workers rebuild their backend from a
+        :class:`~repro.experiments.backends.BackendSpec`: compressed npz
+        is both picklable and much smaller than the raw float32 array.
+        """
+        buffer = io.BytesIO()
+        self._write_npz(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LogicTable":
+        """Rebuild a table from :meth:`to_bytes` output."""
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            return cls._from_npz(npz)
+
+    def _write_npz(self, target) -> None:
         config_dict = {
             key: getattr(self.config, key)
             for key in (
@@ -226,7 +271,7 @@ class LogicTable:
             )
         }
         np.savez_compressed(
-            Path(path),
+            target,
             q=self.q,
             config=np.array(json.dumps(config_dict)),
             metadata=np.array(json.dumps(self.metadata)),
@@ -236,17 +281,21 @@ class LogicTable:
     def load(cls, path: str | Path) -> "LogicTable":
         """Load a table previously stored with :meth:`save`."""
         with np.load(Path(path), allow_pickle=False) as data:
-            config_dict = json.loads(str(data["config"]))
-            for key in ("own_noise", "intruder_noise"):
-                config_dict[key] = tuple(
-                    tuple(pair) for pair in config_dict[key]
-                )
-            config = AcasConfig(**config_dict)
-            return cls(
-                config=config,
-                q_values=data["q"],
-                metadata=json.loads(str(data["metadata"])),
+            return cls._from_npz(data)
+
+    @classmethod
+    def _from_npz(cls, data) -> "LogicTable":
+        config_dict = json.loads(str(data["config"]))
+        for key in ("own_noise", "intruder_noise"):
+            config_dict[key] = tuple(
+                tuple(pair) for pair in config_dict[key]
             )
+        config = AcasConfig(**config_dict)
+        return cls(
+            config=config,
+            q_values=data["q"],
+            metadata=json.loads(str(data["metadata"])),
+        )
 
     def __repr__(self) -> str:
         c = self.config

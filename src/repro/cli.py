@@ -7,7 +7,9 @@ search and interactively for analysis):
   running the verification checks;
 - ``repro simulate``   — run one encounter and print the outcome/trace;
 - ``repro campaign``   — a declarative simulation campaign (scenarios ×
-  backend × equipage × runs) with JSON/CSV export;
+  backend × equipage × runs) with JSON/CSV export; ``--backend
+  vectorized-batch`` (the default) simulates whole chunks of scenarios
+  as one flattened lane array;
 - ``repro search``     — GA search for challenging encounters, with a
   JSON report of generations and top encounters;
 - ``repro montecarlo`` — Monte-Carlo rate estimation;
@@ -163,7 +165,11 @@ def cmd_campaign(args) -> int:
         runs_per_scenario=args.runs,
         sim_config=EncounterSimConfig(),
     )
-    results = campaign.run(seed=args.seed, workers=args.workers)
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be >= 1")
+    results = campaign.run(
+        seed=args.seed, workers=args.workers, chunk_size=args.chunk_size
+    )
     print(results.summary())
     if args.out:
         print(f"JSON written to {results.to_json(args.out)}")
@@ -309,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend_args(sub, equipage_choices=EQUIPAGES):
         # Same spellings as the library's experiment registry, so CLI
         # invocations translate 1:1 into Campaign(...) calls.
-        sub.add_argument("--backend", default="vectorized",
+        sub.add_argument("--backend", default="vectorized-batch",
                          choices=available_backends(),
                          help="simulation backend (fidelity vs. speed)")
         sub.add_argument("--equipage", default="both",
@@ -359,6 +365,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stochastic runs per scenario")
     campaign.add_argument("--workers", type=int, default=1,
                           help="process-parallel scenario fan-out")
+    campaign.add_argument("--chunk-size", type=int, default=None,
+                          help="scenarios per execution chunk (default: "
+                               "backend-sized; results are identical for "
+                               "any chunking)")
     campaign.add_argument("--out", help="write the full JSON export here")
     campaign.add_argument("--csv", help="write per-scenario CSV here")
     campaign.set_defaults(func=cmd_campaign)
@@ -380,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         "montecarlo", help="Monte-Carlo rate estimation"
     )
     add_common(montecarlo)
-    montecarlo.add_argument("--backend", default="vectorized",
+    montecarlo.add_argument("--backend", default="vectorized-batch",
                             choices=available_backends(),
                             help="simulation backend for both arms")
     montecarlo.add_argument("--encounters", type=int, default=100)

@@ -8,10 +8,14 @@ package expresses it declaratively:
   unifying explicit parameters, named presets and sampled sources;
 - :mod:`repro.experiments.backends` — the :class:`SimulationBackend`
   protocol and string-keyed registry (``"agent"`` = faithful engine,
-  ``"vectorized"`` = NumPy fast path);
+  ``"vectorized"`` = NumPy fast path, ``"vectorized-batch"`` = the
+  megabatch path flattening whole chunks of scenarios into one lane
+  array), plus the picklable :class:`BackendSpec` workers rebuild
+  their backend from;
 - :mod:`repro.experiments.campaign` — the :class:`Campaign` object
-  (scenarios × backend × equipage × runs) with deterministic serial or
-  process-parallel execution and :class:`ResultSet` export.
+  (scenarios × backend × equipage × runs) with deterministic serial,
+  process-parallel or streaming (:meth:`Campaign.iter_records`)
+  execution and :class:`ResultSet` export.
 
 Everything downstream — GA fitness, Monte-Carlo estimation, the CLI —
 executes through this API, so sharding, persistence and new workloads
@@ -21,8 +25,10 @@ attach here.
 from repro.experiments.backends import (
     EQUIPAGES,
     AgentBackend,
+    BackendSpec,
     SimulationBackend,
     VectorizedBackend,
+    VectorizedBatchBackend,
     available_backends,
     make_backend,
     register_backend,
@@ -44,6 +50,7 @@ __all__ = [
     "EQUIPAGES",
     "PRESETS",
     "AgentBackend",
+    "BackendSpec",
     "Campaign",
     "ExplicitSource",
     "GenomeSource",
@@ -55,6 +62,7 @@ __all__ = [
     "ScenarioSource",
     "SimulationBackend",
     "VectorizedBackend",
+    "VectorizedBatchBackend",
     "as_scenario_source",
     "available_backends",
     "make_backend",

@@ -1,23 +1,43 @@
 """Pluggable simulation backends behind a string-keyed registry.
 
-The library has two ways to simulate the N stochastic runs of one
+The library has three ways to simulate the N stochastic runs of an
 encounter: the faithful agent-based engine (:func:`repro.sim.encounter.
-run_encounter`, one Python-level simulation per run) and the vectorized
+run_encounter`, one Python-level simulation per run), the vectorized
 NumPy fast path (:class:`repro.sim.batch.BatchEncounterSimulator`, all
-runs advance simultaneously).  They trade fidelity scrutiny for speed;
-a dedicated test keeps them statistically equivalent.
+runs of one scenario advance simultaneously), and the megabatch path
+(its :meth:`~repro.sim.batch.BatchEncounterSimulator.run_many`, which
+flattens whole *chunks of scenarios* into one lane array and produces
+bitwise-identical per-scenario results).  They trade fidelity scrutiny
+for speed; dedicated tests keep them equivalent.
 
-This module puts both behind one :class:`SimulationBackend` interface so
-every consumer — campaigns, GA fitness, Monte-Carlo estimation, the CLI
-— selects the trade-off with a single string (``"agent"`` or
-``"vectorized"``) instead of importing a different class.  New backends
-(e.g. a future multi-host dispatcher) register under their own key and
-become available everywhere at once.
+This module puts all of them behind one :class:`SimulationBackend`
+interface so every consumer — campaigns, GA fitness, Monte-Carlo
+estimation, the CLI — selects the trade-off with a single string
+(``"agent"``, ``"vectorized"`` or ``"vectorized-batch"``) instead of
+importing a different class.  New backends (e.g. a future multi-host
+dispatcher) register under their own key and become available
+everywhere at once.
+
+:class:`BackendSpec` is the picklable description of a backend —
+registry key, table bytes/path, config, equipage — that campaign
+workers use to rebuild their backend once per process instead of
+unpickling the full backend (logic table and all) with every task.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol, Tuple, Union
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -212,4 +232,112 @@ class VectorizedBackend:
         """Run *num_runs* runs as one vectorized batch."""
         return self._simulator.run(
             params, num_runs, seed=np.random.default_rng(as_seed_sequence(seed))
+        )
+
+
+@register_backend("vectorized-batch")
+class VectorizedBatchBackend(VectorizedBackend):
+    """The megabatch path: whole chunks of scenarios advance together.
+
+    Where :class:`VectorizedBackend` vectorizes across the runs of one
+    scenario, this backend additionally implements
+    :meth:`simulate_many`, flattening a chunk of scenarios into a
+    single ``(scenarios * runs)``-lane array simulation
+    (:meth:`repro.sim.batch.BatchEncounterSimulator.run_many`).
+    Per-scenario randomness still derives from each scenario's own
+    seed, so results are bitwise identical to ``"vectorized"`` and
+    independent of how scenarios are chunked — only the wall clock
+    changes.
+    """
+
+    name = "vectorized-batch"
+
+    def simulate(
+        self,
+        params: EncounterParameters,
+        num_runs: int,
+        seed: SeedLike = None,
+    ) -> BatchResult:
+        """Run one scenario through the megabatch machinery."""
+        return self.simulate_many([params], num_runs, [seed])[0]
+
+    def simulate_many(
+        self,
+        params_list: Sequence[EncounterParameters],
+        num_runs: int,
+        seeds: Sequence[SeedLike],
+    ) -> List[BatchResult]:
+        """Per-scenario outcome arrays for a whole chunk of scenarios."""
+        rngs = [
+            np.random.default_rng(as_seed_sequence(seed)) for seed in seeds
+        ]
+        return self._simulator.run_many(params_list, num_runs, rngs)
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A small picklable description of a backend, for worker processes.
+
+    Campaign workers used to receive the full pickled backend — logic
+    table and all — with every shard.  A spec instead carries just the
+    registry key, the table (as compressed npz bytes, or a path to load
+    it from), and the plain-dataclass config/equipage settings; each
+    worker rebuilds its backend **once** from the spec at pool
+    initialization and reuses it for every task it executes.
+    """
+
+    backend: str
+    equipage: str = "both"
+    coordination: bool = True
+    config: Optional[EncounterSimConfig] = None
+    table_bytes: Optional[bytes] = None
+    table_path: Optional[str] = None
+
+    @classmethod
+    def capture(cls, backend: SimulationBackend) -> "BackendSpec":
+        """Describe a registry-built backend so workers can rebuild it.
+
+        Raises ``TypeError`` for backend instances that did not come
+        from the registry (no ``name``/``table``/``config`` surface) —
+        callers fall back to pickling the instance itself.
+        """
+        name = getattr(backend, "name", None)
+        if name not in _REGISTRY:
+            raise TypeError(
+                f"cannot capture a spec for {type(backend).__name__}: "
+                "not a registered backend"
+            )
+        missing = [
+            attr
+            for attr in ("equipage", "coordination", "config")
+            if not hasattr(backend, attr)
+        ]
+        if missing:
+            raise TypeError(
+                f"cannot capture a spec for {type(backend).__name__}: "
+                f"missing construction attributes {missing}"
+            )
+        table = getattr(backend, "table", None)
+        return cls(
+            backend=name,
+            equipage=backend.equipage,
+            coordination=backend.coordination,
+            config=backend.config,
+            table_bytes=table.to_bytes() if table is not None else None,
+        )
+
+    def build(self) -> SimulationBackend:
+        """Construct the described backend (in the current process)."""
+        if self.table_path is not None:
+            table = LogicTable.load(Path(self.table_path))
+        elif self.table_bytes is not None:
+            table = LogicTable.from_bytes(self.table_bytes)
+        else:
+            table = None
+        return make_backend(
+            self.backend,
+            table=table,
+            config=self.config,
+            equipage=self.equipage,
+            coordination=self.coordination,
         )

@@ -10,9 +10,14 @@ every pipeline in the library reports, with JSON and CSV export.
 Determinism is the load-bearing property: the campaign's root seed is
 expanded with ``SeedSequence.spawn`` into one child per scenario before
 any simulation starts, so the result is bitwise identical whether the
-scenarios execute serially (``workers=1``) or fan out across a
-``ProcessPoolExecutor`` (``workers>1``).  That is the seam later work
-(sharded or multi-host execution, result stores) attaches to.
+scenarios execute serially (``workers=1``), fan out across a
+``ProcessPoolExecutor`` (``workers>1``, each worker building its
+backend once from a picklable :class:`~repro.experiments.backends.
+BackendSpec`), run as megabatch chunks (the ``"vectorized-batch"``
+backend flattens whole chunks of scenarios into one lane array), or
+stream incrementally through :meth:`Campaign.iter_records`.  That is
+the seam later work (sharded or multi-host execution, result stores)
+attaches to.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ from __future__ import annotations
 import csv
 import json
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -29,7 +36,11 @@ import numpy as np
 
 from repro.acasx.logic_table import LogicTable
 from repro.encounters.encoding import EncounterParameters
-from repro.experiments.backends import SimulationBackend, make_backend
+from repro.experiments.backends import (
+    BackendSpec,
+    SimulationBackend,
+    make_backend,
+)
 from repro.experiments.scenario import Scenario, as_scenario_source
 from repro.sim.batch import BatchResult
 from repro.sim.encounter import EncounterSimConfig
@@ -226,16 +237,83 @@ class ResultSet:
         return path
 
 
-def _simulate_shard(
+#: Target lanes (scenarios × runs) per megabatch chunk: large enough to
+#: amortize Python stepping overhead, small enough to keep the flattened
+#: state and noise arrays comfortably in memory (a chunk's working set
+#: is a few MB at this width).
+DEFAULT_CHUNK_LANES = 8192
+
+#: One task chunk: (scenario index, parameters, per-scenario seed).
+WorkChunk = List[Tuple[int, EncounterParameters, np.random.SeedSequence]]
+
+
+def _execute_chunk(
     backend: SimulationBackend,
     num_runs: int,
-    shard: List[Tuple[int, EncounterParameters, np.random.SeedSequence]],
+    chunk: WorkChunk,
 ) -> List[Tuple[int, BatchResult]]:
-    """Worker entry point: simulate one shard of (index, params, seed)."""
+    """Simulate one chunk of (index, params, seed) on *backend*.
+
+    Backends exposing ``simulate_many`` (the megabatch path) get the
+    whole chunk in one call; everything else is driven scenario by
+    scenario.  Either way each scenario's result derives only from its
+    own seed, so chunk boundaries cannot change any output bit.
+    """
+    bulk = getattr(backend, "simulate_many", None)
+    if bulk is not None and len(chunk) > 1:
+        results = bulk(
+            [params for _, params, _ in chunk],
+            num_runs,
+            [seed for _, _, seed in chunk],
+        )
+        return [
+            (index, result)
+            for (index, _, _), result in zip(chunk, results)
+        ]
     return [
         (index, backend.simulate(params, num_runs, seed=seed))
-        for index, params, seed in shard
+        for index, params, seed in chunk
     ]
+
+
+def _default_chunk_size(
+    backend: SimulationBackend, num_runs: int, num_scenarios: int, workers: int
+) -> int:
+    """Scenarios per chunk when the caller does not pin a size.
+
+    Megabatch backends want wide chunks (bounded by
+    :data:`DEFAULT_CHUNK_LANES` lanes, and split so every worker gets
+    work); per-scenario backends get single-scenario chunks, which
+    keeps serial behavior unchanged and gives the pool fine-grained
+    load balancing.
+    """
+    if not hasattr(backend, "simulate_many"):
+        return 1
+    by_lanes = max(1, DEFAULT_CHUNK_LANES // max(1, num_runs))
+    by_workers = -(-num_scenarios // workers)  # ceil div
+    return max(1, min(by_lanes, by_workers))
+
+
+# Per-process backend built by the pool initializer: workers receive a
+# small picklable BackendSpec once, not the full backend per task.
+_WORKER_BACKEND: Optional[SimulationBackend] = None
+
+
+def _init_worker(payload: Union[BackendSpec, SimulationBackend]) -> None:
+    """Pool initializer: build this worker's backend exactly once."""
+    global _WORKER_BACKEND
+    if isinstance(payload, BackendSpec):
+        _WORKER_BACKEND = payload.build()
+    else:  # unregistered backend instance: arrived pickled whole
+        _WORKER_BACKEND = payload
+
+
+def _worker_execute_chunk(
+    num_runs: int, chunk: WorkChunk
+) -> List[Tuple[int, BatchResult]]:
+    """Worker task entry point: run one chunk on the per-process backend."""
+    assert _WORKER_BACKEND is not None, "worker pool not initialized"
+    return _execute_chunk(_WORKER_BACKEND, num_runs, chunk)
 
 
 class Campaign:
@@ -247,8 +325,9 @@ class Campaign:
         Anything :func:`~repro.experiments.scenario.as_scenario_source`
         accepts — a source object, preset name(s), parameters, genomes.
     backend:
-        Registry key (``"agent"`` or ``"vectorized"``) or a ready
-        :class:`SimulationBackend` instance.
+        Registry key (``"agent"``, ``"vectorized"`` or
+        ``"vectorized-batch"``) or a ready :class:`SimulationBackend`
+        instance.
     table:
         Logic table for equipped aircraft (``None`` only with
         ``equipage='none'``).
@@ -265,7 +344,7 @@ class Campaign:
     def __init__(
         self,
         scenarios,
-        backend: Union[str, SimulationBackend] = "vectorized",
+        backend: Union[str, SimulationBackend] = "vectorized-batch",
         table: Optional[LogicTable] = None,
         equipage: str = "both",
         coordination: bool = True,
@@ -290,8 +369,22 @@ class Campaign:
         self.coordination = coordination
         self.runs_per_scenario = runs_per_scenario
 
-    def run(self, seed: SeedLike = None, workers: int = 1) -> ResultSet:
-        """Execute the campaign and aggregate a :class:`ResultSet`.
+    def iter_records(
+        self,
+        seed: SeedLike = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[RunRecord]:
+        """Stream :class:`RunRecord`\\ s chunk by chunk, in index order.
+
+        The streaming twin of :meth:`run`: scenario chunks are
+        simulated one after another (or fanned out across a worker
+        pool with a bounded number of chunks in flight) and their
+        records yielded as they complete, without materializing the
+        full list — the shape very large campaigns need.  Seeds are
+        spawned per scenario before any simulation starts, so the
+        records are bitwise identical to :meth:`run`'s for the same
+        root seed, whatever the chunking or worker count.
 
         Parameters
         ----------
@@ -299,13 +392,36 @@ class Campaign:
             Root seed; everything (scenario sampling and every
             simulation run) derives from it deterministically.
         workers:
-            ``1`` runs serially; ``>1`` shards the scenarios across a
-            ``ProcessPoolExecutor``.  The result is bitwise identical
-            either way.
+            ``1`` simulates in-process; ``>1`` fans chunks out across a
+            ``ProcessPoolExecutor`` whose workers each build the
+            backend once from a small picklable spec.
+        chunk_size:
+            Scenarios per execution chunk.  Default: a megabatch-sized
+            chunk for backends with ``simulate_many``, else one
+            scenario per chunk.
+        """
+        scenario_list, chunks, workers = self._plan(seed, workers, chunk_size)
+        return self._iter_planned(scenario_list, chunks, workers)
+
+    def _plan(
+        self,
+        seed: SeedLike,
+        workers: int,
+        chunk_size: Optional[int],
+    ) -> Tuple[List, List[WorkChunk], int]:
+        """Validate arguments and fix the execution plan, eagerly.
+
+        Returns ``(scenario_list, chunks, workers)`` with the worker
+        count clamped to the chunk count (the parallelism actually
+        usable).  Shared by :meth:`run` and :meth:`iter_records` so the
+        chunking decision is made exactly once, and so invalid
+        arguments fail at the call site rather than at first iteration
+        of a generator.
         """
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        start = time.perf_counter()
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         root = as_seed_sequence(seed)
         sample_seq, run_seq = root.spawn(2)
         scenario_list = self.source.scenarios(
@@ -319,42 +435,89 @@ class Campaign:
             (i, scenario.params, child)
             for i, (scenario, child) in enumerate(zip(scenario_list, children))
         ]
-        # Clamp before branching so the ResultSet records the worker
-        # count actually used, not the one requested.
-        workers = min(workers, len(work))
-        if workers == 1:
-            outcomes = _simulate_shard(
-                self.backend, self.runs_per_scenario, work
+        if chunk_size is None:
+            chunk_size = _default_chunk_size(
+                self.backend, self.runs_per_scenario, len(work), workers
             )
-        else:
-            # Strided round-robin shards, one per worker, so the
-            # (sizeable) logic table is pickled once per worker rather
-            # than per scenario.
-            shards = [work[i::workers] for i in range(workers)]
-            outcomes = []
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _simulate_shard,
-                        self.backend,
-                        self.runs_per_scenario,
-                        shard,
-                    )
-                    for shard in shards
-                ]
-                for future in futures:
-                    outcomes.extend(future.result())
-
-        by_index = dict(outcomes)
-        records = [
-            RunRecord(
-                index=i,
-                name=scenario.name,
-                params=scenario.params,
-                runs=by_index[i],
-            )
-            for i, scenario in enumerate(scenario_list)
+        chunks = [
+            work[start:start + chunk_size]
+            for start in range(0, len(work), chunk_size)
         ]
+        return scenario_list, chunks, min(workers, len(chunks))
+
+    def _iter_planned(
+        self,
+        scenario_list: List,
+        chunks: List[WorkChunk],
+        workers: int,
+    ) -> Iterator[RunRecord]:
+        """Execute a fixed plan, yielding records in index order."""
+
+        def to_records(outcomes) -> Iterator[RunRecord]:
+            for index, result in outcomes:
+                scenario = scenario_list[index]
+                yield RunRecord(
+                    index=index,
+                    name=scenario.name,
+                    params=scenario.params,
+                    runs=result,
+                )
+
+        if workers == 1:
+            for chunk in chunks:
+                yield from to_records(
+                    _execute_chunk(self.backend, self.runs_per_scenario, chunk)
+                )
+            return
+
+        # Workers rebuild the backend once each from a picklable spec;
+        # only unregistered backend instances fall back to being
+        # pickled whole (still once per worker, via the initializer).
+        try:
+            payload: Union[BackendSpec, SimulationBackend] = (
+                BackendSpec.capture(self.backend)
+            )
+        except TypeError:
+            payload = self.backend
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            # Keep only a bounded window of chunks in flight so a slow
+            # consumer of the stream does not accumulate every finished
+            # chunk's results in memory.
+            def submit(chunk):
+                return pool.submit(
+                    _worker_execute_chunk, self.runs_per_scenario, chunk
+                )
+
+            chunk_iter = iter(chunks)
+            pending = deque(
+                submit(chunk) for chunk in islice(chunk_iter, workers + 1)
+            )
+            while pending:
+                outcomes = pending.popleft().result()
+                pending.extend(submit(chunk) for chunk in islice(chunk_iter, 1))
+                yield from to_records(outcomes)
+
+    def run(
+        self,
+        seed: SeedLike = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> ResultSet:
+        """Execute the campaign and aggregate a :class:`ResultSet`.
+
+        A thin collector over the same plan :meth:`iter_records`
+        streams — same parameters, same determinism guarantee (the
+        result is bitwise identical for any ``workers``/``chunk_size``
+        given the same root seed).
+        """
+        start = time.perf_counter()
+        root = as_seed_sequence(seed)
+        scenario_list, chunks, workers = self._plan(root, workers, chunk_size)
+        records = list(self._iter_planned(scenario_list, chunks, workers))
         return ResultSet(
             records=records,
             backend=self.backend_name,

@@ -14,9 +14,10 @@ over the same encounters, and reports:
   — the pathology validation most wants to rule out.
 
 The campaigns inherit the experiment API's properties: the simulation
-backend is registry-selected (``"vectorized"`` default, ``"agent"`` for
-the faithful engine) and ``workers>1`` fans the encounters out across
-processes without changing the result.
+backend is registry-selected (``"vectorized-batch"`` default — the
+megabatch path that flattens whole chunks of encounters into one lane
+array per arm — ``"agent"`` for the faithful engine) and ``workers>1``
+fans the encounters out across processes without changing the result.
 """
 
 from __future__ import annotations
@@ -106,7 +107,7 @@ class MonteCarloEstimator:
         source: EncounterSource,
         sim_config: EncounterSimConfig | None = None,
         runs_per_encounter: int = 20,
-        backend: str = "vectorized",
+        backend: str = "vectorized-batch",
         workers: int = 1,
     ):
         if runs_per_encounter < 1:

@@ -10,8 +10,11 @@ avoidance logic behaves in an encounter, the higher the encounter's
 fitness, so maximizing it steers the GA toward challenging situations.
 
 Evaluation executes through :class:`repro.experiments.Campaign` with a
-registry-selected backend (``"vectorized"`` by default — the NumPy fast
-path; ``"agent"`` for the faithful engine); an ablation variant
+registry-selected backend (``"vectorized-batch"`` by default — the
+megabatch fast path, which also lets a GA generation's whole population
+be simulated as one flattened lane array via
+:meth:`EncounterFitness.evaluate_population`; ``"agent"`` for the
+faithful engine); an ablation variant
 (:class:`CollisionRateFitness`) scores the raw NMAC rate instead, to
 show why the paper's shaped fitness searches better (a pure indicator
 gives the GA no gradient until a collision is found).
@@ -82,7 +85,7 @@ class EncounterFitness:
         equipage: str = "both",
         coordination: bool = True,
         seed: SeedLike = None,
-        backend: Union[str, SimulationBackend] = "vectorized",
+        backend: Union[str, SimulationBackend] = "vectorized-batch",
     ):
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")
@@ -115,6 +118,32 @@ class EncounterFitness:
         result_set = campaign.run(seed=self._rng)
         self.evaluations += 1
         return result_set[0].runs
+
+    def evaluate_population(self, genomes: np.ndarray) -> np.ndarray:
+        """Fitness of a whole population in one chunked campaign.
+
+        The GA calls this once per generation instead of once per
+        genome; with a megabatch backend the population's
+        ``(pop × num_runs)`` simulation runs flatten into a handful of
+        lane-array chunks, eliminating the per-genome campaign
+        overhead.  Works with any backend (non-bulk backends simulate
+        scenario by scenario inside the campaign).
+        """
+        genomes = np.atleast_2d(np.asarray(genomes, dtype=float))
+        campaign = Campaign(
+            genomes,
+            backend=self.backend,
+            table=self.table,
+            equipage=self.equipage,
+            coordination=self.coordination,
+            runs_per_scenario=self.num_runs,
+            sim_config=self.config,
+        )
+        result_set = campaign.run(seed=self._rng)
+        self.evaluations += len(genomes)
+        return np.array(
+            [self.score(record.runs) for record in result_set], dtype=float
+        )
 
     def report(self, genome: np.ndarray) -> FitnessReport:
         """Fitness together with the run statistics."""
@@ -185,7 +214,7 @@ class FalseAlarmFitness:
         num_runs: int = 50,
         scale: float = 1.0,
         seed: SeedLike = None,
-        backend: Union[str, SimulationBackend] = "vectorized",
+        backend: Union[str, SimulationBackend] = "vectorized-batch",
     ):
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")

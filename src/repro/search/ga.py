@@ -199,8 +199,16 @@ class GeneticAlgorithm:
         best_fitness = -np.inf
         evaluations = 0
 
+        # A fitness exposing evaluate_population (e.g. EncounterFitness
+        # on a megabatch backend) scores each generation in one chunked
+        # campaign instead of one campaign per genome.
+        evaluate = getattr(fitness, "evaluate_population", None)
+
         for generation in range(config.generations):
-            fitnesses = np.array([fitness(genome) for genome in population])
+            if evaluate is not None:
+                fitnesses = np.asarray(evaluate(population), dtype=float)
+            else:
+                fitnesses = np.array([fitness(genome) for genome in population])
             evaluations += len(population)
             generations.append(population.copy())
             fitness_history.append(fitnesses.copy())

@@ -77,7 +77,8 @@ class SearchRunner:
         Stochastic simulation runs per fitness evaluation (paper: 100).
     backend:
         Simulation backend registry key for the fitness campaigns
-        (``"vectorized"`` default, ``"agent"`` for the faithful engine).
+        (``"vectorized-batch"`` default — each GA generation simulates
+        as megabatch chunks — ``"agent"`` for the faithful engine).
     equipage / coordination:
         Equipage of the simulated encounters.
     """
@@ -89,7 +90,7 @@ class SearchRunner:
         ga_config: GAConfig | None = None,
         sim_config: EncounterSimConfig | None = None,
         num_runs: int = 100,
-        backend: str = "vectorized",
+        backend: str = "vectorized-batch",
         equipage: str = "both",
         coordination: bool = True,
     ):

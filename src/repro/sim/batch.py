@@ -15,7 +15,7 @@ own-ship only, or none — the combinations the experiments need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -169,20 +169,45 @@ class BatchEncounterSimulator:
     # ------------------------------------------------------------------
     # Physics
     # ------------------------------------------------------------------
-    def _integrate_substep(
+    def _draw_substep_noise(
+        self, n: int, dt: float, rng: np.random.Generator
+    ):
+        """Disturbance draws for one physics substep of one side.
+
+        Kept separate from :meth:`_apply_substep` so the megabatch path
+        can draw each scenario's noise from its own generator (making
+        results independent of how scenarios are chunked together)
+        while still applying the physics across all lanes at once.  The
+        draw order (vertical, then horizontal) is the contract both
+        paths share.
+        """
+        noise_std = self.config.disturbance.vertical_rate_std
+        vertical = (
+            rng.normal(0.0, noise_std / np.sqrt(dt), size=n)
+            if noise_std > 0 else None
+        )
+        h_std = self.config.disturbance.horizontal_accel_std
+        horizontal = (
+            rng.normal(0.0, h_std, size=(n, 2)) if h_std > 0 else None
+        )
+        return vertical, horizontal
+
+    def _apply_substep(
         self,
         pos: np.ndarray,
         vel: np.ndarray,
         sra: np.ndarray,
         dt: float,
-        rng: np.random.Generator,
+        vertical_noise: Optional[np.ndarray],
+        horizontal_noise: Optional[np.ndarray],
     ) -> None:
-        """One physics substep for one side of every run, in place.
+        """One physics substep for one side of every lane, in place.
 
         Replicates :func:`repro.dynamics.aircraft.step_aircraft`:
         advisory ramp (exact trapezoid) then Brownian rate disturbance.
+        Every operation is lane-wise, so the result for one lane does
+        not depend on which other lanes share the arrays.
         """
-        n = pos.shape[0]
         vz = vel[:, 2]
         active = _ACTIVE[sra]
         target = np.where(active, np.nan_to_num(_TARGET_RATES[sra]), 0.0)
@@ -199,42 +224,74 @@ class BatchEncounterSimulator:
         pos[:, 2] += np.where(active, dz_cmd, dz_free)
         vel[:, 2] = vz_capture  # equals vz where inactive (ramp == 0)
 
-        noise_std = self.config.disturbance.vertical_rate_std
-        if noise_std > 0:
-            accel_noise = rng.normal(0.0, noise_std / np.sqrt(dt), size=n)
-            pos[:, 2] += 0.5 * accel_noise * dt * dt
-            vel[:, 2] += accel_noise * dt
+        if vertical_noise is not None:
+            pos[:, 2] += 0.5 * vertical_noise * dt * dt
+            vel[:, 2] += vertical_noise * dt
 
-        h_std = self.config.disturbance.horizontal_accel_std
-        if h_std > 0:
-            accel_h = rng.normal(0.0, h_std, size=(n, 2))
-            pos[:, :2] += vel[:, :2] * dt + 0.5 * accel_h * dt * dt
-            vel[:, :2] += accel_h * dt
+        if horizontal_noise is not None:
+            pos[:, :2] += vel[:, :2] * dt + 0.5 * horizontal_noise * dt * dt
+            vel[:, :2] += horizontal_noise * dt
         else:
             pos[:, :2] += vel[:, :2] * dt
+
+    def _integrate_substep(
+        self,
+        pos: np.ndarray,
+        vel: np.ndarray,
+        sra: np.ndarray,
+        dt: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Draw one substep's disturbance and apply it, in place."""
+        vertical, horizontal = self._draw_substep_noise(pos.shape[0], dt, rng)
+        self._apply_substep(pos, vel, sra, dt, vertical, horizontal)
+
+    def _draw_sense_noise_into(
+        self,
+        pos_out: np.ndarray,
+        vel_out: np.ndarray,
+        rows,
+        n: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """ADS-B noise draws for one received report, written to *rows*.
+
+        The axis-by-axis draw order (position x, y, z then velocity x,
+        y, z) is the stream contract shared by the per-scenario and
+        megabatch paths.
+        """
+        sensor = self.config.sensor
+        pos_out[rows, 0] = rng.normal(
+            0.0, sensor.horizontal_position_std, size=n
+        )
+        pos_out[rows, 1] = rng.normal(
+            0.0, sensor.horizontal_position_std, size=n
+        )
+        pos_out[rows, 2] = rng.normal(
+            0.0, sensor.vertical_position_std, size=n
+        )
+        vel_out[rows, 0] = rng.normal(
+            0.0, sensor.horizontal_velocity_std, size=n
+        )
+        vel_out[rows, 1] = rng.normal(
+            0.0, sensor.horizontal_velocity_std, size=n
+        )
+        vel_out[rows, 2] = rng.normal(
+            0.0, sensor.vertical_velocity_std, size=n
+        )
+
+    def _draw_sense_noise(self, n: int, rng: np.random.Generator):
+        """ADS-B noise draws for one received (pos, vel) report."""
+        pos_noise = np.empty((n, 3))
+        vel_noise = np.empty((n, 3))
+        self._draw_sense_noise_into(pos_noise, vel_noise, slice(None), n, rng)
+        return pos_noise, vel_noise
 
     def _sense(
         self, pos: np.ndarray, vel: np.ndarray, rng: np.random.Generator
     ):
         """Noisy received copies of (pos, vel)."""
-        sensor = self.config.sensor
-        n = pos.shape[0]
-        pos_noise = np.stack(
-            [
-                rng.normal(0.0, sensor.horizontal_position_std, size=n),
-                rng.normal(0.0, sensor.horizontal_position_std, size=n),
-                rng.normal(0.0, sensor.vertical_position_std, size=n),
-            ],
-            axis=1,
-        )
-        vel_noise = np.stack(
-            [
-                rng.normal(0.0, sensor.horizontal_velocity_std, size=n),
-                rng.normal(0.0, sensor.horizontal_velocity_std, size=n),
-                rng.normal(0.0, sensor.vertical_velocity_std, size=n),
-            ],
-            axis=1,
-        )
+        pos_noise, vel_noise = self._draw_sense_noise(pos.shape[0], rng)
         return pos + pos_noise, vel + vel_noise
 
     # ------------------------------------------------------------------
@@ -333,3 +390,195 @@ class BatchEncounterSimulator:
             own_alerted=own_alerted,
             intruder_alerted=intr_alerted,
         )
+
+    # ------------------------------------------------------------------
+    # Megabatch: many scenarios × many runs as one lane array
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        params_list: Sequence[EncounterParameters],
+        num_runs: int,
+        seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> List[BatchResult]:
+        """Simulate *num_runs* runs of **each** scenario as one batch.
+
+        Flattens ``S`` scenarios × ``num_runs`` runs into a single
+        ``(S * num_runs)``-lane array simulation: lanes
+        ``[s*num_runs, (s+1)*num_runs)`` carry scenario ``s``, seeded
+        from ``seeds[s]``, starting from its decoded geometry.  An
+        active-lane mask derived from each scenario's duration lets
+        short encounters stop stepping while long ones continue, so the
+        per-scenario Python stepping loop disappears.
+
+        Each scenario's disturbance and sensor noise comes from its own
+        generator in exactly the order :meth:`run` draws it, and every
+        array operation is lane-wise, so the slice returned for a
+        scenario is **bitwise identical** to ``run(params, num_runs,
+        seed)`` — and therefore also independent of which scenarios
+        happen to share the batch (chunking cannot change results).
+        """
+        params_list = list(params_list)
+        if not params_list:
+            raise ValueError("params_list must contain at least one scenario")
+        if num_runs < 1:
+            raise ValueError("num_runs must be >= 1")
+        if seeds is None:
+            seeds = [None] * len(params_list)
+        seeds = list(seeds)
+        if len(seeds) != len(params_list):
+            raise ValueError(
+                f"got {len(seeds)} seeds for {len(params_list)} scenarios"
+            )
+        rngs = [as_generator(seed) for seed in seeds]
+
+        config = self.config
+        num_scenarios = len(params_list)
+        n = num_runs
+        total = num_scenarios * n
+
+        own_pos = np.empty((total, 3))
+        own_vel = np.empty((total, 3))
+        intr_pos = np.empty((total, 3))
+        intr_vel = np.empty((total, 3))
+        num_decisions = np.empty(num_scenarios, dtype=np.int64)
+        for s, params in enumerate(params_list):
+            own0, intr0 = decode_encounter(params)
+            rows = slice(s * n, (s + 1) * n)
+            own_pos[rows] = own0.position
+            own_vel[rows] = own0.velocity
+            intr_pos[rows] = intr0.position
+            intr_vel[rows] = intr0.velocity
+            duration = params.time_to_cpa + config.extra_duration
+            # Same rounding (and at-least-one-decision floor) as run().
+            num_decisions[s] = max(1, int(round(duration / config.decision_dt)))
+
+        own_sra = np.zeros(total, dtype=np.int64)
+        intr_sra = np.zeros(total, dtype=np.int64)
+        own_alerted = np.zeros(total, dtype=bool)
+        intr_alerted = np.zeros(total, dtype=bool)
+        min_sep = np.full(total, np.inf)
+        min_horiz = np.full(total, np.inf)
+        nmac = np.zeros(total, dtype=bool)
+
+        def observe(own_p: np.ndarray, intr_p: np.ndarray, lanes) -> None:
+            delta = own_p - intr_p
+            horizontal = np.hypot(delta[:, 0], delta[:, 1])
+            vertical = np.abs(delta[:, 2])
+            separation = np.hypot(horizontal, vertical)
+            min_sep[lanes] = np.minimum(min_sep[lanes], separation)
+            min_horiz[lanes] = np.minimum(min_horiz[lanes], horizontal)
+            nmac[lanes] = nmac[lanes] | (
+                (horizontal < NMAC_HORIZONTAL_M) & (vertical < NMAC_VERTICAL_M)
+            )
+
+        observe(own_pos, intr_pos, slice(None))
+
+        sub_dt = config.decision_dt / config.physics_substeps
+        substeps = config.physics_substeps
+        own_equipped = self.equipage in ("both", "own-only")
+        intr_equipped = self.equipage == "both"
+        sensing = own_equipped or intr_equipped
+        noise_std = config.disturbance.vertical_rate_std
+        h_std = config.disturbance.horizontal_accel_std
+
+        for decision in range(int(num_decisions.max())):
+            active = np.flatnonzero(num_decisions > decision)
+            m = active.size * n
+
+            # Per-scenario noise, drawn from each scenario's own stream
+            # in the exact order run() consumes it: intruder report,
+            # own report, then (own, intruder) per physics substep.
+            sense_noise = (
+                [np.empty((m, 3)) for _ in range(4)] if sensing else None
+            )
+            vert_noise = (
+                np.empty((substeps, 2, m)) if noise_std > 0 else None
+            )
+            horiz_noise = (
+                np.empty((substeps, 2, m, 2)) if h_std > 0 else None
+            )
+            vert_scale = (
+                noise_std / np.sqrt(sub_dt) if noise_std > 0 else 0.0
+            )
+            for j, s in enumerate(active):
+                rows = slice(j * n, (j + 1) * n)
+                rng = rngs[s]
+                if sensing:
+                    self._draw_sense_noise_into(
+                        sense_noise[0], sense_noise[1], rows, n, rng
+                    )
+                    self._draw_sense_noise_into(
+                        sense_noise[2], sense_noise[3], rows, n, rng
+                    )
+                for k in range(substeps):
+                    for side in (0, 1):  # own first, then intruder
+                        # Same draw order as _draw_substep_noise:
+                        # vertical rate noise, then horizontal accel.
+                        if vert_noise is not None:
+                            vert_noise[k, side, rows] = rng.normal(
+                                0.0, vert_scale, size=n
+                            )
+                        if horiz_noise is not None:
+                            horiz_noise[k, side, rows] = rng.normal(
+                                0.0, h_std, size=(n, 2)
+                            )
+
+            # Gather the active lanes (contiguous blocks per scenario).
+            lanes = np.concatenate(
+                [np.arange(s * n, (s + 1) * n) for s in active]
+            )
+            op, ov = own_pos[lanes], own_vel[lanes]
+            ip, iv = intr_pos[lanes], intr_vel[lanes]
+            osra, isra = own_sra[lanes], intr_sra[lanes]
+
+            if own_equipped:
+                # Own decides first, seeing the intruder's previous lock.
+                forbidden = (
+                    _SENSES[isra]
+                    if (self.coordination and intr_equipped)
+                    else None
+                )
+                osra = self._decide_side(
+                    op, ov, ip + sense_noise[0], iv + sense_noise[1],
+                    osra, forbidden,
+                )
+                own_alerted[lanes] = own_alerted[lanes] | _ACTIVE[osra]
+            if intr_equipped:
+                forbidden = (
+                    _SENSES[osra]
+                    if (self.coordination and own_equipped)
+                    else None
+                )
+                isra = self._decide_side(
+                    ip, iv, op + sense_noise[2], ov + sense_noise[3],
+                    isra, forbidden,
+                )
+                intr_alerted[lanes] = intr_alerted[lanes] | _ACTIVE[isra]
+
+            for k in range(substeps):
+                self._apply_substep(
+                    op, ov, osra, sub_dt,
+                    vert_noise[k, 0] if vert_noise is not None else None,
+                    horiz_noise[k, 0] if horiz_noise is not None else None,
+                )
+                self._apply_substep(
+                    ip, iv, isra, sub_dt,
+                    vert_noise[k, 1] if vert_noise is not None else None,
+                    horiz_noise[k, 1] if horiz_noise is not None else None,
+                )
+                observe(op, ip, lanes)
+
+            own_pos[lanes], own_vel[lanes] = op, ov
+            intr_pos[lanes], intr_vel[lanes] = ip, iv
+            own_sra[lanes], intr_sra[lanes] = osra, isra
+
+        return [
+            BatchResult(
+                min_separation=min_sep[s * n:(s + 1) * n].copy(),
+                min_horizontal=min_horiz[s * n:(s + 1) * n].copy(),
+                nmac=nmac[s * n:(s + 1) * n].copy(),
+                own_alerted=own_alerted[s * n:(s + 1) * n].copy(),
+                intruder_alerted=intr_alerted[s * n:(s + 1) * n].copy(),
+            )
+            for s in range(num_scenarios)
+        ]

@@ -161,7 +161,7 @@ class TestBackendRegistry:
         from repro.search.fitness import EncounterFitness
 
         fitness = EncounterFitness(test_table, num_runs=2, seed=0)
-        assert fitness.backend.name == "vectorized"
+        assert fitness.backend.name == "vectorized-batch"
         first = fitness.backend
         fitness(head_on_encounter().as_array())
         assert fitness.backend is first
@@ -227,11 +227,13 @@ class TestCampaignExecution:
     @pytest.mark.slow
     def test_parallel_matches_serial_bitwise(self, test_table):
         def run(workers):
+            # chunk_size=1 so all four workers are usable (the clamp
+            # records the parallelism actually available, by chunks).
             return Campaign(
                 SampledSource(StatisticalEncounterModel(), 6),
                 table=test_table,
                 runs_per_scenario=4,
-            ).run(seed=2016, workers=workers)
+            ).run(seed=2016, workers=workers, chunk_size=1)
 
         serial = run(1)
         parallel = run(4)
@@ -308,13 +310,13 @@ class TestResultSetExport:
     def test_summary_text(self, results):
         text = results.summary()
         assert "campaign: 2 scenarios x 4 runs" in text
-        assert "backend=vectorized" in text
+        assert "backend=vectorized-batch" in text
         assert "NMAC:" in text
 
     def test_json_roundtrip(self, results, tmp_path):
         path = results.to_json(tmp_path / "campaign.json")
         payload = json.loads(path.read_text())
-        assert payload["backend"] == "vectorized"
+        assert payload["backend"] == "vectorized-batch"
         assert len(payload["scenarios"]) == 2
         genome = payload["scenarios"][0]["genome"]
         decoded = EncounterParameters.from_array(np.array(genome))

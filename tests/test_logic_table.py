@@ -103,7 +103,66 @@ class TestBestAdvisory:
         assert slice_.max() < NUM_ADVISORIES
 
 
+def _q_values_batch_reference(table, tau, current_indices, coords):
+    """The pre-refactor q_values_batch: a per-advisory loop of
+    fancy-indexed sums.  Kept verbatim as the bitwise regression oracle
+    for the single-gather implementation."""
+    tau = np.asarray(tau, dtype=float)
+    current_indices = np.asarray(current_indices, dtype=np.int64)
+    n = tau.shape[0]
+    k_float = np.clip(tau / table.config.dt, 0.0, table.config.horizon)
+    k_lo = np.floor(k_float).astype(np.int64)
+    k_hi = np.minimum(k_lo + 1, table.config.horizon)
+    w_hi = k_float - k_lo
+
+    indices, weights = table.grid.interp_table(coords)
+    cube = table.config.cube_size
+    flat_q = table.q.reshape(-1)
+    out = np.empty((n, NUM_ADVISORIES))
+    for a in range(NUM_ADVISORIES):
+        base_lo = ((k_lo * NUM_ADVISORIES + current_indices)
+                   * NUM_ADVISORIES + a) * cube
+        base_hi = ((k_hi * NUM_ADVISORIES + current_indices)
+                   * NUM_ADVISORIES + a) * cube
+        q_lo = np.sum(flat_q[base_lo[:, None] + indices] * weights, axis=1)
+        q_hi = np.sum(flat_q[base_hi[:, None] + indices] * weights, axis=1)
+        out[:, a] = (1.0 - w_hi) * q_lo + w_hi * q_hi
+    return out
+
+
+class TestBatchLookupRegression:
+    @pytest.mark.parametrize("n", [1, 7, 300, 1000])
+    def test_bitwise_identical_to_reference(self, test_table, n):
+        # The refactor (per-advisory loop -> one gather over an
+        # (n, 2, NUM_ADVISORIES, corners) index block) must not change
+        # a single output bit, at any batch width (crossing the
+        # internal row-block boundary included).
+        rng = np.random.default_rng(n)
+        config = test_table.config
+        tau = rng.uniform(-5.0, config.horizon * config.dt + 5.0, n)
+        current = rng.integers(0, NUM_ADVISORIES, n)
+        coords = np.stack(
+            [
+                rng.uniform(-1.5 * config.h_max, 1.5 * config.h_max, n),
+                rng.uniform(-config.rate_max, config.rate_max, n),
+                rng.uniform(-config.rate_max, config.rate_max, n),
+            ],
+            axis=1,
+        )
+        got = test_table.q_values_batch(tau, current, coords)
+        expected = _q_values_batch_reference(test_table, tau, current, coords)
+        np.testing.assert_array_equal(got, expected)
+
+
 class TestPersistence:
+    def test_bytes_round_trip(self, tiny_table):
+        data = tiny_table.to_bytes()
+        assert isinstance(data, bytes)
+        loaded = LogicTable.from_bytes(data)
+        np.testing.assert_array_equal(loaded.q, tiny_table.q)
+        assert loaded.config == tiny_table.config
+        assert loaded.metadata == tiny_table.metadata
+
     def test_save_load_round_trip(self, tiny_table, tmp_path):
         path = tmp_path / "table.npz"
         tiny_table.save(path)
