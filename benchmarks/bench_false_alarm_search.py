@@ -10,9 +10,10 @@ missing without any avoidance.
 """
 
 import numpy as np
-from conftest import record_result
+from conftest import record_campaign, record_result
 
 from repro.encounters.generator import ParameterRanges
+from repro.experiments import Campaign
 from repro.search.fitness import FalseAlarmFitness
 from repro.search.ga import GAConfig, GeneticAlgorithm
 
@@ -53,6 +54,25 @@ def test_bench_false_alarm_search(benchmark, fast_table):
         "alert situation the paper's preferences penalize)",
     ]
     record_result("false_alarm_search", "\n".join(lines) + "\n")
+
+    # Re-validate the search's top encounters through both equipage
+    # arms as campaigns and persist them via the store — the pair is
+    # exactly what `repro store diff` compares (alerts while the
+    # unmitigated counterfactual misses comfortably).
+    all_genomes = np.concatenate(result.generations, axis=0)
+    all_fits = np.concatenate(result.fitness_history, axis=0)
+    top = all_genomes[np.argsort(all_fits)[::-1][:10]]
+    for label, equipage in (
+        ("false_alarm_top_equipped", "both"),
+        ("false_alarm_top_unequipped", "none"),
+    ):
+        validation = Campaign(
+            top,
+            table=fast_table if equipage != "none" else None,
+            equipage=equipage,
+            runs_per_scenario=NUM_RUNS,
+        ).run(seed=17)
+        record_campaign(label, validation)
 
     # The search must find encounters that alert while missing by a
     # multiple of the NMAC radius without any avoidance.

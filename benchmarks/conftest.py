@@ -5,6 +5,15 @@ DESIGN.md's experiment index).  Timing goes through pytest-benchmark;
 the regenerated rows/series are printed and also written to
 ``benchmarks/results/<name>.txt`` so they survive pytest's output
 capture.  EXPERIMENTS.md records paper-vs-measured for each.
+
+Campaign-shaped benches persist through :func:`record_campaign`, which
+writes into the shared result store
+(``benchmarks/results/campaigns.sqlite`` — content-addressed
+provenance, dedup, cross-campaign queries) and regenerates the
+human-readable ``<name>.campaign.json`` *from the store's export path*,
+so the JSON files are downstream views of the store rather than loose
+primary records.  The sqlite file itself is a local accumulating cache
+(git-ignored); the JSON exports are the committed record.
 """
 
 from __future__ import annotations
@@ -14,8 +23,12 @@ from pathlib import Path
 import pytest
 
 from repro.acasx import build_logic_table, paper_config, test_config
+from repro.store import ResultStore
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The shared result store every campaign-shaped bench writes through.
+STORE_PATH = RESULTS_DIR / "campaigns.sqlite"
 
 
 def pytest_addoption(parser):
@@ -63,20 +76,26 @@ def record_result(name: str, text: str) -> None:
 
 
 def record_campaign(name: str, result_set) -> None:
-    """Persist a campaign :class:`~repro.experiments.ResultSet` as JSON.
+    """Persist a campaign :class:`~repro.experiments.ResultSet`.
 
-    The export carries the campaign's own wall-clock timing alongside
-    the per-scenario aggregates, so every campaign-shaped benchmark
-    leaves a machine-readable timing record next to its text output.
-    Smoke runs print the summary but do not persist.
+    Writes through the shared :class:`~repro.store.ResultStore`
+    (``campaigns.sqlite``): the result set is ingested under its
+    content-addressed provenance hash (re-recording identical results
+    dedups to the same campaign; changed workloads land as new
+    campaigns, so history accumulates queryably), then the
+    ``<name>.campaign.json`` timing record is regenerated from the
+    store's export — it carries wall-clock timing, backend name and
+    ``cpu_count`` metadata, so every persisted timing is
+    self-describing.  Smoke runs print the summary but do not persist.
     """
     print(f"\n----- {name} ({result_set.wall_time:.2f}s wall) -----")
     print(result_set.summary())
     if _SMOKE_RUN:
         return
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.campaign.json"
-    result_set.to_json(path)
+    with ResultStore(STORE_PATH) as store:
+        campaign_id = store.ingest(result_set, label=name)
+        store.export_json(campaign_id, RESULTS_DIR / f"{name}.campaign.json")
 
 
 @pytest.fixture(scope="session")

@@ -6,9 +6,14 @@ campaign API:
 1. solve the ACAS XU-like MDP into a logic table (model-based
    optimization, Sections II-III);
 2. declare a campaign over the canonical geometries — equipped and
-   coordinated — and run it with the megabatch backend (Section VI);
-3. compare against the unequipped counterfactual campaign;
-4. replay the worst scenario through the faithful agent engine to see
+   coordinated — and run it with the megabatch backend (Section VI),
+   persisting into a sqlite result store;
+3. compare against the unequipped counterfactual campaign with a
+   cross-campaign store diff;
+4. demonstrate resume: re-running the stored campaign performs zero
+   new simulations (after an interruption, only the missing tail
+   would simulate);
+5. replay the worst scenario through the faithful agent engine to see
    its trajectory and advisories.
 
 **Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
@@ -29,13 +34,31 @@ agent engine agrees statistically (both properties are under test).
 Very large campaigns can stream records without materializing the list
 via ``Campaign.iter_records(seed=...)``.
 
+**Persisting into a result store.**  ``run(store=ResultStore(path))``
+writes every record into a sqlite store keyed by the campaign's
+content-addressed provenance hash.  Re-running the same campaign
+*resumes* from the store: scenarios it already holds load instead of
+simulating (kill a long campaign halfway and the re-run finishes only
+the missing tail; a completed campaign re-runs with **zero** new
+simulations), and ``store.diff(a, b)`` compares stored campaigns —
+e.g. unequipped vs equipped NMAC rates — without re-simulating.  The
+same store is scriptable from the shell::
+
+    repro campaign --sample 200 --runs 100 --store results.sqlite
+    repro store list results.sqlite
+    repro store diff results.sqlite <id-a> <id-b>
+
 Usage::
 
     python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro import (
     Campaign,
+    ResultStore,
     build_logic_table,
     make_acas_pair,
     run_encounter,
@@ -54,27 +77,44 @@ def main() -> None:
     print(f"solved: {table}")
     print()
 
+    store = ResultStore(Path(tempfile.mkdtemp()) / "quickstart.sqlite")
+
     print(f"=== 2. Campaign: {SCENARIOS} x {RUNS} runs, equipped ===")
     equipped = Campaign(
         SCENARIOS,
         backend="vectorized-batch",  # "vectorized" / "agent" trade
         table=table,                 # speed for scrutiny (see module
         runs_per_scenario=RUNS,      # docstring timing table)
-    ).run(seed=42)                   # workers=4 gives identical bits
+    ).run(seed=42, store=store)      # workers=4 gives identical bits
     print(equipped.summary())
     print()
 
-    print("=== 3. Unequipped counterfactual ===")
+    print("=== 3. Unequipped counterfactual, via a store diff ===")
     baseline = Campaign(
         SCENARIOS,
         equipage="none",
         runs_per_scenario=RUNS,
-    ).run(seed=42)
-    print(f"unequipped NMAC rate: {baseline.nmac_rate:.2f} "
-          f"vs equipped: {equipped.nmac_rate:.2f}")
+    ).run(seed=42, store=store)
+    diff = store.diff(
+        baseline.metadata["campaign_id"], equipped.metadata["campaign_id"]
+    )
+    print(diff.summary())
     print()
 
-    print("=== 4. Replay the worst scenario through the agent engine ===")
+    print("=== 4. Resume: an identical re-run simulates nothing ===")
+    # The spec hashes to the same campaign id, so every scenario loads
+    # from the store.  After an interruption (e.g. a killed
+    # iter_records stream) the same call would finish only the
+    # missing tail — bitwise identical to an uninterrupted run.
+    rerun = Campaign(
+        SCENARIOS, table=table, runs_per_scenario=RUNS
+    ).run(seed=42, store=store)
+    print(f"loaded {rerun.metadata['loaded']} scenarios from the store, "
+          f"simulated {rerun.metadata['simulated']} "
+          f"(campaign {rerun.metadata['campaign_id'][:12]})")
+    print()
+
+    print("=== 5. Replay the worst scenario through the agent engine ===")
     worst = equipped.worst()
     own, intruder = make_acas_pair(table, coordination=True)
     replay = run_encounter(

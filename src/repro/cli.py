@@ -13,12 +13,22 @@ search and interactively for analysis):
 - ``repro search``     — GA search for challenging encounters, with a
   JSON report of generations and top encounters;
 - ``repro montecarlo`` — Monte-Carlo rate estimation;
-- ``repro airspace``   — a multi-aircraft stress run.
+- ``repro airspace``   — a multi-aircraft stress run;
+- ``repro store``      — query a persistent campaign result store
+  (``list``, ``show``, ``export``, ``diff``).
 
 Simulation-heavy commands take ``--backend``/``--equipage``/
 ``--coordination`` with the same spellings the library's experiment
 registry accepts.  Every command takes ``--seed`` and is fully
 deterministic given it (including ``campaign --workers N``).
+
+``campaign``, ``montecarlo`` and ``search`` also take ``--store PATH``:
+results persist into a sqlite :class:`~repro.store.ResultStore` under a
+content-addressed provenance hash, so re-running the same command
+resumes (an interrupted campaign simulates only its missing tail; a
+completed one performs zero new simulations) and ``repro store diff``
+compares campaigns — e.g. unequipped vs equipped NMAC rates — without
+re-simulating anything.
 """
 
 from __future__ import annotations
@@ -55,6 +65,22 @@ from repro.sim import EncounterSimConfig, run_encounter
 from repro.sim.airspace import AirspaceSimulation
 from repro.sim.encounter import make_acas_pair
 from repro.sim.trace import render_vertical_profile
+from repro.store import ResultStore
+
+
+def _open_store(args) -> Optional[ResultStore]:
+    """The ``--store PATH`` result store, if requested."""
+    path = getattr(args, "store", None)
+    return None if path is None else ResultStore(path)
+
+
+def _print_store_outcome(results, label: str = "store") -> None:
+    """One line saying what the store run did (resume/dedup evidence)."""
+    meta = results.metadata
+    print(
+        f"{label}: campaign {meta['campaign_id'][:12]} "
+        f"(loaded {meta['loaded']}, simulated {meta['simulated']})"
+    )
 
 
 def _config_for(preset: str) -> AcasConfig:
@@ -167,10 +193,15 @@ def cmd_campaign(args) -> int:
     )
     if args.chunk_size is not None and args.chunk_size < 1:
         raise SystemExit("--chunk-size must be >= 1")
+    store = _open_store(args)
     results = campaign.run(
-        seed=args.seed, workers=args.workers, chunk_size=args.chunk_size
+        seed=args.seed, workers=args.workers, chunk_size=args.chunk_size,
+        store=store,
     )
     print(results.summary())
+    if store is not None:
+        _print_store_outcome(results)
+        store.close()
     if args.out:
         print(f"JSON written to {results.to_json(args.out)}")
     if args.csv:
@@ -183,6 +214,7 @@ def cmd_campaign(args) -> int:
 # ----------------------------------------------------------------------
 def cmd_search(args) -> int:
     table = _load_table(args)
+    store = _open_store(args)
     runner = SearchRunner(
         table,
         ga_config=GAConfig(
@@ -192,8 +224,12 @@ def cmd_search(args) -> int:
         backend=args.backend,
         equipage=args.equipage,
         coordination=args.coordination == "on",
+        store=store,
     )
     outcome = runner.run(seed=args.seed, top_k=args.top, verbose=args.verbose)
+    if store is not None:
+        print(f"store: {len(store.campaigns())} campaigns in {args.store}")
+        store.close()
 
     print("fitness by generation:")
     for row in outcome.generation_summary():
@@ -239,15 +275,24 @@ def cmd_montecarlo(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     table = _load_table(args)
+    store = _open_store(args)
     estimator = MonteCarloEstimator(
         table,
         StatisticalEncounterModel(),
         runs_per_encounter=args.runs,
         backend=args.backend,
         workers=args.workers,
+        store=store,
     )
     report = estimator.estimate(args.encounters, seed=args.seed)
     print(report.summary())
+    if store is not None:
+        for label, arm in (
+            ("equipped", report.equipped_results),
+            ("unequipped", report.unequipped_results),
+        ):
+            _print_store_outcome(arm, label=f"store [{label}]")
+        store.close()
     return 0
 
 
@@ -288,6 +333,71 @@ def cmd_airspace(args) -> int:
     )
     print(f"fraction of aircraft that alerted: {result.alert_fraction:.2f}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+def cmd_store(args) -> int:
+    with ResultStore(args.path) as store:
+        try:
+            return _STORE_COMMANDS[args.store_command](store, args)
+        except KeyError as error:
+            raise SystemExit(str(error.args[0]))
+
+
+def _store_list(store: ResultStore, args) -> int:
+    campaigns = store.campaigns()
+    if not campaigns:
+        print("store is empty")
+        return 0
+    print(f"{'id':<13} {'label':<24} {'scn x runs':>12} "
+          f"{'backend':<16} {'equipage':<8} status")
+    for info in campaigns:
+        print(info.describe())
+    return 0
+
+
+def _store_show(store: ResultStore, args) -> int:
+    info = store.get_campaign(args.campaign)
+    results = store.resultset(info.campaign_id)
+    print(f"campaign:  {info.campaign_id}")
+    print(f"label:     {info.label}")
+    print(f"created:   {info.created_at}")
+    print(f"status:    {info.completed}/{info.num_scenarios} scenarios"
+          f" ({'complete' if info.complete else 'partial'})")
+    print(f"cpu count: {info.cpu_count}")
+    seed = "-" if info.seed_entropy is None else str(info.seed_entropy)
+    print(f"seed entropy: {seed}")
+    print(results.summary())
+    return 0
+
+
+def _store_export(store: ResultStore, args) -> int:
+    if not args.out and not args.csv:
+        raise SystemExit("store export needs --out and/or --csv")
+    campaign_id = store.resolve(args.campaign)
+    if args.out:
+        path = store.export_json(
+            campaign_id, args.out, include_genomes=not args.no_genomes
+        )
+        print(f"JSON written to {path}")
+    if args.csv:
+        print(f"CSV written to {store.export_csv(campaign_id, args.csv)}")
+    return 0
+
+
+def _store_diff(store: ResultStore, args) -> int:
+    print(store.diff(args.campaign_a, args.campaign_b).summary())
+    return 0
+
+
+_STORE_COMMANDS = {
+    "list": _store_list,
+    "show": _store_show,
+    "export": _store_export,
+    "diff": _store_diff,
+}
 
 
 # ----------------------------------------------------------------------
@@ -371,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "any chunking)")
     campaign.add_argument("--out", help="write the full JSON export here")
     campaign.add_argument("--csv", help="write per-scenario CSV here")
+    campaign.add_argument(
+        "--store", metavar="PATH",
+        help="persist results into this sqlite result store (re-running "
+             "the same campaign resumes: only missing scenarios simulate)",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     search = subparsers.add_parser(
@@ -384,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation runs per fitness evaluation")
     search.add_argument("--top", type=int, default=10)
     search.add_argument("--out", help="write a JSON report here")
+    search.add_argument(
+        "--store", metavar="PATH",
+        help="log every generation's fitness campaign into this store",
+    )
     search.set_defaults(func=cmd_search)
 
     montecarlo = subparsers.add_parser(
@@ -398,7 +517,44 @@ def build_parser() -> argparse.ArgumentParser:
                             help="runs per encounter per arm")
     montecarlo.add_argument("--workers", type=int, default=1,
                             help="process-parallel encounter fan-out")
+    montecarlo.add_argument(
+        "--store", metavar="PATH",
+        help="persist both arms' campaigns into this result store",
+    )
     montecarlo.set_defaults(func=cmd_montecarlo)
+
+    store = subparsers.add_parser(
+        "store", help="query a persistent campaign result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_list = store_sub.add_parser("list", help="list stored campaigns")
+    store_list.add_argument("path", help="store sqlite path")
+
+    store_show = store_sub.add_parser(
+        "show", help="one campaign's provenance and summary"
+    )
+    store_show.add_argument("path", help="store sqlite path")
+    store_show.add_argument("campaign", help="campaign id (prefix ok)")
+
+    store_export = store_sub.add_parser(
+        "export", help="export a campaign as JSON/CSV"
+    )
+    store_export.add_argument("path", help="store sqlite path")
+    store_export.add_argument("campaign", help="campaign id (prefix ok)")
+    store_export.add_argument("--out", help="JSON output path")
+    store_export.add_argument("--csv", help="CSV output path")
+    store_export.add_argument("--no-genomes", action="store_true",
+                              help="omit genome vectors from the JSON")
+
+    store_diff = store_sub.add_parser(
+        "diff", help="compare two stored campaigns"
+    )
+    store_diff.add_argument("path", help="store sqlite path")
+    store_diff.add_argument("campaign_a", help="campaign id (prefix ok)")
+    store_diff.add_argument("campaign_b", help="campaign id (prefix ok)")
+
+    store.set_defaults(func=cmd_store)
 
     inspect = subparsers.add_parser(
         "inspect", help="print the logic table's action map and envelope"

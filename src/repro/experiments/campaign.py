@@ -16,21 +16,25 @@ backend once from a picklable :class:`~repro.experiments.backends.
 BackendSpec`), run as megabatch chunks (the ``"vectorized-batch"``
 backend flattens whole chunks of scenarios into one lane array), or
 stream incrementally through :meth:`Campaign.iter_records`.  That is
-the seam later work (sharded or multi-host execution, result stores)
-attaches to.
+the seam sharded or multi-host execution attaches to, and the seam the
+result store already uses: ``run(store=...)`` / ``iter_records(store=
+...)`` persist every record under a content-addressed provenance hash
+(:mod:`repro.store`), resuming interrupted campaigns and skipping
+already-stored scenarios entirely.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import islice
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,6 +49,9 @@ from repro.experiments.scenario import Scenario, as_scenario_source
 from repro.sim.batch import BatchResult
 from repro.sim.encounter import EncounterSimConfig
 from repro.util.rng import SeedLike, as_seed_sequence
+
+if TYPE_CHECKING:  # import cycle: repro.store persists these classes
+    from repro.store import ResultStore
 
 #: CSV column order of :meth:`ResultSet.to_csv`.
 CSV_FIELDS: Tuple[str, ...] = (
@@ -207,14 +214,24 @@ class ResultSet:
     def to_json(
         self, path: Union[str, Path], include_genomes: bool = True
     ) -> Path:
-        """Write provenance, aggregates, and per-scenario rows as JSON."""
+        """Write provenance, aggregates, and per-scenario rows as JSON.
+
+        ``seed_entropy`` is written as a decimal *string*:
+        ``SeedSequence`` entropy is typically a 128-bit int, far beyond
+        the 2^53 float precision any non-Python JSON reader (or a
+        float-coercing round trip) would silently truncate it to — and
+        a truncated entropy can no longer reproduce the campaign.  Use
+        :meth:`parse_seed_entropy` to read it back.
+        """
         path = Path(path)
         payload = {
             "backend": self.backend,
             "equipage": self.equipage,
             "coordination": self.coordination,
             "runs_per_scenario": self.runs_per_scenario,
-            "seed_entropy": self.seed_entropy,
+            "seed_entropy": (
+                None if self.seed_entropy is None else str(self.seed_entropy)
+            ),
             "workers": self.workers,
             "metadata": self.metadata,
             "aggregates": self.aggregates(),
@@ -225,6 +242,23 @@ class ResultSet:
         }
         path.write_text(json.dumps(payload, indent=2))
         return path
+
+    @staticmethod
+    def parse_seed_entropy(value: Union[str, int, None]) -> Optional[int]:
+        """Read an exported ``seed_entropy`` back to an exact int.
+
+        Accepts the current decimal-string encoding, legacy int
+        exports, and ``None``.  Floats are rejected rather than
+        rounded: a float-coerced entropy is already corrupt.
+        """
+        if value is None:
+            return None
+        if isinstance(value, float):
+            raise TypeError(
+                "seed_entropy went through float and may have lost "
+                "precision; re-export from the store"
+            )
+        return int(value)
 
     def to_csv(self, path: Union[str, Path]) -> Path:
         """Write one aggregate row per scenario as CSV."""
@@ -374,6 +408,7 @@ class Campaign:
         seed: SeedLike = None,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        store: Optional["ResultStore"] = None,
     ) -> Iterator[RunRecord]:
         """Stream :class:`RunRecord`\\ s chunk by chunk, in index order.
 
@@ -399,9 +434,86 @@ class Campaign:
             Scenarios per execution chunk.  Default: a megabatch-sized
             chunk for backends with ``simulate_many``, else one
             scenario per chunk.
+        store:
+            Optional :class:`~repro.store.ResultStore` to write
+            through.  The campaign is registered under its
+            content-addressed provenance hash; scenarios the store
+            already holds for that hash are *loaded instead of
+            simulated* (resume), every fresh record is persisted
+            before it is yielded (so an interrupted stream keeps its
+            progress), and the yielded sequence — stored and fresh
+            records merged in index order — is bitwise identical to a
+            storeless run of the same seed.
         """
-        scenario_list, chunks, workers = self._plan(seed, workers, chunk_size)
-        return self._iter_planned(scenario_list, chunks, workers)
+        root = as_seed_sequence(seed)
+        seed_fp = None if store is None else _fingerprint_of(root)
+        scenario_list, chunks, workers = self._plan(root, workers, chunk_size)
+        if store is None:
+            return self._iter_planned(scenario_list, chunks, workers)
+        plan = self._store_plan(store, scenario_list, chunks, root, seed_fp)
+        return self._iter_stored(store, plan, scenario_list, workers)
+
+    def _store_plan(
+        self,
+        store: "ResultStore",
+        scenario_list: List,
+        chunks: List[WorkChunk],
+        root: np.random.SeedSequence,
+        seed_fp: Optional[str],
+    ) -> "_StorePlan":
+        """Register the campaign and split work into done vs missing."""
+        from repro.store import CampaignSpec
+
+        # The full sequence (fingerprinted at entry), not just its
+        # entropy: spawned children share entropy and differ only in
+        # spawn_key, and each must be its own campaign.
+        spec = CampaignSpec.capture(self, scenario_list, root, seed_fp=seed_fp)
+        campaign_id = store.open_campaign(spec)
+        done = store.completed_indices(campaign_id)
+        missing = [
+            remaining
+            for chunk in chunks
+            if (remaining := [item for item in chunk if item[0] not in done])
+        ]
+        return _StorePlan(
+            campaign_id=campaign_id,
+            done=sorted(done),
+            missing_chunks=missing,
+        )
+
+    def _iter_stored(
+        self,
+        store: "ResultStore",
+        plan: "_StorePlan",
+        scenario_list: List,
+        workers: int,
+    ) -> Iterator[RunRecord]:
+        """Merge stored records with the fresh simulation stream.
+
+        Both sides ascend in scenario index, so a two-way merge yields
+        the complete campaign in index order; fresh records are
+        persisted before being yielded.  Stored records are fetched by
+        point lookup (never a cursor held across our own inserts).
+        """
+        done = deque(plan.done)
+
+        def stored_upto(bound: Optional[int]) -> Iterator[RunRecord]:
+            while done and (bound is None or done[0] < bound):
+                record = store.get_record(plan.campaign_id, done.popleft())
+                assert record is not None, "stored record vanished mid-run"
+                yield record
+
+        if plan.missing_chunks:
+            fresh = self._iter_planned(
+                scenario_list,
+                plan.missing_chunks,
+                min(workers, len(plan.missing_chunks)),
+            )
+            for record in fresh:
+                yield from stored_upto(record.index)
+                store.add_record(plan.campaign_id, record)
+                yield record
+        yield from stored_upto(None)
 
     def _plan(
         self,
@@ -506,6 +618,7 @@ class Campaign:
         seed: SeedLike = None,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        store: Optional["ResultStore"] = None,
     ) -> ResultSet:
         """Execute the campaign and aggregate a :class:`ResultSet`.
 
@@ -513,11 +626,49 @@ class Campaign:
         streams — same parameters, same determinism guarantee (the
         result is bitwise identical for any ``workers``/``chunk_size``
         given the same root seed).
+
+        With a *store*, the campaign resumes: scenarios already
+        persisted under the same provenance hash load from the store
+        and only the missing tail simulates (a completed campaign
+        re-runs with **zero** new simulations).  The returned result
+        merges both, bitwise identical to an uninterrupted storeless
+        run; its metadata records ``campaign_id``, how many scenarios
+        were ``loaded`` vs freshly ``simulated``, plus the machine's
+        ``cpu_count`` — so persisted timing records are
+        self-describing.
         """
         start = time.perf_counter()
         root = as_seed_sequence(seed)
+        seed_fp = None if store is None else _fingerprint_of(root)
         scenario_list, chunks, workers = self._plan(root, workers, chunk_size)
-        records = list(self._iter_planned(scenario_list, chunks, workers))
+        metadata: Dict[str, object] = {"cpu_count": os.cpu_count()}
+        if store is None:
+            records = list(self._iter_planned(scenario_list, chunks, workers))
+        else:
+            plan = self._store_plan(
+                store, scenario_list, chunks, root, seed_fp
+            )
+            records = list(
+                self._iter_stored(store, plan, scenario_list, workers)
+            )
+            if plan.missing_chunks:
+                # Only runs that simulated contribute wall time (and
+                # their worker count): a pure-load resume must not
+                # inflate the stored timing record.
+                store.add_wall_time(
+                    plan.campaign_id,
+                    time.perf_counter() - start,
+                    cpu_count=os.cpu_count(),
+                )
+                store.merge_metadata(
+                    plan.campaign_id,
+                    {"workers": min(workers, len(plan.missing_chunks))},
+                )
+            metadata.update(
+                campaign_id=plan.campaign_id,
+                loaded=len(plan.done),
+                simulated=len(scenario_list) - len(plan.done),
+            )
         return ResultSet(
             records=records,
             backend=self.backend_name,
@@ -527,7 +678,17 @@ class Campaign:
             seed_entropy=_entropy_of(root),
             workers=workers,
             wall_time=time.perf_counter() - start,
+            metadata=metadata,
         )
+
+
+@dataclass(frozen=True)
+class _StorePlan:
+    """A campaign's work split against a store: done vs still missing."""
+
+    campaign_id: str
+    done: List[int]
+    missing_chunks: List[WorkChunk]
 
 
 def _entropy_of(seq: np.random.SeedSequence) -> Optional[int]:
@@ -536,3 +697,10 @@ def _entropy_of(seq: np.random.SeedSequence) -> Optional[int]:
     if isinstance(entropy, (int, np.integer)):
         return int(entropy)
     return None
+
+
+def _fingerprint_of(seq: np.random.SeedSequence) -> str:
+    """Snapshot the root sequence's store identity before spawning."""
+    from repro.store import seed_fingerprint
+
+    return seed_fingerprint(seq)

@@ -23,9 +23,12 @@ fans the encounters out across processes without changing the result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol
+from typing import TYPE_CHECKING, List, Optional, Protocol
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.store import ResultStore
 
 from repro.acasx.logic_table import LogicTable
 from repro.analysis.metrics import (
@@ -99,6 +102,12 @@ class MonteCarloEstimator:
     workers:
         Process-parallel fan-out of each arm's campaign (1 = serial;
         the estimate is identical either way).
+    store:
+        Optional :class:`~repro.store.ResultStore` both arms' campaigns
+        write through — each arm lands under its own provenance hash
+        (equipage differs), so equipped-vs-unequipped comparisons can
+        later be answered from the store alone, and re-estimating with
+        the same seed resumes instead of re-simulating.
     """
 
     def __init__(
@@ -109,6 +118,7 @@ class MonteCarloEstimator:
         runs_per_encounter: int = 20,
         backend: str = "vectorized-batch",
         workers: int = 1,
+        store: Optional["ResultStore"] = None,
     ):
         if runs_per_encounter < 1:
             raise ValueError("runs_per_encounter must be >= 1")
@@ -120,6 +130,7 @@ class MonteCarloEstimator:
         self.runs_per_encounter = runs_per_encounter
         self.backend = backend
         self.workers = workers
+        self.store = store
 
     def estimate(
         self,
@@ -142,7 +153,9 @@ class MonteCarloEstimator:
                 runs_per_scenario=self.runs_per_encounter,
                 sim_config=self.sim_config,
             )
-            return campaign.run(seed=rng, workers=self.workers)
+            return campaign.run(
+                seed=rng, workers=self.workers, store=self.store
+            )
 
         equipped = arm("both")
         unequipped = arm("none")

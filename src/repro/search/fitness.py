@@ -23,9 +23,12 @@ gives the GA no gradient until a collision is found).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.store import ResultStore
 
 from repro.acasx.logic_table import LogicTable
 from repro.encounters.encoding import EncounterParameters
@@ -75,6 +78,11 @@ class EncounterFitness:
     backend:
         Simulation backend registry key (or a ready backend instance);
         see :func:`repro.experiments.available_backends`.
+    store:
+        Optional :class:`~repro.store.ResultStore` the evaluation
+        campaigns log through — every generation's population campaign
+        is persisted with provenance, so a search's raw simulation
+        evidence survives the run and can be queried afterwards.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class EncounterFitness:
         coordination: bool = True,
         seed: SeedLike = None,
         backend: Union[str, SimulationBackend] = "vectorized-batch",
+        store: Optional["ResultStore"] = None,
     ):
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")
@@ -100,6 +109,7 @@ class EncounterFitness:
             equipage=equipage, coordination=coordination,
         )
         self.num_runs = num_runs
+        self.store = store
         self._rng = as_generator(seed)
         self.evaluations = 0
 
@@ -115,7 +125,7 @@ class EncounterFitness:
             runs_per_scenario=self.num_runs,
             sim_config=self.config,
         )
-        result_set = campaign.run(seed=self._rng)
+        result_set = campaign.run(seed=self._rng, store=self.store)
         self.evaluations += 1
         return result_set[0].runs
 
@@ -139,7 +149,7 @@ class EncounterFitness:
             runs_per_scenario=self.num_runs,
             sim_config=self.config,
         )
-        result_set = campaign.run(seed=self._rng)
+        result_set = campaign.run(seed=self._rng, store=self.store)
         self.evaluations += len(genomes)
         return np.array(
             [self.score(record.runs) for record in result_set], dtype=float

@@ -11,9 +11,12 @@ reports: per-generation fitness (Fig. 6), the top encounters
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.store import ResultStore
 
 from repro.acasx.logic_table import LogicTable
 from repro.analysis.geometry import classify_encounter
@@ -81,6 +84,10 @@ class SearchRunner:
         as megabatch chunks — ``"agent"`` for the faithful engine).
     equipage / coordination:
         Equipage of the simulated encounters.
+    store:
+        Optional :class:`~repro.store.ResultStore`; every generation's
+        fitness campaign is persisted with provenance, so the search's
+        simulation evidence is queryable after the run.
     """
 
     def __init__(
@@ -93,6 +100,7 @@ class SearchRunner:
         backend: str = "vectorized-batch",
         equipage: str = "both",
         coordination: bool = True,
+        store: Optional["ResultStore"] = None,
     ):
         self.table = table
         self.ranges = ranges or ParameterRanges()
@@ -102,6 +110,7 @@ class SearchRunner:
         self.backend = backend
         self.equipage = equipage
         self.coordination = coordination
+        self.store = store
 
     def run(
         self, seed: SeedLike = None, top_k: int = 10, verbose: bool = False
@@ -116,6 +125,7 @@ class SearchRunner:
             coordination=self.coordination,
             seed=rng,
             backend=self.backend,
+            store=self.store,
         )
         ga = GeneticAlgorithm(self.ranges, self.ga_config)
 

@@ -1,0 +1,644 @@
+"""The sqlite-backed :class:`ResultStore`: durable campaign results.
+
+Layout is two tables.  ``campaigns`` holds one row per
+content-addressed :class:`~repro.store.spec.CampaignSpec` (the
+provenance — backend, equipage, runs, seed entropy, digests — plus
+accumulated wall time and the machine's CPU count).  ``records`` holds
+one row per completed scenario, keyed ``(campaign_id,
+scenario_index)``: the aggregate columns queries filter on, the genome,
+and the full per-run outcome arrays as a lossless npz blob — enough to
+reconstruct a :class:`~repro.experiments.ResultSet` bit for bit.
+
+That primary key is the dedup/resume contract: inserting an
+already-stored ``(campaign, scenario)`` is a no-op, and
+:meth:`ResultStore.completed_indices` tells a re-run of the same spec
+which scenarios it can skip.  Every write of one record commits, so a
+campaign killed mid-stream keeps everything it finished.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.encounters.encoding import EncounterParameters
+from repro.experiments.campaign import ResultSet, RunRecord
+from repro.sim.batch import BatchResult
+from repro.store.spec import CampaignSpec
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id       TEXT PRIMARY KEY,
+    created_at        TEXT NOT NULL,
+    backend           TEXT NOT NULL,
+    equipage          TEXT NOT NULL,
+    coordination      INTEGER NOT NULL,
+    runs_per_scenario INTEGER NOT NULL,
+    num_scenarios     INTEGER NOT NULL,
+    seed_entropy      TEXT,
+    table_digest      TEXT,
+    config_digest     TEXT,
+    scenarios_digest  TEXT NOT NULL,
+    wall_time         REAL NOT NULL DEFAULT 0.0,
+    cpu_count         INTEGER,
+    metadata          TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS records (
+    campaign_id         TEXT NOT NULL REFERENCES campaigns(campaign_id),
+    scenario_index      INTEGER NOT NULL,
+    name                TEXT NOT NULL,
+    genome              BLOB NOT NULL,
+    num_runs            INTEGER NOT NULL,
+    nmac_rate           REAL NOT NULL,
+    mean_min_separation REAL NOT NULL,
+    min_separation      REAL NOT NULL,
+    min_horizontal      REAL NOT NULL,
+    own_alert_rate      REAL NOT NULL,
+    intruder_alert_rate REAL NOT NULL,
+    runs_blob           BLOB NOT NULL,
+    PRIMARY KEY (campaign_id, scenario_index)
+);
+CREATE INDEX IF NOT EXISTS idx_records_nmac
+    ON records (campaign_id, nmac_rate);
+"""
+
+#: Field order of the packed per-run arrays (matches ``BatchResult``).
+_RUN_FIELDS = (
+    "min_separation",
+    "min_horizontal",
+    "nmac",
+    "own_alerted",
+    "intruder_alerted",
+)
+
+
+def _pack_runs(runs: BatchResult) -> bytes:
+    """Lossless npz encoding of the per-run outcome arrays."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **{f: getattr(runs, f) for f in _RUN_FIELDS})
+    return buffer.getvalue()
+
+
+def _unpack_runs(blob: bytes) -> BatchResult:
+    """Inverse of :func:`_pack_runs` (exact: raw array buffers)."""
+    with np.load(io.BytesIO(blob)) as data:
+        return BatchResult(**{f: data[f] for f in _RUN_FIELDS})
+
+
+def _entropy_to_text(entropy: Optional[int]) -> Optional[str]:
+    """Seed entropy as decimal text — 128-bit ints never touch float."""
+    return None if entropy is None else str(int(entropy))
+
+
+def _entropy_from_text(text: Optional[str]) -> Optional[int]:
+    return None if text in (None, "") else int(text)
+
+
+@dataclass(frozen=True)
+class CampaignInfo:
+    """One ``campaigns`` row, plus how many records it has so far."""
+
+    campaign_id: str
+    created_at: str
+    backend: str
+    equipage: str
+    coordination: bool
+    runs_per_scenario: int
+    num_scenarios: int
+    completed: int
+    seed_entropy: Optional[int]
+    wall_time: float
+    cpu_count: Optional[int]
+    metadata: dict
+
+    @property
+    def complete(self) -> bool:
+        """Whether every scenario of the spec has a stored record."""
+        return self.completed >= self.num_scenarios
+
+    @property
+    def label(self) -> str:
+        """Human label (from metadata), or the short campaign id."""
+        return str(self.metadata.get("label", self.campaign_id[:12]))
+
+    def describe(self) -> str:
+        """One summary line for listings."""
+        status = "complete" if self.complete else (
+            f"{self.completed}/{self.num_scenarios}"
+        )
+        return (
+            f"{self.campaign_id[:12]}  {self.label:<24} "
+            f"{self.num_scenarios:>5} x {self.runs_per_scenario:<4} "
+            f"{self.backend:<16} {self.equipage:<8} {status}"
+        )
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """One ``records`` row: a :class:`RunRecord` plus its campaign id."""
+
+    campaign_id: str
+    record: RunRecord
+
+    @property
+    def index(self) -> int:
+        return self.record.index
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+
+@dataclass(frozen=True)
+class CampaignDiff:
+    """A cross-campaign comparison of two stored campaigns."""
+
+    a: CampaignInfo
+    b: CampaignInfo
+    aggregates_a: dict
+    aggregates_b: dict
+    #: Per-scenario (index, nmac_rate_a, nmac_rate_b) for paired
+    #: scenarios — only populated when both campaigns resolved the same
+    #: scenario list (equal scenario digests).
+    paired_nmac: Tuple[Tuple[int, float, float], ...]
+
+    def summary(self) -> str:
+        """Human-readable side-by-side comparison."""
+        rows = [
+            ("scenarios", "scenarios"),
+            ("total_runs", "total_runs"),
+            ("nmac_rate", "nmac_rate"),
+            ("alert_rate", "alert_rate"),
+            ("mean_min_separation", "mean_min_separation"),
+        ]
+        lines = [
+            f"A: {self.a.campaign_id[:12]} ({self.a.label}) "
+            f"[{self.a.backend} equipage={self.a.equipage}]",
+            f"B: {self.b.campaign_id[:12]} ({self.b.label}) "
+            f"[{self.b.backend} equipage={self.b.equipage}]",
+            f"{'metric':<22} {'A':>12} {'B':>12} {'B-A':>12}",
+        ]
+        for label, key in rows:
+            va, vb = self.aggregates_a[key], self.aggregates_b[key]
+            lines.append(
+                f"{label:<22} {va:>12.4f} {vb:>12.4f} {vb - va:>+12.4f}"
+            )
+        if self.paired_nmac:
+            moved = sum(1 for _, ra, rb in self.paired_nmac if ra != rb)
+            lines.append(
+                f"paired scenarios: {len(self.paired_nmac)} "
+                f"({moved} with changed NMAC rate)"
+            )
+        else:
+            lines.append(
+                "paired scenarios: none (different scenario lists)"
+            )
+        return "\n".join(lines)
+
+
+class ResultStore:
+    """A durable, queryable sink for campaign results.
+
+    Parameters
+    ----------
+    path:
+        Sqlite database path (created on first use), or ``":memory:"``
+        for an ephemeral store.
+
+    The store is the persistence seam of the experiment stack:
+    :meth:`~repro.experiments.Campaign.run` and ``iter_records`` write
+    through it (gaining resume and dedup), and its query API
+    (:meth:`campaigns`, :meth:`records`, :meth:`resultset`,
+    :meth:`diff`) reads results back across campaigns without re-running
+    anything.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:"):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        # Campaign workers never touch the store (records flow back to
+        # the driving process), so a single-thread connection suffices.
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ResultStore(path={self.path!r})"
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def open_campaign(
+        self, spec: CampaignSpec, metadata: Optional[dict] = None
+    ) -> str:
+        """Register *spec* (idempotent) and return its campaign id."""
+        campaign_id = spec.campaign_id
+        self._conn.execute(
+            "INSERT OR IGNORE INTO campaigns (campaign_id, created_at,"
+            " backend, equipage, coordination, runs_per_scenario,"
+            " num_scenarios, seed_entropy, table_digest, config_digest,"
+            " scenarios_digest, metadata)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                campaign_id,
+                datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                spec.backend,
+                spec.equipage,
+                int(spec.coordination),
+                spec.runs_per_scenario,
+                spec.num_scenarios,
+                _entropy_to_text(spec.seed_entropy),
+                spec.table_digest,
+                spec.config_digest,
+                spec.scenarios_digest,
+                json.dumps(metadata or {}),
+            ),
+        )
+        self._conn.commit()
+        return campaign_id
+
+    def add_record(self, campaign_id: str, record: RunRecord) -> bool:
+        """Persist one scenario record; returns ``False`` on a duplicate.
+
+        The ``(campaign_id, scenario_index)`` primary key makes this the
+        dedup point: the same scenario of the same spec (and therefore
+        the same seed) is stored exactly once, whoever runs it and
+        however often.  Each record commits individually, so an
+        interrupted campaign keeps everything already yielded.
+        """
+        cursor = self._conn.execute(
+            "INSERT OR IGNORE INTO records (campaign_id, scenario_index,"
+            " name, genome, num_runs, nmac_rate, mean_min_separation,"
+            " min_separation, min_horizontal, own_alert_rate,"
+            " intruder_alert_rate, runs_blob)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                campaign_id,
+                record.index,
+                record.name,
+                np.ascontiguousarray(
+                    record.params.as_array(), dtype=np.float64
+                ).tobytes(),
+                record.num_runs,
+                record.nmac_rate,
+                record.mean_min_separation,
+                record.min_separation,
+                record.min_horizontal,
+                record.own_alert_rate,
+                record.intruder_alert_rate,
+                _pack_runs(record.runs),
+            ),
+        )
+        self._conn.commit()
+        return cursor.rowcount > 0
+
+    def add_wall_time(self, campaign_id: str, seconds: float,
+                      cpu_count: Optional[int] = None) -> None:
+        """Accumulate simulation wall time (and record the CPU count)."""
+        self._conn.execute(
+            "UPDATE campaigns SET wall_time = wall_time + ?,"
+            " cpu_count = COALESCE(?, cpu_count) WHERE campaign_id = ?",
+            (float(seconds), cpu_count, campaign_id),
+        )
+        self._conn.commit()
+
+    def merge_metadata(self, campaign_id: str, updates: dict) -> None:
+        """Merge *updates* into a campaign's metadata (new values win)."""
+        row = self._conn.execute(
+            "SELECT metadata FROM campaigns WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no campaign matching {campaign_id!r}")
+        metadata = json.loads(row[0])
+        metadata.update(updates)
+        self._conn.execute(
+            "UPDATE campaigns SET metadata = ? WHERE campaign_id = ?",
+            (json.dumps(metadata), campaign_id),
+        )
+        self._conn.commit()
+
+    def ingest(
+        self, result_set: ResultSet, label: str = ""
+    ) -> str:
+        """Store an already-materialized :class:`ResultSet`.
+
+        The persistence path for results produced without a store (the
+        benchmark harness).  Identity is content-addressed from the
+        result set itself, so re-ingesting identical results dedups to
+        the same campaign.
+        """
+        spec = CampaignSpec.of_resultset(result_set)
+        metadata = dict(result_set.metadata)
+        if label:
+            metadata.setdefault("label", label)
+        metadata.setdefault("workers", result_set.workers)
+        campaign_id = self.open_campaign(spec, metadata=metadata)
+        for record in result_set:
+            self.add_record(campaign_id, record)
+        # Re-ingesting identical content refreshes timing but must not
+        # clobber what an earlier ingest recorded (its label above all)
+        # — existing metadata keys win the merge.
+        existing = json.loads(
+            self._conn.execute(
+                "SELECT metadata FROM campaigns WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()[0]
+        )
+        metadata.update(existing)
+        cpu_count = result_set.metadata.get("cpu_count")
+        self._conn.execute(
+            "UPDATE campaigns SET wall_time = ?, cpu_count = COALESCE(?,"
+            " cpu_count), metadata = ? WHERE campaign_id = ?",
+            (
+                float(result_set.wall_time),
+                cpu_count,
+                json.dumps(metadata),
+                campaign_id,
+            ),
+        )
+        self._conn.commit()
+        return campaign_id
+
+    # ------------------------------------------------------------------
+    # Resume support
+    # ------------------------------------------------------------------
+    def completed_indices(self, campaign_id: str) -> Set[int]:
+        """Scenario indices already stored for *campaign_id*."""
+        rows = self._conn.execute(
+            "SELECT scenario_index FROM records WHERE campaign_id = ?",
+            (campaign_id,),
+        )
+        return {row[0] for row in rows}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resolve(self, campaign_id: str) -> str:
+        """Resolve a (possibly abbreviated) campaign id to the full id."""
+        rows = self._conn.execute(
+            "SELECT campaign_id FROM campaigns WHERE campaign_id LIKE ?",
+            (campaign_id + "%",),
+        ).fetchall()
+        if not rows:
+            raise KeyError(f"no campaign matching {campaign_id!r}")
+        if len(rows) > 1:
+            raise KeyError(
+                f"ambiguous campaign id {campaign_id!r} "
+                f"({len(rows)} matches)"
+            )
+        return rows[0][0]
+
+    def campaigns(
+        self,
+        where: Optional[str] = None,
+        params: Sequence = (),
+    ) -> List[CampaignInfo]:
+        """All stored campaigns, newest first.
+
+        *where* is an optional SQL filter over the ``campaigns`` columns
+        (e.g. ``"equipage = ?"`` with ``params=("none",)``).
+        """
+        query = (
+            "SELECT c.*, (SELECT COUNT(*) FROM records r"
+            " WHERE r.campaign_id = c.campaign_id) AS completed"
+            " FROM campaigns c"
+        )
+        if where:
+            query += f" WHERE {where}"
+        query += " ORDER BY c.created_at DESC, c.campaign_id"
+        return [
+            self._info(row)
+            for row in self._conn.execute(query, tuple(params))
+        ]
+
+    def get_campaign(self, campaign_id: str) -> CampaignInfo:
+        """One campaign's info (accepts abbreviated ids)."""
+        campaign_id = self.resolve(campaign_id)
+        matches = self.campaigns("c.campaign_id = ?", (campaign_id,))
+        return matches[0]
+
+    def records(
+        self,
+        campaign_id: Optional[str] = None,
+        where: Optional[str] = None,
+        params: Sequence = (),
+    ) -> List[StoredRecord]:
+        """Stored records, optionally filtered, across campaigns.
+
+        *where* filters over the ``records`` columns (e.g.
+        ``"nmac_rate > ?"``); omit *campaign_id* to query every
+        campaign at once — the cross-campaign shape ("all scenarios
+        anywhere with NMACs") loose JSON files could not answer.
+        """
+        query = "SELECT * FROM records"
+        clauses, values = [], []
+        if campaign_id is not None:
+            clauses.append("campaign_id = ?")
+            values.append(self.resolve(campaign_id))
+        if where:
+            clauses.append(f"({where})")
+            values.extend(params)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY campaign_id, scenario_index"
+        return [
+            StoredRecord(
+                campaign_id=row["campaign_id"], record=self._record(row)
+            )
+            for row in self._conn.execute(query, tuple(values))
+        ]
+
+    def get_record(
+        self, campaign_id: str, scenario_index: int
+    ) -> Optional[RunRecord]:
+        """One stored record, or ``None`` if that scenario is missing.
+
+        Point lookups (rather than a long-lived cursor) are what the
+        campaign resume path uses to interleave stored records with a
+        live simulation stream that is inserting into the same table.
+        """
+        row = self._conn.execute(
+            "SELECT * FROM records WHERE campaign_id = ?"
+            " AND scenario_index = ?",
+            (campaign_id, scenario_index),
+        ).fetchone()
+        return None if row is None else self._record(row)
+
+    def iter_records(self, campaign_id: str) -> Iterator[RunRecord]:
+        """Stream one campaign's records in scenario-index order."""
+        rows = self._conn.execute(
+            "SELECT * FROM records WHERE campaign_id = ?"
+            " ORDER BY scenario_index",
+            (campaign_id,),
+        )
+        for row in rows:
+            yield self._record(row)
+
+    def resultset(self, campaign_id: str) -> ResultSet:
+        """Reconstruct the full :class:`ResultSet` of one campaign.
+
+        Per-run arrays come back from their lossless blobs, so the
+        records are bitwise identical to the run(s) that produced them;
+        ``wall_time`` is the accumulated simulation time across every
+        run that wrote into the campaign.
+        """
+        campaign_id = self.resolve(campaign_id)
+        info = self.get_campaign(campaign_id)
+        records = list(self.iter_records(campaign_id))
+        metadata = dict(info.metadata)
+        metadata.setdefault("campaign_id", campaign_id)
+        if info.cpu_count is not None:
+            metadata.setdefault("cpu_count", info.cpu_count)
+        return ResultSet(
+            records=records,
+            backend=info.backend,
+            equipage=info.equipage,
+            coordination=info.coordination,
+            runs_per_scenario=info.runs_per_scenario,
+            seed_entropy=info.seed_entropy,
+            workers=int(metadata.get("workers", 1)),
+            wall_time=info.wall_time,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Export / comparison
+    # ------------------------------------------------------------------
+    def export_json(
+        self,
+        campaign_id: str,
+        path: Union[str, Path],
+        include_genomes: bool = True,
+    ) -> Path:
+        """Write one campaign as the standard campaign JSON export."""
+        return self.resultset(campaign_id).to_json(
+            path, include_genomes=include_genomes
+        )
+
+    def export_csv(self, campaign_id: str, path: Union[str, Path]) -> Path:
+        """Write one campaign as the standard per-scenario CSV export."""
+        return self.resultset(campaign_id).to_csv(path)
+
+    def aggregates(self, campaign_id: str) -> dict:
+        """Campaign-level aggregates from the indexed scalar columns.
+
+        Matches :meth:`ResultSet.aggregates` without touching the
+        per-run blobs — the per-record means/rates weighted by
+        ``num_runs`` reproduce the run-level statistics exactly, so
+        comparing large campaigns stays O(rows), not O(runs).
+        """
+        campaign_id = self.resolve(campaign_id)
+        row = self._conn.execute(
+            "SELECT COUNT(*), SUM(num_runs),"
+            " SUM(nmac_rate * num_runs),"
+            " SUM(own_alert_rate * num_runs),"
+            " SUM(mean_min_separation * num_runs),"
+            " MIN(min_separation)"
+            " FROM records WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        scenarios, total_runs = row[0], int(row[1] or 0)
+        if not total_runs:
+            raise KeyError(f"campaign {campaign_id!r} has no records")
+        wall_time = self._conn.execute(
+            "SELECT wall_time FROM campaigns WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()[0]
+        return {
+            "scenarios": scenarios,
+            "total_runs": total_runs,
+            "nmac_count": int(round(row[2])),
+            "nmac_rate": row[2] / total_runs,
+            "alert_rate": row[3] / total_runs,
+            "mean_min_separation": row[4] / total_runs,
+            "worst_min_separation": row[5],
+            "wall_time": wall_time,
+        }
+
+    def diff(self, campaign_a: str, campaign_b: str) -> CampaignDiff:
+        """Compare two stored campaigns (e.g. unequipped vs equipped).
+
+        Works entirely off the aggregate columns — no per-run blob is
+        decoded, so diffing very large campaigns is cheap.
+        """
+        info_a = self.get_campaign(campaign_a)
+        info_b = self.get_campaign(campaign_b)
+        digests = {
+            info.campaign_id: self._conn.execute(
+                "SELECT scenarios_digest FROM campaigns"
+                " WHERE campaign_id = ?",
+                (info.campaign_id,),
+            ).fetchone()[0]
+            for info in (info_a, info_b)
+        }
+        paired: Tuple[Tuple[int, float, float], ...] = ()
+        if digests[info_a.campaign_id] == digests[info_b.campaign_id]:
+            rows = self._conn.execute(
+                "SELECT a.scenario_index, a.nmac_rate, b.nmac_rate"
+                " FROM records a JOIN records b"
+                " ON a.scenario_index = b.scenario_index"
+                " WHERE a.campaign_id = ? AND b.campaign_id = ?"
+                " ORDER BY a.scenario_index",
+                (info_a.campaign_id, info_b.campaign_id),
+            ).fetchall()
+            paired = tuple((r[0], r[1], r[2]) for r in rows)
+        return CampaignDiff(
+            a=info_a,
+            b=info_b,
+            aggregates_a=self.aggregates(info_a.campaign_id),
+            aggregates_b=self.aggregates(info_b.campaign_id),
+            paired_nmac=paired,
+        )
+
+    # ------------------------------------------------------------------
+    # Row decoding
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _info(row: sqlite3.Row) -> CampaignInfo:
+        return CampaignInfo(
+            campaign_id=row["campaign_id"],
+            created_at=row["created_at"],
+            backend=row["backend"],
+            equipage=row["equipage"],
+            coordination=bool(row["coordination"]),
+            runs_per_scenario=row["runs_per_scenario"],
+            num_scenarios=row["num_scenarios"],
+            completed=row["completed"],
+            seed_entropy=_entropy_from_text(row["seed_entropy"]),
+            wall_time=row["wall_time"],
+            cpu_count=row["cpu_count"],
+            metadata=json.loads(row["metadata"]),
+        )
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> RunRecord:
+        genome = np.frombuffer(row["genome"], dtype=np.float64)
+        return RunRecord(
+            index=row["scenario_index"],
+            name=row["name"],
+            params=EncounterParameters.from_array(genome),
+            runs=_unpack_runs(row["runs_blob"]),
+        )

@@ -150,6 +150,75 @@ class TestCampaign:
         assert strip(serial) == strip(parallel)
 
 
+class TestCampaignStore:
+    def test_store_resume_zero_simulations(self, tmp_path, capsys):
+        argv = [
+            "campaign", "--sample", "3", "--runs", "2", "--seed", "5",
+            "--equipage", "none", "--store", str(tmp_path / "s.sqlite"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "simulated 3" in first
+        # Identical spec: everything loads, nothing simulates.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "loaded 3, simulated 0" in second
+
+    def test_store_list_show_export_diff(self, tmp_path, capsys):
+        store_path = str(tmp_path / "s.sqlite")
+        base = ["campaign", "--sample", "3", "--runs", "2", "--seed", "5",
+                "--store", store_path]
+        assert main(base + ["--equipage", "none"]) == 0
+        assert main(base) == 0
+        capsys.readouterr()
+
+        assert main(["store", "list", store_path]) == 0
+        listing = capsys.readouterr().out
+        ids = [
+            line.split()[0]
+            for line in listing.splitlines()[1:]
+            if line.strip()
+        ]
+        assert len(ids) == 2
+
+        assert main(["store", "show", store_path, ids[0]]) == 0
+        shown = capsys.readouterr().out
+        assert "campaign:" in shown
+        assert "complete" in shown
+
+        out_json = tmp_path / "export.json"
+        out_csv = tmp_path / "export.csv"
+        assert main(["store", "export", store_path, ids[0],
+                     "--out", str(out_json), "--csv", str(out_csv)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_json.read_text())
+        assert len(payload["scenarios"]) == 3
+        assert out_csv.read_text().startswith("index,name,num_runs")
+
+        assert main(["store", "diff", store_path, ids[0], ids[1]]) == 0
+        diff = capsys.readouterr().out
+        assert "nmac_rate" in diff
+        assert "paired scenarios: 3" in diff
+
+    def test_store_unknown_campaign_exits_cleanly(self, tmp_path, capsys):
+        store_path = str(tmp_path / "s.sqlite")
+        assert main(["store", "list", store_path]) == 0
+        with pytest.raises(SystemExit):
+            main(["store", "show", store_path, "deadbeef"])
+        with pytest.raises(SystemExit):
+            main(["store", "export", store_path, "deadbeef"])
+
+    def test_montecarlo_store_logs_both_arms(self, tmp_path, capsys):
+        store_path = str(tmp_path / "s.sqlite")
+        assert main(["montecarlo", "--encounters", "3", "--runs", "2",
+                     "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "store [equipped]" in out
+        assert "store [unequipped]" in out
+        assert main(["store", "list", store_path]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 3
+
+
 class TestSearch:
     def test_small_search_with_report(self, tmp_path, capsys):
         report_path = tmp_path / "report.json"
