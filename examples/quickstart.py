@@ -13,7 +13,12 @@ campaign API:
 4. demonstrate resume: re-running the stored campaign performs zero
    new simulations (after an interruption, only the missing tail
    would simulate);
-5. replay the worst scenario through the faithful agent engine to see
+5. demonstrate distributed execution: submit the campaign to a shared
+   work queue (nothing enqueues — the store already holds it), then
+   run a fresh campaign on a 2-process worker fleet through
+   ``DistributedExecutor`` and check it matches the in-process run
+   bit for bit;
+6. replay the worst scenario through the faithful agent engine to see
    its trajectory and advisories.
 
 **Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
@@ -48,6 +53,24 @@ same store is scriptable from the shell::
     repro store list results.sqlite
     repro store diff results.sqlite <id-a> <id-b>
 
+**Distributed execution.**  ``Campaign.submit(queue=..., store=...)``
+plans the campaign into chunk tasks — per-scenario seeds pre-spawned,
+so which worker (or host) runs a scenario cannot change a single bit —
+and enqueues them in a sqlite work queue shareable over a filesystem.
+Workers claim chunks under heartbeated leases (a dead worker's chunk is
+reclaimed when its lease expires), build their backend once from the
+submitted spec, and drain records into the result store, whose
+``(campaign, scenario)`` key makes at-least-once delivery harmless.
+``DistributedExecutor`` wraps the whole cycle behind the ``store=``
+seam, so ``Campaign.run`` / ``MonteCarloEstimator`` / ``SearchRunner``
+gain a worker fleet without any API change.  From the shell::
+
+    repro submit --sample 200 --runs 100 \\
+        --queue queue.sqlite --store results.sqlite
+    repro worker --queue queue.sqlite   # one per host/core, anywhere
+    repro status queue.sqlite
+    repro store list results.sqlite --queue queue.sqlite
+
 Usage::
 
     python examples/quickstart.py
@@ -58,6 +81,7 @@ from pathlib import Path
 
 from repro import (
     Campaign,
+    DistributedExecutor,
     ResultStore,
     build_logic_table,
     make_acas_pair,
@@ -114,7 +138,34 @@ def main() -> None:
           f"(campaign {rerun.metadata['campaign_id'][:12]})")
     print()
 
-    print("=== 5. Replay the worst scenario through the agent engine ===")
+    print("=== 5. Distributed: submit -> worker fleet -> collect ===")
+    queue_path = Path(store.path).parent / "queue.sqlite"
+    # Submitting the campaign from step 2 enqueues nothing: the store
+    # already holds every record under the same provenance hash.
+    already_done = Campaign(
+        SCENARIOS, table=table, runs_per_scenario=RUNS
+    ).submit(seed=42, queue=queue_path, store=store)
+    print(f"re-submit of step 2: enqueued {already_done.chunks_enqueued} "
+          f"chunks ({already_done.already_stored} scenarios already "
+          f"stored) — zero new simulations")
+    # A fresh seed exercises the fleet for real.  The executor plugs
+    # into the same store= seam, so MonteCarloEstimator / SearchRunner
+    # gain distributed execution the same way, unchanged.
+    executor = DistributedExecutor(queue_path, store.path, workers=2)
+    fleet = Campaign(
+        SCENARIOS, table=table, runs_per_scenario=RUNS
+    ).run(seed=7, store=executor)
+    local = Campaign(
+        SCENARIOS, table=table, runs_per_scenario=RUNS
+    ).run(seed=7)
+    identical = (
+        fleet.min_separations() == local.min_separations()
+    ).all()
+    print(f"2-process fleet vs in-process run: "
+          f"bitwise identical = {identical}")
+    print()
+
+    print("=== 6. Replay the worst scenario through the agent engine ===")
     worst = equipped.worst()
     own, intruder = make_acas_pair(table, coordination=True)
     replay = run_encounter(

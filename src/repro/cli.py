@@ -165,13 +165,14 @@ def cmd_simulate(args) -> int:
 # ----------------------------------------------------------------------
 # campaign
 # ----------------------------------------------------------------------
-def cmd_campaign(args) -> int:
-    if args.workers < 1:
-        raise SystemExit("--workers must be >= 1")
+def _campaign_from_args(args) -> Campaign:
+    """Build the Campaign both ``campaign`` and ``submit`` describe."""
     if args.sample < 0:
         raise SystemExit("--sample must be >= 1")
     if args.sample and args.scenarios is not None:
         raise SystemExit("--sample and --scenarios are mutually exclusive")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be >= 1")
     if args.sample:
         scenarios = SampledSource(StatisticalEncounterModel(), args.sample)
     else:
@@ -182,7 +183,7 @@ def cmd_campaign(args) -> int:
         except ValueError as error:
             raise SystemExit(str(error))
     table = None if args.equipage == "none" else _load_table(args)
-    campaign = Campaign(
+    return Campaign(
         scenarios,
         backend=args.backend,
         table=table,
@@ -191,8 +192,12 @@ def cmd_campaign(args) -> int:
         runs_per_scenario=args.runs,
         sim_config=EncounterSimConfig(),
     )
-    if args.chunk_size is not None and args.chunk_size < 1:
-        raise SystemExit("--chunk-size must be >= 1")
+
+
+def cmd_campaign(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    campaign = _campaign_from_args(args)
     store = _open_store(args)
     results = campaign.run(
         seed=args.seed, workers=args.workers, chunk_size=args.chunk_size,
@@ -336,6 +341,100 @@ def cmd_airspace(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# distributed: submit / worker / status
+# ----------------------------------------------------------------------
+def cmd_submit(args) -> int:
+    campaign = _campaign_from_args(args)
+    run = campaign.submit(
+        seed=args.seed,
+        queue=args.queue,
+        store=args.store,
+        chunk_size=args.chunk_size,
+    )
+    print(f"campaign {run.campaign_id[:12]}: "
+          f"{run.num_scenarios} scenarios x {args.runs} runs")
+    print(f"enqueued {run.chunks_enqueued} chunk(s) "
+          f"({run.already_stored} scenario(s) already stored, "
+          f"{run.simulated} to simulate)")
+    print(f"queue: {args.queue}")
+    print(f"store: {args.store}")
+    if run.simulated:
+        print(f"run workers with: repro worker --queue {args.queue}")
+    else:
+        print("campaign is already complete; nothing to do")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.distributed import Worker
+
+    if args.lease <= 0:
+        raise SystemExit("--lease must be > 0")
+    worker = Worker(
+        args.queue,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease,
+        poll_interval=args.poll,
+        campaign_id=args.campaign,
+    )
+    stats = worker.run(
+        max_chunks=args.max_chunks,
+        idle_timeout=args.idle_timeout,
+        forever=args.forever,
+    )
+    print(stats.summary())
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.distributed import ChunkCounts
+
+    with _open_queue(args.queue) as queue:
+        jobs = queue.jobs()
+        if not jobs:
+            print("queue is empty")
+            return 0
+        counts = queue.counts()
+        # One store handle per distinct path — and never *create* a
+        # store here: status is read-only, and a job whose store path
+        # does not exist from this host/cwd must be reported, not
+        # papered over with a fresh empty database.
+        stores: dict = {}
+        try:
+            print(f"{'id':<13} {'scenarios':>9} {'chunks':>7} "
+                  f"{'pending':>8} {'claimed':>8} {'done':>6} "
+                  f"{'failed':>7} records")
+            incomplete = 0
+            for job in jobs:
+                tally = counts.get(job.campaign_id, ChunkCounts())
+                if job.store_path not in stores:
+                    stores[job.store_path] = (
+                        ResultStore(job.store_path)
+                        if Path(job.store_path).exists()
+                        else None
+                    )
+                store = stores[job.store_path]
+                if store is None:
+                    records = "store missing"
+                    incomplete += 1
+                else:
+                    done = len(store.completed_indices(job.campaign_id))
+                    records = f"{done}/{job.num_scenarios}"
+                    if done < job.num_scenarios:
+                        incomplete += 1
+                print(f"{job.campaign_id[:12]:<13} "
+                      f"{job.num_scenarios:>9} {tally.total:>7} "
+                      f"{tally.pending:>8} {tally.claimed:>8} "
+                      f"{tally.done:>6} {tally.failed:>7} {records}")
+            print(f"{len(jobs)} campaign(s), {incomplete} incomplete")
+        finally:
+            for store in stores.values():
+                if store is not None:
+                    store.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
 # store
 # ----------------------------------------------------------------------
 def cmd_store(args) -> int:
@@ -346,15 +445,46 @@ def cmd_store(args) -> int:
             raise SystemExit(str(error.args[0]))
 
 
+def _open_queue(queue_path):
+    """Open an *existing* work queue, or exit with a clear error.
+
+    Read-side commands must report a wrong queue path, not mask the
+    typo by creating a fresh empty database there (``WorkQueue``
+    creates on open, like ``ResultStore``).
+    """
+    from repro.distributed import WorkQueue
+
+    if not Path(queue_path).exists():
+        raise SystemExit(f"queue not found: {queue_path}")
+    return WorkQueue(queue_path)
+
+
+def _queue_counts(args):
+    """Per-campaign chunk tallies from ``--queue``, or ``None``."""
+    queue_path = getattr(args, "queue", None)
+    if queue_path is None:
+        return None
+    with _open_queue(queue_path) as queue:
+        return queue.counts()
+
+
 def _store_list(store: ResultStore, args) -> int:
     campaigns = store.campaigns()
     if not campaigns:
         print("store is empty")
         return 0
-    print(f"{'id':<13} {'label':<24} {'scn x runs':>12} "
-          f"{'backend':<16} {'equipage':<8} status")
+    counts = _queue_counts(args)
+    header = (f"{'id':<13} {'label':<24} {'scn x runs':>12} "
+              f"{'backend':<16} {'equipage':<8} status")
+    if counts is not None:
+        header += "    queue"
+    print(header)
     for info in campaigns:
-        print(info.describe())
+        line = info.describe()
+        if counts is not None:
+            tally = counts.get(info.campaign_id)
+            line += f"    {tally.describe() if tally else '-'}"
+        print(line)
     return 0
 
 
@@ -366,10 +496,51 @@ def _store_show(store: ResultStore, args) -> int:
     print(f"created:   {info.created_at}")
     print(f"status:    {info.completed}/{info.num_scenarios} scenarios"
           f" ({'complete' if info.complete else 'partial'})")
+    counts = _queue_counts(args)
+    if counts is not None:
+        tally = counts.get(info.campaign_id)
+        print(f"queue:     "
+              f"{tally.describe() if tally else 'not in this queue'}")
     print(f"cpu count: {info.cpu_count}")
     seed = "-" if info.seed_entropy is None else str(info.seed_entropy)
     print(f"seed entropy: {seed}")
     print(results.summary())
+    return 0
+
+
+def _store_records(store: ResultStore, args) -> int:
+    from repro.experiments.campaign import CSV_FIELDS
+
+    rows = store.records(
+        campaign_id=args.campaign,
+        where=args.where,
+        params=tuple(args.params or ()),
+    )
+    payload = [
+        {"campaign_id": stored.campaign_id,
+         **stored.record.to_dict(include_genome=not args.no_genomes)}
+        for stored in rows
+    ]
+    if args.format == "json":
+        text = json.dumps(payload, indent=2)
+    else:
+        import csv as csv_module
+        import io
+
+        fields = ["campaign_id", *CSV_FIELDS]
+        buffer = io.StringIO()
+        writer = csv_module.DictWriter(
+            buffer, fieldnames=fields, extrasaction="ignore"
+        )
+        writer.writeheader()
+        for row in payload:
+            writer.writerow(row)
+        text = buffer.getvalue().rstrip("\n")
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"{len(payload)} record(s) written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -397,6 +568,7 @@ _STORE_COMMANDS = {
     "show": _store_show,
     "export": _store_export,
     "diff": _store_diff,
+    "records": _store_records,
 }
 
 
@@ -435,6 +607,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="maneuver-sense exchange between equipped "
                               "aircraft")
 
+    def add_campaign_shape_args(sub):
+        # The campaign-shape flags _campaign_from_args consumes, shared
+        # by `campaign` (run now) and `submit` (enqueue for workers).
+        sub.add_argument(
+            "--scenarios", default=None,
+            help="comma-separated preset names "
+                 f"(available: {', '.join(sorted(PRESETS))}; "
+                 "default: all presets)",
+        )
+        sub.add_argument(
+            "--sample", type=int, default=0, metavar="N",
+            help="instead of presets, draw N encounters from the "
+                 "statistical model",
+        )
+        sub.add_argument("--runs", type=int, default=20,
+                         help="stochastic runs per scenario")
+        sub.add_argument("--chunk-size", type=int, default=None,
+                         help="scenarios per execution chunk (default: "
+                              "backend-sized; results are identical for "
+                              "any chunking)")
+
     solve = subparsers.add_parser("solve", help="build a logic table")
     add_common(solve)
     solve.add_argument("--out", help="also save the table to this .npz path")
@@ -460,25 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(campaign)
     add_backend_args(campaign)
-    campaign.add_argument(
-        "--scenarios", default=None,
-        help="comma-separated preset names "
-             f"(available: {', '.join(sorted(PRESETS))}; "
-             "default: all presets)",
-    )
-    campaign.add_argument(
-        "--sample", type=int, default=0, metavar="N",
-        help="instead of presets, draw N encounters from the "
-             "statistical model",
-    )
-    campaign.add_argument("--runs", type=int, default=20,
-                          help="stochastic runs per scenario")
+    add_campaign_shape_args(campaign)
     campaign.add_argument("--workers", type=int, default=1,
                           help="process-parallel scenario fan-out")
-    campaign.add_argument("--chunk-size", type=int, default=None,
-                          help="scenarios per execution chunk (default: "
-                               "backend-sized; results are identical for "
-                               "any chunking)")
     campaign.add_argument("--out", help="write the full JSON export here")
     campaign.add_argument("--csv", help="write per-scenario CSV here")
     campaign.add_argument(
@@ -487,6 +664,70 @@ def build_parser() -> argparse.ArgumentParser:
              "the same campaign resumes: only missing scenarios simulate)",
     )
     campaign.set_defaults(func=cmd_campaign)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="enqueue a campaign for distributed workers",
+        description=(
+            "Plan a campaign into chunk tasks (seeds pre-spawned, so "
+            "worker placement cannot change results) and enqueue them "
+            "into a shared sqlite work queue.  Run 'repro worker "
+            "--queue PATH' anywhere the queue file is reachable to "
+            "execute them into the result store; 'repro status' tracks "
+            "progress.  Scenarios the store already holds are not "
+            "enqueued — re-submitting a completed campaign performs "
+            "zero new simulations."
+        ),
+    )
+    add_common(submit)
+    add_backend_args(submit)
+    add_campaign_shape_args(submit)
+    submit.add_argument("--queue", metavar="PATH", required=True,
+                        help="shared work-queue sqlite path")
+    submit.add_argument("--store", metavar="PATH", required=True,
+                        help="result store the workers drain into")
+    submit.set_defaults(func=cmd_submit)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a distributed campaign worker",
+        description=(
+            "Claim chunks from the shared queue under a heartbeated "
+            "lease, simulate them (building the backend once from the "
+            "submitted spec) and write records into the job's result "
+            "store.  By default the worker drains the queue and exits; "
+            "--forever keeps it polling as a service.  Chunks held by "
+            "workers that die are reclaimed when their lease expires; "
+            "duplicate deliveries dedup in the store."
+        ),
+    )
+    worker.add_argument("--queue", metavar="PATH", required=True,
+                        help="shared work-queue sqlite path")
+    worker.add_argument("--worker-id", default=None,
+                        help="lease identity (default: host:pid)")
+    worker.add_argument("--campaign", default=None, metavar="ID",
+                        help="only claim this campaign's chunks (full "
+                             "id; default: any campaign in the queue)")
+    worker.add_argument("--lease", type=float, default=60.0,
+                        help="lease seconds per claim (heartbeat renews "
+                             "at a third of this)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between claim attempts when idle")
+    worker.add_argument("--max-chunks", type=int, default=None,
+                        help="stop after this many chunks")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        help="stop after this long without claiming "
+                             "anything")
+    worker.add_argument("--forever", action="store_true",
+                        help="keep polling an empty queue (service mode)")
+    worker.set_defaults(func=cmd_worker)
+
+    status = subparsers.add_parser(
+        "status",
+        help="chunk and record progress of queued campaigns",
+    )
+    status.add_argument("queue", help="shared work-queue sqlite path")
+    status.set_defaults(func=cmd_status)
 
     search = subparsers.add_parser(
         "search", help="GA search for challenging encounters"
@@ -530,12 +771,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     store_list = store_sub.add_parser("list", help="list stored campaigns")
     store_list.add_argument("path", help="store sqlite path")
+    store_list.add_argument(
+        "--queue", metavar="PATH",
+        help="also show each campaign's work-queue chunk counts "
+             "(pending/claimed/done) from this queue",
+    )
 
     store_show = store_sub.add_parser(
         "show", help="one campaign's provenance and summary"
     )
     store_show.add_argument("path", help="store sqlite path")
     store_show.add_argument("campaign", help="campaign id (prefix ok)")
+    store_show.add_argument(
+        "--queue", metavar="PATH",
+        help="also show the campaign's work-queue chunk counts",
+    )
+
+    store_records = store_sub.add_parser(
+        "records",
+        help="query stored per-scenario records across campaigns",
+        description=(
+            "Rows of per-scenario aggregates (optionally filtered with "
+            "a SQL --where over the records columns, e.g. "
+            "\"nmac_rate > 0\"), as JSON or CSV — the cross-campaign "
+            "query shape loose export files cannot answer."
+        ),
+    )
+    store_records.add_argument("path", help="store sqlite path")
+    store_records.add_argument(
+        "--campaign", default=None,
+        help="restrict to one campaign id (prefix ok; default: all)",
+    )
+    store_records.add_argument(
+        "--where", default=None,
+        help="SQL filter over the records columns "
+             "(e.g. \"nmac_rate > 0.5\")",
+    )
+    store_records.add_argument(
+        "--params", nargs="*", default=None, metavar="VALUE",
+        help="positional parameters for ? placeholders in --where",
+    )
+    store_records.add_argument(
+        "--format", default="json", choices=("json", "csv"),
+        help="output format (default: json)",
+    )
+    store_records.add_argument("--out", help="write here instead of stdout")
+    store_records.add_argument("--no-genomes", action="store_true",
+                               help="omit genome vectors from the JSON")
 
     store_export = store_sub.add_parser(
         "export", help="export a campaign as JSON/CSV"

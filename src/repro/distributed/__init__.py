@@ -1,0 +1,67 @@
+"""Lease-based distributed campaign execution with at-least-once workers.
+
+The campaign stack was built for this moment: per-scenario
+``SeedSequence`` children make placement irrelevant to results,
+:class:`~repro.experiments.backends.BackendSpec` is the picklable wire
+format a remote worker rebuilds its backend from, and
+:mod:`repro.store`'s ``(campaign_id, scenario_index)`` primary key is
+the idempotent dedup primitive that makes at-least-once delivery safe.
+This package closes the loop:
+
+- :mod:`repro.distributed.queue` — :class:`WorkQueue`, a sqlite work
+  queue (WAL mode, write retries) shareable over a filesystem by any
+  number of processes or hosts, holding per-campaign chunk tasks with
+  lease-based ``claim``/``renew``/``release`` and automatic reclaim of
+  dead workers' chunks on lease expiry;
+- :mod:`repro.distributed.worker` — :class:`Worker`, the durable
+  worker loop: build the backend once from the submitted spec, claim
+  chunks, simulate them through the exact megabatch path, drain
+  records into the :class:`~repro.store.ResultStore` (duplicate
+  delivery dedups), heartbeat the lease while simulating;
+- :mod:`repro.distributed.coordinator` — :func:`submit` (plan a
+  campaign into chunks with pre-spawned seeds; re-submitting a
+  completed campaign enqueues nothing), :class:`DistributedRun`
+  (``wait``/``iter_progress``/``collect`` — the collected
+  :class:`~repro.experiments.ResultSet` is bitwise identical to a
+  serial storeless run), and :class:`DistributedExecutor`, which plugs
+  the whole cycle into the experiment stack's existing ``store=`` seam
+  (``Campaign.run(store=executor)``, ``MonteCarloEstimator``,
+  ``SearchRunner``).
+
+On the command line: ``repro submit`` enqueues a campaign, ``repro
+worker`` runs a worker (one per host/core, anywhere the queue file is
+reachable), ``repro status`` tracks the fleet.
+"""
+
+from repro.distributed.coordinator import (
+    DistributedExecutor,
+    DistributedRun,
+    Progress,
+    run_workers,
+    submit,
+)
+from repro.distributed.queue import (
+    ChunkCounts,
+    ChunkState,
+    ClaimedChunk,
+    JobInfo,
+    WorkQueue,
+    default_worker_id,
+)
+from repro.distributed.worker import Worker, WorkerStats
+
+__all__ = [
+    "ChunkCounts",
+    "ChunkState",
+    "ClaimedChunk",
+    "DistributedExecutor",
+    "DistributedRun",
+    "JobInfo",
+    "Progress",
+    "Worker",
+    "WorkerStats",
+    "WorkQueue",
+    "default_worker_id",
+    "run_workers",
+    "submit",
+]

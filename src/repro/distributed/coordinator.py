@@ -1,0 +1,476 @@
+"""Coordinator side of distributed campaigns: submit, track, collect.
+
+:func:`submit` plans a :class:`~repro.experiments.Campaign` into chunk
+tasks using the campaign's own planner — the per-scenario
+``SeedSequence`` children are spawned **before** submission, exactly as
+a serial run would spawn them, so which worker (or host) executes a
+scenario cannot affect a single output bit.  The campaign is registered
+in the :class:`~repro.store.ResultStore` under its content-addressed
+provenance hash, already-stored scenarios are filtered out of the
+submitted chunks (re-submitting a completed campaign enqueues nothing
+and re-simulates nothing), and the remaining chunks land in the shared
+:class:`~repro.distributed.queue.WorkQueue`.
+
+The returned :class:`DistributedRun` handle tracks the campaign
+(:meth:`~DistributedRun.wait`, :meth:`~DistributedRun.iter_progress`)
+and reconstructs the final :class:`~repro.experiments.ResultSet` from
+the store (:meth:`~DistributedRun.collect`) — bitwise identical to a
+serial storeless run of the same campaign and seed, because every
+record round-trips losslessly and every scenario's bits derive only
+from its own pre-spawned seed.
+
+:class:`DistributedExecutor` packages the whole submit → work → collect
+cycle behind the experiment stack's existing ``store=`` seam: pass one
+to ``Campaign.run(store=...)`` (or to ``MonteCarloEstimator`` /
+``SearchRunner`` / ``EncounterFitness``, which forward it unchanged)
+and the campaign executes on a worker fleet instead of in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.distributed.queue import ChunkCounts, WorkQueue
+from repro.distributed.worker import Worker, WorkerStats
+from repro.experiments.backends import BackendSpec
+from repro.experiments.campaign import (
+    Campaign,
+    ResultSet,
+    _fingerprint_of,
+)
+from repro.store import CampaignSpec, ResultStore
+
+QueueLike = Union[str, Path, WorkQueue]
+StoreLike = Union[str, Path, ResultStore]
+
+
+def _queue_path(queue: QueueLike) -> str:
+    path = queue.path if isinstance(queue, WorkQueue) else str(queue)
+    if path == ":memory:":
+        raise ValueError(
+            "distributed execution needs a file-backed queue: a "
+            "':memory:' queue is invisible to worker processes"
+        )
+    # Absolute: workers may be launched from any directory (or host
+    # mount point), and the job row ships this path verbatim.
+    return os.path.abspath(path)
+
+
+def _store_path(store: StoreLike) -> str:
+    path = store.path if isinstance(store, ResultStore) else str(store)
+    if path == ":memory:":
+        raise ValueError(
+            "distributed execution needs a file-backed result store: "
+            "workers in other processes must reach it by path"
+        )
+    return os.path.abspath(path)
+
+
+@dataclass(frozen=True)
+class Progress:
+    """One poll of a distributed campaign's completion state."""
+
+    campaign_id: str
+    chunks: ChunkCounts
+    records_done: int
+    num_scenarios: int
+
+    @property
+    def complete(self) -> bool:
+        """All chunks drained and every scenario's record stored."""
+        return (
+            self.chunks.remaining == 0
+            and self.records_done >= self.num_scenarios
+        )
+
+    def describe(self) -> str:
+        """One status line."""
+        return (
+            f"{self.campaign_id[:12]}: "
+            f"records {self.records_done}/{self.num_scenarios}, "
+            f"chunks {self.chunks.describe()}"
+        )
+
+
+@dataclass(frozen=True)
+class DistributedRun:
+    """Handle to one submitted campaign: track it and collect results."""
+
+    campaign_id: str
+    queue_path: str
+    store_path: str
+    num_scenarios: int
+    #: Scenarios already stored at submission time (they were never
+    #: enqueued; the workers simulate only the missing remainder).
+    already_stored: int
+    #: Chunks newly enqueued by this submission (0 when the campaign
+    #: was already complete, or when the same id was already queued).
+    chunks_enqueued: int
+
+    @property
+    def simulated(self) -> int:
+        """Scenarios the worker fleet had to simulate."""
+        return self.num_scenarios - self.already_stored
+
+    def _snapshot(self, queue: WorkQueue, store: ResultStore) -> Progress:
+        return Progress(
+            campaign_id=self.campaign_id,
+            chunks=queue.chunk_counts(self.campaign_id),
+            records_done=len(store.completed_indices(self.campaign_id)),
+            num_scenarios=self.num_scenarios,
+        )
+
+    def progress(self) -> Progress:
+        """One snapshot of queue and store completion."""
+        with WorkQueue(self.queue_path) as queue, ResultStore(
+            self.store_path
+        ) as store:
+            return self._snapshot(queue, store)
+
+    def iter_progress(
+        self, poll: float = 0.2, timeout: Optional[float] = None
+    ) -> Iterator[Progress]:
+        """Yield :class:`Progress` snapshots until the campaign completes.
+
+        The terminal snapshot (``complete == True``) is yielded too.
+        Raises ``TimeoutError`` if *timeout* elapses first, and
+        ``RuntimeError`` if chunks fail permanently (no worker can make
+        further progress).  One queue and one store connection are held
+        for the whole polling loop (re-opening them per poll would
+        needlessly contend with the workers writing to the same files).
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        with WorkQueue(self.queue_path) as queue, ResultStore(
+            self.store_path
+        ) as store:
+            yield from self._iter_progress(queue, store, poll, deadline,
+                                           timeout)
+
+    def _iter_progress(
+        self,
+        queue: WorkQueue,
+        store: ResultStore,
+        poll: float,
+        deadline: Optional[float],
+        timeout: Optional[float],
+    ) -> Iterator[Progress]:
+        while True:
+            snapshot = self._snapshot(queue, store)
+            yield snapshot
+            if snapshot.complete:
+                return
+            if snapshot.chunks.failed and snapshot.chunks.pending == 0 and (
+                snapshot.chunks.claimed == 0
+            ):
+                raise RuntimeError(
+                    f"campaign {self.campaign_id[:12]} is stuck: "
+                    f"{snapshot.chunks.failed} chunk(s) failed "
+                    f"permanently ({snapshot.describe()})"
+                )
+            if deadline is not None and time.time() > deadline:
+                raise TimeoutError(
+                    f"campaign {self.campaign_id[:12]} incomplete after "
+                    f"{timeout}s ({snapshot.describe()})"
+                )
+            time.sleep(poll)
+
+    def wait(
+        self, timeout: Optional[float] = None, poll: float = 0.2
+    ) -> Progress:
+        """Block until the campaign completes; return the final state."""
+        snapshot = None
+        for snapshot in self.iter_progress(poll=poll, timeout=timeout):
+            pass
+        assert snapshot is not None
+        return snapshot
+
+    def collect(self) -> ResultSet:
+        """Reconstruct the completed campaign's :class:`ResultSet`.
+
+        Bitwise identical to a serial storeless run of the same
+        campaign and seed: records come back from their lossless store
+        blobs in scenario-index order, and each scenario's bits derived
+        only from its own pre-spawned seed, whichever worker ran it.
+        """
+        with ResultStore(self.store_path) as store:
+            done = len(store.completed_indices(self.campaign_id))
+            if done < self.num_scenarios:
+                raise RuntimeError(
+                    f"campaign {self.campaign_id[:12]} has "
+                    f"{done}/{self.num_scenarios} records — wait() for "
+                    "the workers to finish before collecting"
+                )
+            results = store.resultset(self.campaign_id)
+        results.metadata.setdefault("loaded", self.already_stored)
+        results.metadata.setdefault("simulated", self.simulated)
+        results.metadata.setdefault("cpu_count", os.cpu_count())
+        return results
+
+
+def submit(
+    campaign: Campaign,
+    seed=None,
+    *,
+    queue: QueueLike,
+    store: StoreLike,
+    chunk_size: Optional[int] = None,
+    metadata: Optional[dict] = None,
+) -> DistributedRun:
+    """Plan *campaign* into chunk tasks and enqueue the missing ones.
+
+    Planning is exactly the serial planner: the root seed spawns one
+    child per scenario before anything is enqueued, so placement across
+    workers cannot affect results.  The campaign registers in the store
+    under its content-addressed id; scenarios the store already holds
+    are filtered out (a re-submitted completed campaign enqueues
+    nothing), and submission is idempotent per campaign id — a second
+    submit while chunks are in flight re-enqueues nothing.
+
+    The campaign's backend must be registry-built (capturable as a
+    :class:`~repro.experiments.backends.BackendSpec`): the queue ships
+    the spec, never a pickled backend instance.
+    """
+    queue_path = _queue_path(queue)
+    store_path = _store_path(store)
+    try:
+        backend_spec = BackendSpec.capture(campaign.backend)
+    except TypeError as error:
+        raise TypeError(
+            "distributed campaigns need a registry-built backend whose "
+            f"spec can be shipped to workers: {error}"
+        ) from None
+
+    from repro.util.rng import as_seed_sequence
+
+    root = as_seed_sequence(seed)
+    # Fingerprint before planning spawns from the sequence (the
+    # identity rule Campaign.run follows).
+    seed_fp = _fingerprint_of(root)
+    scenario_list, chunks, _ = campaign._plan(root, 1, chunk_size)
+    spec = CampaignSpec.capture(campaign, scenario_list, root, seed_fp=seed_fp)
+
+    with ResultStore(store_path) as result_store:
+        campaign_id = result_store.open_campaign(spec)
+        done = result_store.completed_indices(campaign_id)
+
+    # Ship only missing work; names travel with the params because
+    # workers never see the scenario list.
+    payloads: List[bytes] = []
+    for chunk in chunks:
+        remaining = [
+            (index, scenario_list[index].name, params, child)
+            for index, params, child in chunk
+            if index not in done
+        ]
+        if remaining:
+            payloads.append(pickle.dumps(remaining))
+
+    with WorkQueue(queue_path) as work_queue:
+        enqueued = (
+            work_queue.submit_job(
+                campaign_id,
+                store_path,
+                pickle.dumps(backend_spec),
+                campaign.runs_per_scenario,
+                len(scenario_list),
+                payloads,
+                metadata=metadata,
+            )
+            if payloads
+            else False
+        )
+
+    return DistributedRun(
+        campaign_id=campaign_id,
+        queue_path=queue_path,
+        store_path=store_path,
+        num_scenarios=len(scenario_list),
+        already_stored=len(done),
+        chunks_enqueued=len(payloads) if enqueued else 0,
+    )
+
+
+def _worker_main(
+    queue_path: str,
+    lease_seconds: float,
+    poll_interval: float,
+    campaign_id: Optional[str],
+) -> None:
+    """Entry point of a spawned local worker process (drain and exit)."""
+    Worker(
+        queue_path,
+        lease_seconds=lease_seconds,
+        poll_interval=poll_interval,
+        campaign_id=campaign_id,
+    ).run()
+
+
+def run_workers(
+    queue: QueueLike,
+    num_workers: int = 2,
+    lease_seconds: float = 60.0,
+    poll_interval: float = 0.1,
+    campaign_id: Optional[str] = None,
+) -> None:
+    """Spawn *num_workers* local worker processes and join them.
+
+    Each worker drains the queue (claims until every chunk is done or
+    failed) and exits; *campaign_id* pins the fleet to one campaign's
+    chunks, so shared queues with other in-flight jobs neither feed
+    this fleet unrelated work nor keep it waiting on unrelated leases.
+    The building block behind :class:`DistributedExecutor`; multi-host
+    deployments run ``repro worker`` on each host instead.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    queue_path = _queue_path(queue)
+    processes = [
+        multiprocessing.Process(
+            target=_worker_main,
+            args=(queue_path, lease_seconds, poll_interval, campaign_id),
+        )
+        for _ in range(num_workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+
+
+class DistributedExecutor:
+    """Distributed execution behind the experiment stack's ``store=`` seam.
+
+    An executor bundles a queue path, a store path, and a local worker
+    fleet size.  Passing one anywhere a
+    :class:`~repro.store.ResultStore` is accepted —
+    ``Campaign.run(store=executor)``,
+    ``MonteCarloEstimator(store=executor)``,
+    ``SearchRunner(store=executor)`` — makes every campaign submit to
+    the queue, execute on workers, and collect from the store, with the
+    same bits as an in-process run.
+
+    Parameters
+    ----------
+    queue:
+        Shared work-queue database path (or an open queue).
+    store:
+        Shared result-store path (or an open store) workers drain into.
+    workers:
+        Local worker processes spawned per campaign.  ``0`` runs a
+        single in-process worker instead (useful under debuggers), and
+        is also the setting for pure submit-side coordinators whose
+        workers run elsewhere (combine with ``external_workers=True``).
+    external_workers:
+        When ``True``, spawn nothing and just wait for an external
+        fleet (``repro worker`` processes on any host sharing the
+        filesystem) to drain the campaign.
+    wait_timeout:
+        Upper bound on waiting for campaign completion.
+    """
+
+    def __init__(
+        self,
+        queue: QueueLike,
+        store: StoreLike,
+        workers: int = 2,
+        lease_seconds: float = 60.0,
+        poll_interval: float = 0.05,
+        chunk_size: Optional[int] = None,
+        external_workers: bool = False,
+        wait_timeout: Optional[float] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.queue_path = _queue_path(queue)
+        self.store_path = _store_path(store)
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        self.chunk_size = chunk_size
+        self.external_workers = external_workers
+        self.wait_timeout = wait_timeout
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedExecutor(queue={self.queue_path!r}, "
+            f"store={self.store_path!r}, workers={self.workers})"
+        )
+
+    def submit(
+        self, campaign: Campaign, seed=None, chunk_size: Optional[int] = None
+    ) -> DistributedRun:
+        """Submit without executing (the fleet runs elsewhere)."""
+        return submit(
+            campaign,
+            seed,
+            queue=self.queue_path,
+            store=self.store_path,
+            chunk_size=chunk_size or self.chunk_size,
+        )
+
+    def run_campaign(
+        self,
+        campaign: Campaign,
+        seed=None,
+        chunk_size: Optional[int] = None,
+    ) -> ResultSet:
+        """Submit, execute on the worker fleet, and collect.
+
+        The ``store=`` seam's entry point: ``Campaign.run`` delegates
+        here when its *store* argument is an executor.  The returned
+        :class:`ResultSet` is bitwise identical to the serial storeless
+        run of the same campaign and seed; its metadata carries the
+        ``campaign_id`` / ``loaded`` / ``simulated`` keys the store
+        plumbing reports everywhere else, plus the fleet size.
+        """
+        start = time.perf_counter()
+        run = self.submit(campaign, seed, chunk_size=chunk_size)
+        if run.simulated and not self.external_workers:
+            self._drive_workers(run.campaign_id)
+        run.wait(timeout=self.wait_timeout, poll=self.poll_interval)
+        results = run.collect()
+        results.metadata["distributed_workers"] = (
+            "external" if self.external_workers else self.workers
+        )
+        results.wall_time = time.perf_counter() - start
+        results.workers = max(self.workers, 1)
+        return results
+
+    def _drive_workers(self, campaign_id: str) -> None:
+        """Run the local fleet until *this campaign's* chunks drain.
+
+        The fleet is pinned to the campaign it was spawned for: on a
+        shared queue it must neither execute other jobs' chunks nor
+        wait for other jobs' leases.
+        """
+        if self.workers == 0:
+            Worker(
+                self.queue_path,
+                lease_seconds=self.lease_seconds,
+                poll_interval=self.poll_interval,
+                campaign_id=campaign_id,
+            ).run()
+            return
+        run_workers(
+            self.queue_path,
+            num_workers=self.workers,
+            lease_seconds=self.lease_seconds,
+            poll_interval=self.poll_interval,
+            campaign_id=campaign_id,
+        )
+        # Belt and braces: if a fleet member was killed while holding a
+        # lease, the survivors may have exited before it expired.  A
+        # final inline drain reclaims and finishes any such remainder
+        # (and returns immediately when the fleet drained cleanly).
+        Worker(
+            self.queue_path,
+            lease_seconds=self.lease_seconds,
+            poll_interval=self.poll_interval,
+            campaign_id=campaign_id,
+        ).run()

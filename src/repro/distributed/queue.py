@@ -1,0 +1,508 @@
+"""The sqlite-backed :class:`WorkQueue`: durable chunk tasks with leases.
+
+One queue database coordinates any number of worker processes — on one
+machine or on many hosts sharing a filesystem.  Layout is two tables:
+``jobs`` holds one row per submitted campaign (the picklable
+:class:`~repro.experiments.backends.BackendSpec` blob a worker rebuilds
+its backend from, the result-store path it drains into, and the
+campaign's shape), and ``chunks`` holds one row per work chunk (a
+pickled list of ``(scenario_index, params, seed)`` items), keyed
+``(campaign_id, chunk_index)``.
+
+Delivery is *at-least-once* via lease-based claiming:
+
+- :meth:`WorkQueue.claim` atomically hands one claimable chunk to a
+  worker and stamps a lease deadline; a chunk is claimable while
+  ``pending`` or when a previous claimant's lease has **expired** — so
+  a chunk held by a dead worker is reclaimed automatically;
+- :meth:`WorkQueue.renew` heartbeats a live worker's lease (and tells
+  the worker if it lost the chunk to someone else);
+- :meth:`WorkQueue.release` marks the chunk ``done`` (or returns it to
+  ``pending`` after a failure), guarded by the claiming worker's id so
+  a zombie cannot clobber a reclaimed chunk's state.
+
+A chunk may therefore execute more than once (worker killed after
+simulating but before releasing), which is exactly why workers write
+results through :class:`~repro.store.ResultStore`: its ``(campaign_id,
+scenario_index)`` primary key makes duplicate delivery a no-op.
+
+Concurrency: the database runs in WAL mode with a busy timeout, and
+every write transaction opens ``BEGIN IMMEDIATE`` inside a short
+retry loop, so many workers hammering one queue file serialize cleanly
+instead of surfacing ``database is locked`` errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    campaign_id       TEXT PRIMARY KEY,
+    submitted_at      TEXT NOT NULL,
+    store_path        TEXT NOT NULL,
+    backend_spec      BLOB NOT NULL,
+    runs_per_scenario INTEGER NOT NULL,
+    num_scenarios     INTEGER NOT NULL,
+    num_chunks        INTEGER NOT NULL,
+    metadata          TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS chunks (
+    campaign_id   TEXT NOT NULL REFERENCES jobs(campaign_id),
+    chunk_index   INTEGER NOT NULL,
+    payload       BLOB NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    worker_id     TEXT,
+    lease_expires REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    done_at       REAL,
+    last_error    TEXT,
+    PRIMARY KEY (campaign_id, chunk_index)
+);
+CREATE INDEX IF NOT EXISTS idx_chunks_claimable
+    ON chunks (status, lease_expires);
+"""
+
+#: Chunk lifecycle states.  ``failed`` is terminal: a chunk that kept
+#: erroring past :data:`MAX_ATTEMPTS` stops cycling instead of
+#: poisoning the queue forever.
+CHUNK_STATUSES = ("pending", "claimed", "done", "failed")
+
+#: Claim attempts (initial + reclaims) before a chunk is marked failed.
+MAX_ATTEMPTS = 5
+
+#: Write-transaction retries when the database stays locked beyond the
+#: busy timeout (contended multi-host filesystems).
+_WRITE_RETRIES = 5
+_RETRY_BACKOFF = 0.05
+
+
+@dataclass(frozen=True)
+class JobInfo:
+    """One submitted campaign's queue-side description."""
+
+    campaign_id: str
+    submitted_at: str
+    store_path: str
+    backend_spec: bytes
+    runs_per_scenario: int
+    num_scenarios: int
+    num_chunks: int
+    metadata: dict
+
+
+@dataclass(frozen=True)
+class ClaimedChunk:
+    """One chunk handed to a worker, with its lease deadline."""
+
+    campaign_id: str
+    chunk_index: int
+    payload: bytes
+    worker_id: str
+    lease_expires: float
+    attempts: int
+
+
+@dataclass(frozen=True)
+class ChunkState:
+    """One chunk row's lifecycle state (introspection/debugging)."""
+
+    campaign_id: str
+    chunk_index: int
+    status: str
+    worker_id: Optional[str]
+    lease_expires: Optional[float]
+    attempts: int
+    #: Most recent execution failure (kept across reclaims, so a chunk
+    #: that ends up ``failed`` carries its diagnosis).
+    last_error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ChunkCounts:
+    """Per-status chunk tallies for one campaign."""
+
+    pending: int = 0
+    claimed: int = 0
+    done: int = 0
+    failed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.claimed + self.done + self.failed
+
+    @property
+    def remaining(self) -> int:
+        """Chunks not yet done (failed ones count: they need attention)."""
+        return self.total - self.done
+
+    def describe(self) -> str:
+        """Compact ``pending/claimed/done`` display cell."""
+        text = f"{self.pending}p/{self.claimed}c/{self.done}d"
+        if self.failed:
+            text += f"/{self.failed}F"
+        return text
+
+
+class WorkQueue:
+    """A filesystem-shareable sqlite work queue of campaign chunks.
+
+    Parameters
+    ----------
+    path:
+        Queue database path.  Every worker and coordinator process opens
+        its own :class:`WorkQueue` on the same path; sqlite's WAL mode
+        plus the retry discipline here make concurrent access safe.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        # Manual transaction control: claim/release must wrap their
+        # read-modify-write in one BEGIN IMMEDIATE.
+        self._conn.isolation_level = None
+        self._conn.execute("PRAGMA busy_timeout = 30000")
+        if self.path != ":memory:":
+            # WAL lets readers (status polling) proceed under writers.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "WorkQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"WorkQueue(path={self.path!r})"
+
+    def _write(self, fn):
+        """Run *fn* inside ``BEGIN IMMEDIATE``, retrying on lock."""
+        for attempt in range(_WRITE_RETRIES):
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+            except sqlite3.OperationalError:
+                if attempt == _WRITE_RETRIES - 1:
+                    raise
+                time.sleep(_RETRY_BACKOFF * (attempt + 1))
+                continue
+            try:
+                result = fn()
+                self._conn.execute("COMMIT")
+                return result
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_job(
+        self,
+        campaign_id: str,
+        store_path: str,
+        backend_spec: bytes,
+        runs_per_scenario: int,
+        num_scenarios: int,
+        chunk_payloads: Sequence[bytes],
+        metadata: Optional[dict] = None,
+    ) -> bool:
+        """Enqueue one campaign's chunks; idempotent per campaign id.
+
+        Returns ``True`` if the job was newly enqueued, ``False`` if a
+        job with the same (content-addressed) campaign id already
+        exists — in which case nothing is re-enqueued: the existing
+        chunks are either still being worked or already done, and the
+        store dedups any record either way.
+        """
+
+        def txn() -> bool:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO jobs (campaign_id, submitted_at,"
+                " store_path, backend_spec, runs_per_scenario,"
+                " num_scenarios, num_chunks, metadata)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                    store_path,
+                    backend_spec,
+                    runs_per_scenario,
+                    num_scenarios,
+                    len(chunk_payloads),
+                    json.dumps(metadata or {}),
+                ),
+            )
+            if cursor.rowcount == 0:
+                return False
+            self._conn.executemany(
+                "INSERT INTO chunks (campaign_id, chunk_index, payload)"
+                " VALUES (?, ?, ?)",
+                [
+                    (campaign_id, index, payload)
+                    for index, payload in enumerate(chunk_payloads)
+                ],
+            )
+            return True
+
+        return self._write(txn)
+
+    # ------------------------------------------------------------------
+    # Lease-based claiming
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        worker_id: str,
+        lease_seconds: float = 60.0,
+        campaign_id: Optional[str] = None,
+    ) -> Optional[ClaimedChunk]:
+        """Atomically claim one claimable chunk, or ``None``.
+
+        A chunk is claimable while ``pending``, or while ``claimed``
+        with an **expired** lease (its previous worker is presumed
+        dead; the reclaim increments ``attempts``).  Chunks past
+        :data:`MAX_ATTEMPTS` are marked ``failed`` instead of being
+        handed out again.
+        """
+        now = time.time()
+
+        def txn() -> Optional[ClaimedChunk]:
+            clauses = (
+                "(status = 'pending' OR"
+                " (status = 'claimed' AND lease_expires < ?))"
+            )
+            params: List = [now]
+            if campaign_id is not None:
+                clauses += " AND campaign_id = ?"
+                params.append(campaign_id)
+            row = self._conn.execute(
+                f"SELECT campaign_id, chunk_index, payload, attempts"
+                f" FROM chunks WHERE {clauses}"
+                f" ORDER BY campaign_id, chunk_index LIMIT 1",
+                params,
+            ).fetchone()
+            if row is None:
+                return None
+            attempts = row["attempts"] + 1
+            if attempts > MAX_ATTEMPTS:
+                self._conn.execute(
+                    "UPDATE chunks SET status = 'failed', worker_id = NULL,"
+                    " lease_expires = NULL WHERE campaign_id = ?"
+                    " AND chunk_index = ?",
+                    (row["campaign_id"], row["chunk_index"]),
+                )
+                return None
+            deadline = now + lease_seconds
+            self._conn.execute(
+                "UPDATE chunks SET status = 'claimed', worker_id = ?,"
+                " lease_expires = ?, attempts = ?"
+                " WHERE campaign_id = ? AND chunk_index = ?",
+                (
+                    worker_id,
+                    deadline,
+                    attempts,
+                    row["campaign_id"],
+                    row["chunk_index"],
+                ),
+            )
+            return ClaimedChunk(
+                campaign_id=row["campaign_id"],
+                chunk_index=row["chunk_index"],
+                payload=row["payload"],
+                worker_id=worker_id,
+                lease_expires=deadline,
+                attempts=attempts,
+            )
+
+        return self._write(txn)
+
+    def renew(
+        self,
+        campaign_id: str,
+        chunk_index: int,
+        worker_id: str,
+        lease_seconds: float = 60.0,
+    ) -> bool:
+        """Extend a held lease (heartbeat).
+
+        Returns ``False`` when the chunk is no longer held by
+        *worker_id* — its lease expired and someone else reclaimed it —
+        so a slow worker learns it has been presumed dead.
+        """
+
+        def txn() -> bool:
+            cursor = self._conn.execute(
+                "UPDATE chunks SET lease_expires = ?"
+                " WHERE campaign_id = ? AND chunk_index = ?"
+                " AND worker_id = ? AND status = 'claimed'",
+                (
+                    time.time() + lease_seconds,
+                    campaign_id,
+                    chunk_index,
+                    worker_id,
+                ),
+            )
+            return cursor.rowcount > 0
+
+        return self._write(txn)
+
+    def release(
+        self,
+        campaign_id: str,
+        chunk_index: int,
+        worker_id: str,
+        done: bool = True,
+        error: Optional[str] = None,
+    ) -> bool:
+        """Finish (or give back) a claimed chunk, guarded by worker id.
+
+        ``done=True`` marks the chunk complete; ``done=False`` returns
+        it to ``pending`` for another worker (a failed execution, whose
+        *error* text is kept on the row so a chunk that eventually
+        lands ``failed`` carries its diagnosis).  Returns ``False``
+        when *worker_id* no longer holds the chunk — the release is
+        then a no-op, so a zombie worker whose chunk was reclaimed
+        cannot corrupt the new claimant's state.
+        """
+
+        def txn() -> bool:
+            if done:
+                cursor = self._conn.execute(
+                    "UPDATE chunks SET status = 'done', done_at = ?,"
+                    " lease_expires = NULL WHERE campaign_id = ?"
+                    " AND chunk_index = ? AND worker_id = ?"
+                    " AND status = 'claimed'",
+                    (time.time(), campaign_id, chunk_index, worker_id),
+                )
+            else:
+                cursor = self._conn.execute(
+                    "UPDATE chunks SET status = 'pending', worker_id = NULL,"
+                    " lease_expires = NULL,"
+                    " last_error = COALESCE(?, last_error)"
+                    " WHERE campaign_id = ? AND chunk_index = ?"
+                    " AND worker_id = ? AND status = 'claimed'",
+                    (error, campaign_id, chunk_index, worker_id),
+                )
+            return cursor.rowcount > 0
+
+        return self._write(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def job(self, campaign_id: str) -> JobInfo:
+        """One submitted campaign's job row."""
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE campaign_id = ?", (campaign_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no job matching {campaign_id!r}")
+        return self._job(row)
+
+    def jobs(self) -> List[JobInfo]:
+        """All submitted campaigns, oldest first."""
+        rows = self._conn.execute(
+            "SELECT * FROM jobs ORDER BY submitted_at, campaign_id"
+        )
+        return [self._job(row) for row in rows]
+
+    def counts(
+        self, campaign_id: Optional[str] = None
+    ) -> Dict[str, ChunkCounts]:
+        """Per-campaign chunk tallies, keyed by campaign id."""
+        query = (
+            "SELECT campaign_id, status, COUNT(*) AS n FROM chunks"
+        )
+        params: tuple = ()
+        if campaign_id is not None:
+            query += " WHERE campaign_id = ?"
+            params = (campaign_id,)
+        query += " GROUP BY campaign_id, status"
+        tallies: Dict[str, Dict[str, int]] = {}
+        for row in self._conn.execute(query, params):
+            tallies.setdefault(row["campaign_id"], {})[row["status"]] = (
+                row["n"]
+            )
+        return {
+            cid: ChunkCounts(**per_status)
+            for cid, per_status in tallies.items()
+        }
+
+    def chunk_counts(self, campaign_id: str) -> ChunkCounts:
+        """One campaign's chunk tallies (all-zero if it has no chunks)."""
+        return self.counts(campaign_id).get(campaign_id, ChunkCounts())
+
+    def chunk_states(self, campaign_id: str) -> List[ChunkState]:
+        """Every chunk row of one campaign, in chunk order."""
+        rows = self._conn.execute(
+            "SELECT campaign_id, chunk_index, status, worker_id,"
+            " lease_expires, attempts, last_error FROM chunks"
+            " WHERE campaign_id = ? ORDER BY chunk_index",
+            (campaign_id,),
+        )
+        return [
+            ChunkState(
+                campaign_id=row["campaign_id"],
+                chunk_index=row["chunk_index"],
+                status=row["status"],
+                worker_id=row["worker_id"],
+                lease_expires=row["lease_expires"],
+                attempts=row["attempts"],
+                last_error=row["last_error"],
+            )
+            for row in rows
+        ]
+
+    def drained(self, campaign_id: str) -> bool:
+        """Whether every chunk of *campaign_id* is done."""
+        tally = self.chunk_counts(campaign_id)
+        return tally.remaining == 0
+
+    def claimable(self, campaign_id: Optional[str] = None) -> int:
+        """Chunks a worker could claim right now (incl. expired leases)."""
+        query = (
+            "SELECT COUNT(*) FROM chunks WHERE (status = 'pending' OR"
+            " (status = 'claimed' AND lease_expires < ?))"
+        )
+        params: List = [time.time()]
+        if campaign_id is not None:
+            query += " AND campaign_id = ?"
+            params.append(campaign_id)
+        return self._conn.execute(query, params).fetchone()[0]
+
+    @staticmethod
+    def _job(row: sqlite3.Row) -> JobInfo:
+        return JobInfo(
+            campaign_id=row["campaign_id"],
+            submitted_at=row["submitted_at"],
+            store_path=row["store_path"],
+            backend_spec=row["backend_spec"],
+            runs_per_scenario=row["runs_per_scenario"],
+            num_scenarios=row["num_scenarios"],
+            num_chunks=row["num_chunks"],
+            metadata=json.loads(row["metadata"]),
+        )
+
+
+def default_worker_id() -> str:
+    """A host- and process-unique worker identity."""
+    host = os.uname().nodename if hasattr(os, "uname") else "host"
+    return f"{host}:{os.getpid()}"

@@ -1,0 +1,329 @@
+"""The distributed :class:`Worker`: claim chunks, simulate, drain to store.
+
+A worker is one process's share of a distributed campaign.  Its loop:
+
+1. :meth:`~repro.distributed.queue.WorkQueue.claim` one chunk (lease-
+   based: chunks abandoned by dead workers become claimable again when
+   their lease expires);
+2. build the simulation backend from the job's submitted
+   :class:`~repro.experiments.backends.BackendSpec` — **once** per
+   distinct spec, cached across every chunk the worker executes;
+3. simulate the chunk through the exact megabatch path serial campaigns
+   use (:func:`repro.experiments.campaign._execute_chunk`), so each
+   scenario's bits derive only from its own pre-spawned seed and
+   placement cannot change any result;
+4. write every record through the job's
+   :class:`~repro.store.ResultStore` — the ``(campaign_id,
+   scenario_index)`` primary key makes crash/retry/duplicate delivery
+   harmless — then mark the chunk done.
+
+While a chunk simulates, a background heartbeat thread renews its lease
+so long-running chunks on a live worker are not reclaimed; if the
+heartbeat ever loses the lease (the queue presumed us dead), the
+results still land safely (dedup) and the done-mark is simply refused.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.distributed.queue import (
+    ClaimedChunk,
+    JobInfo,
+    WorkQueue,
+    default_worker_id,
+)
+from repro.experiments.backends import BackendSpec, SimulationBackend
+from repro.experiments.campaign import RunRecord, _execute_chunk
+from repro.store import ResultStore
+
+
+@dataclass
+class WorkerStats:
+    """What one :meth:`Worker.run` invocation did."""
+
+    worker_id: str = ""
+    chunks_done: int = 0
+    chunks_failed: int = 0
+    records_written: int = 0
+    records_deduped: int = 0
+    wall_time: float = 0.0
+    backends_built: int = 0
+
+    def summary(self) -> str:
+        """One line for logs and the CLI."""
+        return (
+            f"worker {self.worker_id}: {self.chunks_done} chunks done"
+            f" ({self.chunks_failed} failed), "
+            f"{self.records_written} records written"
+            f" ({self.records_deduped} deduped), "
+            f"{self.backends_built} backend build(s), "
+            f"{self.wall_time:.2f}s"
+        )
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Renews one claimed chunk's lease while it simulates.
+
+    Runs on its own queue connection (sqlite connections are not shared
+    across threads).  Sets :attr:`lost` and stops if the queue refuses
+    a renewal — the lease expired and the chunk was reclaimed.
+    """
+
+    def __init__(
+        self,
+        queue_path: str,
+        chunk: ClaimedChunk,
+        lease_seconds: float,
+    ):
+        super().__init__(daemon=True)
+        self._queue_path = queue_path
+        self._chunk = chunk
+        self._lease_seconds = lease_seconds
+        self._interval = max(lease_seconds / 3.0, 0.02)
+        self._stop_event = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        with WorkQueue(self._queue_path) as queue:
+            while not self._stop_event.wait(self._interval):
+                if not queue.renew(
+                    self._chunk.campaign_id,
+                    self._chunk.chunk_index,
+                    self._chunk.worker_id,
+                    self._lease_seconds,
+                ):
+                    self.lost = True
+                    return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join()
+
+
+class Worker:
+    """A durable at-least-once campaign worker.
+
+    Parameters
+    ----------
+    queue_path:
+        Path of the shared :class:`~repro.distributed.queue.WorkQueue`
+        database.  The worker opens its own connection (and the
+        heartbeat thread another), so any number of workers can point
+        at the same file.
+    worker_id:
+        Identity used for lease ownership; defaults to ``host:pid``.
+    lease_seconds:
+        Lease length per claim/renewal.  The heartbeat renews at a
+        third of this, so a worker must be unresponsive for a full
+        lease before its chunk is reclaimed.
+    poll_interval:
+        Sleep between claim attempts when the queue has nothing
+        claimable.
+    campaign_id:
+        When set, the worker claims (and waits on) only this
+        campaign's chunks — the scoping
+        :class:`~repro.distributed.DistributedExecutor` uses so its
+        fleet neither executes unrelated queued work nor blocks on
+        another campaign's leases.
+    """
+
+    def __init__(
+        self,
+        queue_path: Union[str, Path],
+        worker_id: Optional[str] = None,
+        lease_seconds: float = 60.0,
+        poll_interval: float = 0.2,
+        campaign_id: Optional[str] = None,
+    ):
+        self.queue_path = str(queue_path)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = lease_seconds
+        self.poll_interval = poll_interval
+        self.campaign_id = campaign_id
+        # Backends are rebuilt at most once per distinct submitted
+        # spec; every chunk of a campaign (and any campaign sharing
+        # the spec) reuses the same instance.  Job rows (which carry
+        # that potentially large spec blob) are likewise fetched once.
+        self._backends: Dict[bytes, SimulationBackend] = {}
+        self._stores: Dict[str, ResultStore] = {}
+        self._jobs: Dict[str, "JobInfo"] = {}
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_chunks: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        forever: bool = False,
+    ) -> WorkerStats:
+        """Claim and execute chunks until there is nothing left to do.
+
+        Default exit condition ("drain mode"): stop when the queue has
+        no claimable chunk *and* nothing is still claimed by another
+        worker — i.e. every chunk is done or failed.  While other
+        workers hold live leases, keep polling: their chunks become
+        claimable here if their leases expire.
+
+        ``forever=True`` keeps polling even over an empty queue (a
+        long-lived service worker); ``idle_timeout`` bounds how long to
+        poll without claiming anything; ``max_chunks`` bounds the work
+        (useful in tests and for scale-down).
+        """
+        stats = WorkerStats(worker_id=self.worker_id)
+        start = time.perf_counter()
+        idle_since: Optional[float] = None
+        try:
+            with WorkQueue(self.queue_path) as queue:
+                while max_chunks is None or stats.chunks_done < max_chunks:
+                    chunk = queue.claim(
+                        self.worker_id,
+                        self.lease_seconds,
+                        campaign_id=self.campaign_id,
+                    )
+                    if chunk is None:
+                        now = time.time()
+                        idle_since = idle_since or now
+                        if (
+                            idle_timeout is not None
+                            and now - idle_since >= idle_timeout
+                        ):
+                            break
+                        if not forever and self._queue_drained(queue):
+                            break
+                        time.sleep(self.poll_interval)
+                        continue
+                    idle_since = None
+                    self._execute(queue, chunk, stats)
+        finally:
+            for store in self._stores.values():
+                store.close()
+            self._stores.clear()
+        stats.wall_time = time.perf_counter() - start
+        return stats
+
+    def _queue_drained(self, queue: WorkQueue) -> bool:
+        """No chunk is claimable and none is claimed by anyone else.
+
+        Scoped to this worker's campaign when one was set, so a
+        campaign-pinned worker exits as soon as *its* campaign drains,
+        whatever other jobs share the queue.
+        """
+        for tally in queue.counts(self.campaign_id).values():
+            if tally.pending or tally.claimed:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Chunk execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self, queue: WorkQueue, chunk: ClaimedChunk, stats: WorkerStats
+    ) -> None:
+        """Simulate one claimed chunk and drain it into the store."""
+        heartbeat = _LeaseHeartbeat(
+            self.queue_path, chunk, self.lease_seconds
+        ) if self.queue_path != ":memory:" else None
+        if heartbeat is not None:
+            heartbeat.start()
+        chunk_start = time.perf_counter()
+        try:
+            job = self._job_for(queue, chunk.campaign_id)
+            backend = self._backend_for(job.backend_spec, stats)
+            # Payload items are (index, name, params, seed): the name
+            # travels with the work because workers never see the
+            # campaign's scenario list.
+            items = pickle.loads(chunk.payload)
+            names = {index: name for index, name, _, _ in items}
+            work = [(index, params, seed) for index, _, params, seed in items]
+            outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            store = self._store_for(job.store_path)
+            for (index, params, _), (_, result) in zip(work, outcomes):
+                record = RunRecord(
+                    index=index,
+                    name=names[index],
+                    params=params,
+                    runs=result,
+                )
+                if store.add_record(chunk.campaign_id, record):
+                    stats.records_written += 1
+                else:
+                    stats.records_deduped += 1
+            store.add_wall_time(
+                chunk.campaign_id,
+                time.perf_counter() - chunk_start,
+                cpu_count=os.cpu_count(),
+            )
+        except Exception:
+            if heartbeat is not None:
+                heartbeat.stop()
+            # Surface the failure (workers usually run headless) and
+            # keep it on the chunk row, so a chunk that eventually
+            # lands 'failed' after MAX_ATTEMPTS carries its diagnosis.
+            error = traceback.format_exc()
+            print(
+                f"[worker {self.worker_id}] chunk "
+                f"{chunk.campaign_id[:12]}/{chunk.chunk_index} failed "
+                f"(attempt {chunk.attempts}):\n{error}",
+                file=sys.stderr,
+            )
+            queue.release(
+                chunk.campaign_id,
+                chunk.chunk_index,
+                self.worker_id,
+                done=False,
+                error=error.strip().splitlines()[-1],
+            )
+            stats.chunks_failed += 1
+            return
+        if heartbeat is not None:
+            heartbeat.stop()
+        # If the lease was lost mid-chunk the release is refused and
+        # another worker re-executes; the store already dedups every
+        # record, so the duplicate delivery is harmless.
+        if queue.release(
+            chunk.campaign_id, chunk.chunk_index, self.worker_id, done=True
+        ):
+            stats.chunks_done += 1
+
+    def _job_for(self, queue: WorkQueue, campaign_id: str) -> JobInfo:
+        """The job row for a campaign, fetched once per campaign.
+
+        The row carries the backend-spec blob (a serialized logic
+        table, potentially MBs); caching avoids re-reading it from the
+        queue file for every chunk.
+        """
+        job = self._jobs.get(campaign_id)
+        if job is None:
+            job = queue.job(campaign_id)
+            self._jobs[campaign_id] = job
+        return job
+
+    def _backend_for(
+        self, spec_blob: bytes, stats: WorkerStats
+    ) -> SimulationBackend:
+        """The backend for a submitted spec, built exactly once."""
+        backend = self._backends.get(spec_blob)
+        if backend is None:
+            spec: BackendSpec = pickle.loads(spec_blob)
+            backend = spec.build()
+            self._backends[spec_blob] = backend
+            stats.backends_built += 1
+        return backend
+
+    def _store_for(self, store_path: str) -> ResultStore:
+        """The result store a job drains into, opened once per path."""
+        store = self._stores.get(store_path)
+        if store is None:
+            store = ResultStore(store_path)
+            self._stores[store_path] = store
+        return store

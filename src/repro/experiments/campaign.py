@@ -443,8 +443,17 @@ class Campaign:
             before it is yielded (so an interrupted stream keeps its
             progress), and the yielded sequence — stored and fresh
             records merged in index order — is bitwise identical to a
-            storeless run of the same seed.
+            storeless run of the same seed.  A
+            :class:`~repro.distributed.DistributedExecutor` is accepted
+            here too: the campaign then executes on its worker fleet
+            (``workers`` is ignored; the fleet is the parallelism) and
+            the records stream from the collected result.
         """
+        if hasattr(store, "run_campaign"):  # DistributedExecutor seam
+            return iter(
+                store.run_campaign(self, seed=seed, chunk_size=chunk_size)
+                .records
+            )
         root = as_seed_sequence(seed)
         seed_fp = None if store is None else _fingerprint_of(root)
         scenario_list, chunks, workers = self._plan(root, workers, chunk_size)
@@ -636,7 +645,19 @@ class Campaign:
         were ``loaded`` vs freshly ``simulated``, plus the machine's
         ``cpu_count`` — so persisted timing records are
         self-describing.
+
+        *store* also accepts a
+        :class:`~repro.distributed.DistributedExecutor`: the campaign
+        is then submitted to its shared work queue, executed by its
+        worker fleet (``workers`` is ignored — the fleet is the
+        parallelism), and collected from its store, bitwise identical
+        to the in-process run.  Every consumer of the ``store=`` seam
+        (:class:`~repro.montecarlo.MonteCarloEstimator`,
+        :class:`~repro.search.SearchRunner`) inherits distributed
+        execution the same way.
         """
+        if hasattr(store, "run_campaign"):  # DistributedExecutor seam
+            return store.run_campaign(self, seed=seed, chunk_size=chunk_size)
         start = time.perf_counter()
         root = as_seed_sequence(seed)
         seed_fp = None if store is None else _fingerprint_of(root)
@@ -678,6 +699,41 @@ class Campaign:
             seed_entropy=_entropy_of(root),
             workers=workers,
             wall_time=time.perf_counter() - start,
+            metadata=metadata,
+        )
+
+
+    def submit(
+        self,
+        seed: SeedLike = None,
+        *,
+        queue,
+        store,
+        chunk_size: Optional[int] = None,
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        """Submit this campaign to a distributed work queue.
+
+        The distributed twin of :meth:`run`: the same planner spawns
+        the same per-scenario seeds, but instead of executing, the
+        chunks are enqueued into a shared
+        :class:`~repro.distributed.WorkQueue` for ``repro worker``
+        processes (on any host reaching the queue file) to execute into
+        *store*.  Returns a :class:`~repro.distributed.DistributedRun`
+        handle — ``wait()`` / ``iter_progress()`` track the fleet and
+        ``collect()`` reconstructs a :class:`ResultSet` bitwise
+        identical to :meth:`run` with the same seed.  Scenarios *store*
+        already holds are not enqueued, so re-submitting a completed
+        campaign performs zero new simulations.
+        """
+        from repro.distributed import submit as submit_distributed
+
+        return submit_distributed(
+            self,
+            seed,
+            queue=queue,
+            store=store,
+            chunk_size=chunk_size,
             metadata=metadata,
         )
 

@@ -224,10 +224,18 @@ class ResultStore:
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        # Campaign workers never touch the store (records flow back to
-        # the driving process), so a single-thread connection suffices.
-        self._conn = sqlite3.connect(self.path)
+        # Process-pool campaign workers never touch the store (records
+        # flow back to the driving process), but *distributed* workers
+        # (repro.distributed) write into one shared store file
+        # concurrently: WAL mode plus a generous busy timeout make
+        # those single-statement INSERT OR IGNORE commits serialize
+        # cleanly, and the PK dedup makes their ordering irrelevant.
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
         self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA busy_timeout = 30000")
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
 

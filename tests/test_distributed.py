@@ -1,0 +1,589 @@
+"""Tests for lease-based distributed campaign execution.
+
+The contract under test is the acceptance criterion of the subsystem:
+a campaign executed by independent worker processes through
+``repro.distributed`` produces a :class:`~repro.experiments.ResultSet`
+**bitwise identical** to the serial storeless run of the same campaign
+and seed — including across worker crashes, lease expiry reclaims and
+duplicate chunk deliveries — and a re-submitted completed campaign
+performs zero new simulations.
+"""
+
+import multiprocessing
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.distributed import (
+    DistributedExecutor,
+    Worker,
+    WorkQueue,
+    submit,
+)
+from repro.distributed.queue import MAX_ATTEMPTS
+from repro.encounters import StatisticalEncounterModel
+from repro.experiments import Campaign, SampledSource
+from repro.experiments.campaign import RunRecord, _execute_chunk
+from repro.montecarlo import MonteCarloEstimator
+from repro.store import ResultStore
+
+SCENARIOS = 5
+RUNS = 3
+SEED = 11
+
+RUN_FIELDS = (
+    "min_separation",
+    "min_horizontal",
+    "nmac",
+    "own_alerted",
+    "intruder_alerted",
+)
+
+
+def make_campaign(scenarios: int = SCENARIOS) -> Campaign:
+    """A tiny unequipped campaign (no logic table: fast to simulate)."""
+    return Campaign(
+        SampledSource(StatisticalEncounterModel(), scenarios),
+        equipage="none",
+        runs_per_scenario=RUNS,
+    )
+
+
+def assert_bitwise_equal(a, b):
+    """Per-record bitwise equality of two result sets."""
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.index == rb.index
+        assert ra.name == rb.name
+        assert (ra.params.as_array() == rb.params.as_array()).all()
+        for field in RUN_FIELDS:
+            assert (
+                getattr(ra.runs, field) == getattr(rb.runs, field)
+            ).all(), field
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return tmp_path / "queue.sqlite", tmp_path / "store.sqlite"
+
+
+# ----------------------------------------------------------------------
+# WorkQueue mechanics
+# ----------------------------------------------------------------------
+class TestWorkQueue:
+    def _enqueue(self, queue, campaign_id="c1", chunks=2):
+        return queue.submit_job(
+            campaign_id,
+            "store.sqlite",
+            b"spec",
+            RUNS,
+            chunks,
+            [f"chunk{i}".encode() for i in range(chunks)],
+        )
+
+    def test_submit_is_idempotent(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            assert self._enqueue(queue) is True
+            assert self._enqueue(queue) is False
+            assert queue.chunk_counts("c1").total == 2
+
+    def test_claim_release_cycle(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue)
+            first = queue.claim("w1", lease_seconds=30)
+            assert first is not None
+            assert first.chunk_index == 0
+            assert first.attempts == 1
+            second = queue.claim("w2", lease_seconds=30)
+            assert second.chunk_index == 1
+            # Everything claimed: nothing left.
+            assert queue.claim("w3", lease_seconds=30) is None
+            assert queue.release("w1-chunk", 0, "w1", done=True) is False
+            assert queue.release(first.campaign_id, 0, "w1", done=True)
+            assert queue.chunk_counts("c1").done == 1
+            # Failed execution returns the chunk to pending.
+            assert queue.release(second.campaign_id, 1, "w2", done=False)
+            assert queue.chunk_counts("c1").pending == 1
+
+    def test_expired_lease_is_reclaimed(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue, chunks=1)
+            held = queue.claim("dead-worker", lease_seconds=0.01)
+            assert held is not None
+            time.sleep(0.05)
+            reclaimed = queue.claim("live-worker", lease_seconds=30)
+            assert reclaimed is not None
+            assert reclaimed.chunk_index == held.chunk_index
+            assert reclaimed.attempts == 2
+            # The dead worker lost the lease: renew and release refuse.
+            assert not queue.renew("c1", 0, "dead-worker", 30)
+            assert not queue.release("c1", 0, "dead-worker", done=True)
+            # The live worker's completion sticks.
+            assert queue.release("c1", 0, "live-worker", done=True)
+            assert queue.drained("c1")
+
+    def test_renew_extends_live_lease(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue, chunks=1)
+            held = queue.claim("w1", lease_seconds=0.2)
+            assert queue.renew("c1", 0, "w1", lease_seconds=60)
+            # Renewed past the original deadline: not claimable.
+            time.sleep(0.25)
+            assert queue.claim("w2", lease_seconds=30) is None
+            assert held.worker_id == "w1"
+
+    def test_poison_chunk_fails_after_max_attempts(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue, chunks=1)
+            for attempt in range(MAX_ATTEMPTS):
+                held = queue.claim(f"w{attempt}", lease_seconds=30)
+                assert held is not None
+                assert held.attempts == attempt + 1
+                queue.release("c1", 0, f"w{attempt}", done=False)
+            assert queue.claim("w-final", lease_seconds=30) is None
+            tally = queue.chunk_counts("c1")
+            assert tally.failed == 1
+            assert not queue.drained("c1")
+
+    def test_memory_queue_rejected_for_distribution(self, tmp_path):
+        with pytest.raises(ValueError, match="file-backed"):
+            submit(
+                make_campaign(),
+                SEED,
+                queue=":memory:",
+                store=tmp_path / "s.sqlite",
+            )
+        with pytest.raises(ValueError, match="file-backed"):
+            submit(
+                make_campaign(),
+                SEED,
+                queue=tmp_path / "q.sqlite",
+                store=":memory:",
+            )
+
+
+# ----------------------------------------------------------------------
+# Coordinator + worker: the bitwise contract
+# ----------------------------------------------------------------------
+class TestDistributedExecution:
+    def test_single_worker_matches_serial_bitwise(self, paths):
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        run = submit(
+            make_campaign(), SEED,
+            queue=queue_path, store=store_path, chunk_size=2,
+        )
+        assert run.num_scenarios == SCENARIOS
+        assert run.chunks_enqueued == 3
+        stats = Worker(queue_path, lease_seconds=10, poll_interval=0.02).run()
+        assert stats.chunks_done == 3
+        assert stats.records_written == SCENARIOS
+        assert stats.backends_built == 1
+        final = run.wait(timeout=10, poll=0.02)
+        assert final.complete
+        assert_bitwise_equal(serial, run.collect())
+
+    def test_resubmit_completed_campaign_simulates_nothing(self, paths):
+        queue_path, store_path = paths
+        run = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        Worker(queue_path, poll_interval=0.02).run()
+        resubmit = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        assert resubmit.campaign_id == run.campaign_id
+        assert resubmit.chunks_enqueued == 0
+        assert resubmit.already_stored == SCENARIOS
+        assert resubmit.simulated == 0
+        # A worker pointed at the queue finds nothing to do.
+        stats = Worker(queue_path, poll_interval=0.02).run()
+        assert stats.chunks_done == 0 and stats.records_written == 0
+        assert_bitwise_equal(make_campaign().run(seed=SEED),
+                             resubmit.collect())
+
+    def test_partial_store_submits_only_missing_tail(self, paths):
+        queue_path, store_path = paths
+        # Pre-store a prefix through the ordinary resume path by
+        # truncating an iter_records stream.
+        with ResultStore(store_path) as store:
+            stream = make_campaign().iter_records(seed=SEED, store=store)
+            for _ in range(2):
+                next(stream)
+            stream.close()
+        run = submit(
+            make_campaign(), SEED,
+            queue=queue_path, store=store_path, chunk_size=1,
+        )
+        assert run.already_stored == 2
+        assert run.simulated == SCENARIOS - 2
+        assert run.chunks_enqueued == SCENARIOS - 2
+        Worker(queue_path, poll_interval=0.02).run()
+        assert_bitwise_equal(make_campaign().run(seed=SEED), run.collect())
+
+    def test_collect_before_completion_raises(self, paths):
+        queue_path, store_path = paths
+        run = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        with pytest.raises(RuntimeError, match="wait"):
+            run.collect()
+
+    def test_unregistered_backend_rejected(self, paths):
+        queue_path, store_path = paths
+
+        class OpaqueBackend:
+            name = "opaque"
+
+            def simulate(self, params, num_runs, seed=None):
+                raise NotImplementedError
+
+        campaign = make_campaign()
+        campaign.backend = OpaqueBackend()
+        with pytest.raises(TypeError, match="registry-built"):
+            submit(campaign, SEED, queue=queue_path, store=store_path)
+
+    @pytest.mark.slow
+    def test_two_worker_processes_match_serial_bitwise(self, paths):
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        run = submit(
+            make_campaign(), SEED,
+            queue=queue_path, store=store_path, chunk_size=1,
+        )
+        assert run.chunks_enqueued == SCENARIOS
+        from repro.distributed import run_workers
+
+        run_workers(queue_path, num_workers=2, lease_seconds=10,
+                    poll_interval=0.02)
+        final = run.wait(timeout=30, poll=0.05)
+        assert final.complete
+        collected = run.collect()
+        assert_bitwise_equal(serial, collected)
+        # Both workers really participated... or at minimum every chunk
+        # completed exactly once.
+        with WorkQueue(run.queue_path) as queue:
+            states = queue.chunk_states(run.campaign_id)
+        assert all(state.status == "done" for state in states)
+
+
+# ----------------------------------------------------------------------
+# Fault injection: dead workers, reclaims, duplicate delivery
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_dead_worker_chunk_reclaimed_no_duplicates(self, paths):
+        """A worker dies mid-chunk after writing a partial record.
+
+        The chunk's lease expires, a live worker reclaims and fully
+        re-executes it (duplicate delivery of the partial record), and
+        the final result set is bitwise identical to the serial run
+        with no duplicated records.
+        """
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        run = submit(
+            make_campaign(), SEED,
+            queue=queue_path, store=store_path, chunk_size=2,
+        )
+        # Simulate the doomed worker by hand: claim with a tiny lease,
+        # execute the chunk, write ONE record, then "crash" (never
+        # release, never heartbeat).
+        with WorkQueue(queue_path) as queue:
+            held = queue.claim("doomed", lease_seconds=0.05)
+            assert held is not None
+            job = queue.job(held.campaign_id)
+            backend = pickle.loads(job.backend_spec).build()
+            items = pickle.loads(held.payload)
+            work = [(i, params, seed) for i, _, params, seed in items]
+            outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            first_index, first_result = outcomes[0]
+            with ResultStore(store_path) as store:
+                assert store.add_record(
+                    held.campaign_id,
+                    RunRecord(
+                        index=first_index,
+                        name=items[0][1],
+                        params=items[0][2],
+                        runs=first_result,
+                    ),
+                )
+        time.sleep(0.1)  # the doomed worker's lease expires
+
+        stats = Worker(
+            queue_path, worker_id="live", lease_seconds=10,
+            poll_interval=0.02,
+        ).run()
+        final = run.wait(timeout=10, poll=0.02)
+        assert final.complete
+
+        # The reclaimed chunk was fully re-executed: its already-stored
+        # record arrived again and deduped instead of duplicating.
+        assert stats.records_deduped == 1
+        assert stats.records_written == SCENARIOS - 1
+        with WorkQueue(queue_path) as queue:
+            states = queue.chunk_states(run.campaign_id)
+        assert all(state.status == "done" for state in states)
+        assert any(state.attempts == 2 for state in states)
+
+        with ResultStore(store_path) as store:
+            assert len(store.completed_indices(run.campaign_id)) == SCENARIOS
+        assert_bitwise_equal(serial, run.collect())
+
+    @pytest.mark.slow
+    def test_killed_worker_process_chunk_reclaimed(self, paths):
+        """SIGKILL a real worker process mid-run; the fleet recovers."""
+        queue_path, store_path = paths
+        serial = make_campaign(8).run(seed=SEED)
+        run = submit(
+            make_campaign(8), SEED,
+            queue=queue_path, store=store_path, chunk_size=1,
+        )
+
+        def crashy(queue_path):
+            # Claims one chunk under a short lease and dies holding it.
+            with WorkQueue(queue_path) as queue:
+                assert queue.claim("crashy", lease_seconds=0.2) is not None
+
+        victim = multiprocessing.Process(
+            target=crashy, args=(str(queue_path),)
+        )
+        victim.start()
+        victim.join()
+
+        stats = Worker(
+            queue_path, lease_seconds=5, poll_interval=0.02
+        ).run()
+        final = run.wait(timeout=30, poll=0.05)
+        assert final.complete
+        assert stats.records_written == 8
+        assert_bitwise_equal(serial, run.collect())
+
+
+# ----------------------------------------------------------------------
+# The store= seam: executor through Campaign / MonteCarloEstimator
+# ----------------------------------------------------------------------
+class TestDistributedExecutorSeam:
+    def test_campaign_run_accepts_executor(self, paths):
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        executor = DistributedExecutor(
+            queue_path, store_path, workers=0, poll_interval=0.02
+        )
+        distributed = make_campaign().run(seed=SEED, store=executor)
+        assert_bitwise_equal(serial, distributed)
+        meta = distributed.metadata
+        assert meta["simulated"] == SCENARIOS
+        assert meta["loaded"] == 0
+        assert "campaign_id" in meta
+        assert meta["distributed_workers"] == 0
+        # A second run loads everything from the store.
+        rerun = make_campaign().run(seed=SEED, store=executor)
+        assert rerun.metadata["loaded"] == SCENARIOS
+        assert rerun.metadata["simulated"] == 0
+        assert_bitwise_equal(serial, rerun)
+
+    def test_campaign_iter_records_accepts_executor(self, paths):
+        queue_path, store_path = paths
+        serial = list(make_campaign().iter_records(seed=SEED))
+        executor = DistributedExecutor(
+            queue_path, store_path, workers=0, poll_interval=0.02
+        )
+        streamed = list(
+            make_campaign().iter_records(seed=SEED, store=executor)
+        )
+        assert [r.index for r in streamed] == [r.index for r in serial]
+        for ra, rb in zip(serial, streamed):
+            for field in RUN_FIELDS:
+                assert (
+                    getattr(ra.runs, field) == getattr(rb.runs, field)
+                ).all()
+
+    def test_montecarlo_accepts_executor_unchanged(self, paths, tiny_table):
+        queue_path, store_path = paths
+        model = StatisticalEncounterModel()
+        plain = MonteCarloEstimator(
+            tiny_table, model, runs_per_encounter=2
+        ).estimate(3, seed=5)
+        executor = DistributedExecutor(
+            queue_path, store_path, workers=0, poll_interval=0.02
+        )
+        distributed = MonteCarloEstimator(
+            tiny_table, model, runs_per_encounter=2, store=executor
+        ).estimate(3, seed=5)
+        assert distributed.summary() == plain.summary()
+        assert_bitwise_equal(
+            plain.equipped_results, distributed.equipped_results
+        )
+        assert_bitwise_equal(
+            plain.unequipped_results, distributed.unequipped_results
+        )
+        # Both arms landed in the shared store under distinct ids.
+        with ResultStore(store_path) as store:
+            assert len(store.campaigns()) == 2
+
+    def test_executor_fleet_is_scoped_to_its_campaign(self, paths):
+        """A shared queue with unrelated in-flight work must not feed
+        the executor's fleet other jobs' chunks, nor block its exit on
+        their leases."""
+        queue_path, store_path = paths
+        # An unrelated job: one chunk claimed by an external worker
+        # under a long (live) lease, one chunk pending.
+        with WorkQueue(queue_path) as queue:
+            queue.submit_job(
+                "unrelated", str(store_path), b"not-a-real-spec",
+                RUNS, 2, [b"chunk-a", b"chunk-b"],
+            )
+            assert queue.claim(
+                "external", lease_seconds=3600, campaign_id="unrelated"
+            ) is not None
+
+        executor = DistributedExecutor(
+            queue_path, store_path, workers=0, poll_interval=0.02
+        )
+        serial = make_campaign().run(seed=SEED)
+        start = time.time()
+        distributed = make_campaign().run(seed=SEED, store=executor)
+        assert time.time() - start < 30  # not waiting out the 1h lease
+        assert_bitwise_equal(serial, distributed)
+        # The unrelated job is untouched: its pending chunk was never
+        # claimed (a scoped worker would have choked on the fake spec).
+        with WorkQueue(queue_path) as queue:
+            tally = queue.chunk_counts("unrelated")
+            assert tally.pending == 1 and tally.claimed == 1
+            assert tally.failed == 0
+
+    def test_submit_resolves_relative_paths(self, tmp_path, monkeypatch):
+        """Workers launch from any cwd: job rows must carry absolute
+        paths even when the submitter used relative ones."""
+        monkeypatch.chdir(tmp_path)
+        run = submit(
+            make_campaign(), SEED, queue="q.sqlite", store="s.sqlite"
+        )
+        assert Path(run.queue_path).is_absolute()
+        assert Path(run.store_path).is_absolute()
+        with WorkQueue(run.queue_path) as queue:
+            job = queue.job(run.campaign_id)
+        assert Path(job.store_path).is_absolute()
+        # A worker run from elsewhere still drains into the right store.
+        monkeypatch.chdir(tmp_path.parent)
+        Worker(run.queue_path, poll_interval=0.02).run()
+        assert_bitwise_equal(make_campaign().run(seed=SEED), run.collect())
+
+    def test_failed_chunk_records_last_error(self, paths, capsys):
+        queue_path, store_path = paths
+        with WorkQueue(queue_path) as queue:
+            queue.submit_job(
+                "poison", str(store_path), b"not-a-pickled-spec",
+                RUNS, 1, [b"junk-payload"],
+            )
+        stats = Worker(
+            queue_path, lease_seconds=5, poll_interval=0.01
+        ).run(max_chunks=None, idle_timeout=0.1)
+        assert stats.chunks_failed >= 1
+        assert "failed" in capsys.readouterr().err
+        with WorkQueue(queue_path) as queue:
+            states = queue.chunk_states("poison")
+        assert states[0].last_error  # diagnosis survives on the row
+
+    @pytest.mark.slow
+    def test_executor_with_process_fleet(self, paths):
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        executor = DistributedExecutor(
+            queue_path, store_path, workers=2,
+            lease_seconds=10, poll_interval=0.02, chunk_size=1,
+        )
+        distributed = make_campaign().run(seed=SEED, store=executor)
+        assert_bitwise_equal(serial, distributed)
+        assert distributed.metadata["distributed_workers"] == 2
+
+
+# ----------------------------------------------------------------------
+# CLI: submit / worker / status / store records / --queue column
+# ----------------------------------------------------------------------
+class TestDistributedCli:
+    BASE = ["--sample", "4", "--runs", "3", "--seed", "7",
+            "--equipage", "none"]
+
+    def _submit(self, main, tmp_path, capsys):
+        queue = str(tmp_path / "q.sqlite")
+        store = str(tmp_path / "s.sqlite")
+        assert main(["submit", *self.BASE,
+                     "--queue", queue, "--store", store]) == 0
+        return queue, store, capsys.readouterr().out
+
+    def test_submit_worker_status_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queue, store, out = self._submit(main, tmp_path, capsys)
+        assert "enqueued 1 chunk(s)" in out
+
+        assert main(["status", queue]) == 0
+        assert "1 incomplete" in capsys.readouterr().out
+
+        assert main(["worker", "--queue", queue, "--poll", "0.02"]) == 0
+        worker_out = capsys.readouterr().out
+        assert "1 chunks done" in worker_out
+        assert "4 records written" in worker_out
+
+        assert main(["status", queue]) == 0
+        assert "0 incomplete" in capsys.readouterr().out
+
+        # Re-submit: completed campaign enqueues nothing.
+        assert main(["submit", *self.BASE,
+                     "--queue", queue, "--store", store]) == 0
+        resubmit_out = capsys.readouterr().out
+        assert "enqueued 0 chunk(s)" in resubmit_out
+        assert "already complete" in resubmit_out
+
+    def test_store_list_show_queue_column(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queue, store, _ = self._submit(main, tmp_path, capsys)
+        assert main(["worker", "--queue", queue, "--poll", "0.02"]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "list", store, "--queue", queue]) == 0
+        listing = capsys.readouterr().out
+        assert "queue" in listing.splitlines()[0]
+        assert "0p/0c/1d" in listing
+
+        campaign_id = [
+            line.split()[0] for line in listing.splitlines()[1:]
+            if line.strip()
+        ][0]
+        assert main(["store", "show", store, campaign_id,
+                     "--queue", queue]) == 0
+        shown = capsys.readouterr().out
+        assert "queue:     0p/0c/1d" in shown
+
+    def test_store_records_json_and_csv(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.cli import main
+
+        queue, store, _ = self._submit(main, tmp_path, capsys)
+        assert main(["worker", "--queue", queue, "--poll", "0.02"]) == 0
+        capsys.readouterr()
+
+        assert main(["store", "records", store,
+                     "--where", "nmac_rate >= ?", "--params", "0"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert len(payload) == 4
+        assert {"campaign_id", "name", "nmac_rate", "genome"} <= set(
+            payload[0]
+        )
+
+        out_csv = tmp_path / "records.csv"
+        assert main(["store", "records", store, "--format", "csv",
+                     "--out", str(out_csv)]) == 0
+        lines = out_csv.read_text().strip().splitlines()
+        assert lines[0].startswith("campaign_id,index,name,num_runs")
+        assert len(lines) == 5
