@@ -106,3 +106,60 @@ def test_bench_distributed_vs_serial(fast_table, smoke):
     )
     assert resubmit.chunks_enqueued == 0
     assert resubmit.simulated == 0
+
+
+def _fleet_campaign(table, smoke, scratch):
+    return Campaign(
+        SampledSource(
+            StatisticalEncounterModel(), 6 if smoke else SCENARIOS
+        ),
+        table=table,
+        runs_per_scenario=10 if smoke else RUNS,
+        backend="distributed",
+        backend_options={
+            "queue": str(scratch / "backend-queue.sqlite"),
+            "store": str(scratch / "backend-store.sqlite"),
+            "poll_interval": 0.02,
+        },
+    )
+
+
+def test_bench_distributed_backend(fast_table, smoke):
+    """The fleet-native ``backend="distributed"`` path vs serial.
+
+    No external worker is running, so the run exercises the automatic
+    in-process fallback worker — the measured overhead over serial is
+    the full submit → queue → drain → collect cycle (sqlite queue,
+    lease bookkeeping, store round trip).  Bits must match serial
+    exactly.
+    """
+    serial = _campaign(fast_table, smoke).run(seed=4)
+    scratch = Path(tempfile.mkdtemp(prefix="bench_dist_backend_"))
+    fleet = _fleet_campaign(fast_table, smoke, scratch).run(seed=4)
+    record_campaign("campaign_distributed_backend", fleet)
+
+    identical = (
+        serial.min_separations() == fleet.min_separations()
+    ).all()
+    assert identical
+    assert fleet.metadata["distributed_fallback"] is True
+    overhead = fleet.wall_time - serial.wall_time
+    record_result(
+        "campaign_distributed_backend_overhead",
+        f"workload:            {len(serial)} scenarios x "
+        f"{serial.runs_per_scenario} runs\n"
+        f"serial wall:         {serial.wall_time:.2f}s\n"
+        f"backend=distributed: {fleet.wall_time:.2f}s "
+        "(fallback in-process worker: submit -> queue -> drain -> "
+        "collect)\n"
+        f"overhead:            {overhead:+.2f}s\n"
+        f"identical results:   {identical}\n"
+        "The fallback path measures the fleet plumbing's full cost on "
+        "one core; with external `repro worker` processes on other "
+        "cores/hosts the same call fans out instead.\n",
+    )
+
+    # A re-run resolves to the same campaign and simulates nothing.
+    rerun = _fleet_campaign(fast_table, smoke, scratch).run(seed=4)
+    assert rerun.metadata["simulated"] == 0
+    assert rerun.metadata["loaded"] == len(serial)

@@ -18,7 +18,11 @@ campaign API:
    run a fresh campaign on a 2-process worker fleet through
    ``DistributedExecutor`` and check it matches the in-process run
    bit for bit;
-6. replay the worst scenario through the faithful agent engine to see
+6. demonstrate the fleet as a *backend*: ``backend="distributed"``
+   makes a single ``Campaign.run`` target an already-running external
+   worker fleet — and when none is live (as here), an automatic
+   in-process fallback worker drains the queue instead of hanging;
+7. replay the worst scenario through the faithful agent engine to see
    its trajectory and advisories.
 
 **Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
@@ -63,13 +67,22 @@ submitted spec, and drain records into the result store, whose
 ``(campaign, scenario)`` key makes at-least-once delivery harmless.
 ``DistributedExecutor`` wraps the whole cycle behind the ``store=``
 seam, so ``Campaign.run`` / ``MonteCarloEstimator`` / ``SearchRunner``
-gain a worker fleet without any API change.  From the shell::
+gain a worker fleet without any API change — and the ``"distributed"``
+backend key goes one step further: ``Campaign(backend="distributed",
+backend_options={"queue": ..., "store": ...})`` (or the
+``$REPRO_QUEUE``/``$REPRO_STORE`` environment variables) targets an
+already-running external fleet from a single ``run()`` call, falling
+back to an in-process worker when no fleet member is live.  From the
+shell::
 
     repro submit --sample 200 --runs 100 \\
         --queue queue.sqlite --store results.sqlite
     repro worker --queue queue.sqlite   # one per host/core, anywhere
     repro status queue.sqlite
+    repro campaign --sample 200 --runs 100 --backend distributed \\
+        --queue queue.sqlite --store results.sqlite
     repro store list results.sqlite --queue queue.sqlite
+    repro queue gc queue.sqlite --dry-run   # collect finished chunks
 
 Usage::
 
@@ -165,7 +178,30 @@ def main() -> None:
           f"bitwise identical = {identical}")
     print()
 
-    print("=== 6. Replay the worst scenario through the agent engine ===")
+    print("=== 6. Fleets as a backend: backend='distributed' ===")
+    # One run() call against an external fleet.  No worker is running
+    # here, so the automatic in-process fallback worker drains the
+    # queue — the call completes instead of hanging on an empty fleet.
+    fleet_native = Campaign(
+        SCENARIOS,
+        table=table,
+        runs_per_scenario=RUNS,
+        backend="distributed",
+        backend_options={"queue": str(queue_path), "store": store.path},
+    ).run(seed=9)
+    local9 = Campaign(
+        SCENARIOS, table=table, runs_per_scenario=RUNS
+    ).run(seed=9)
+    identical = (
+        fleet_native.min_separations() == local9.min_separations()
+    ).all()
+    print(f"backend='distributed' vs in-process: "
+          f"bitwise identical = {identical} "
+          f"(fallback worker ran: "
+          f"{fleet_native.metadata['distributed_fallback']})")
+    print()
+
+    print("=== 7. Replay the worst scenario through the agent engine ===")
     worst = equipped.worst()
     own, intruder = make_acas_pair(table, coordination=True)
     replay = run_encounter(

@@ -15,7 +15,16 @@ search and interactively for analysis):
 - ``repro montecarlo`` — Monte-Carlo rate estimation;
 - ``repro airspace``   — a multi-aircraft stress run;
 - ``repro store``      — query a persistent campaign result store
-  (``list``, ``show``, ``export``, ``diff``).
+  (``list``, ``show``, ``export``, ``records``, ``diff``);
+- ``repro submit`` / ``repro worker`` / ``repro status`` / ``repro
+  queue gc`` — distributed campaign execution over a shared work
+  queue, and its maintenance.
+
+``campaign``, ``montecarlo`` and ``search`` also accept ``--backend
+distributed`` with ``--queue``/``--store``: the whole workload then
+executes on an already-running ``repro worker`` fleet (any host
+sharing the queue file), falling back to an in-process worker when no
+fleet is live — results are bitwise identical either way.
 
 Simulation-heavy commands take ``--backend``/``--equipage``/
 ``--coordination`` with the same spellings the library's experiment
@@ -165,6 +174,24 @@ def cmd_simulate(args) -> int:
 # ----------------------------------------------------------------------
 # campaign
 # ----------------------------------------------------------------------
+def _backend_options(args):
+    """Fleet options for ``--backend distributed`` (else ``None``).
+
+    The distributed backend takes its queue/store paths through the
+    registry's options channel; the shared ``--queue``/``--store``
+    flags supply them (with ``$REPRO_QUEUE``/``$REPRO_STORE`` as the
+    fallback the backend itself resolves).
+    """
+    if getattr(args, "backend", None) != "distributed":
+        return None
+    options = {}
+    if getattr(args, "queue", None):
+        options["queue"] = args.queue
+    if getattr(args, "store", None):
+        options["store"] = args.store
+    return options
+
+
 def _campaign_from_args(args) -> Campaign:
     """Build the Campaign both ``campaign`` and ``submit`` describe."""
     if args.sample < 0:
@@ -183,15 +210,19 @@ def _campaign_from_args(args) -> Campaign:
         except ValueError as error:
             raise SystemExit(str(error))
     table = None if args.equipage == "none" else _load_table(args)
-    return Campaign(
-        scenarios,
-        backend=args.backend,
-        table=table,
-        equipage=args.equipage,
-        coordination=args.coordination == "on",
-        runs_per_scenario=args.runs,
-        sim_config=EncounterSimConfig(),
-    )
+    try:
+        return Campaign(
+            scenarios,
+            backend=args.backend,
+            table=table,
+            equipage=args.equipage,
+            coordination=args.coordination == "on",
+            runs_per_scenario=args.runs,
+            sim_config=EncounterSimConfig(),
+            backend_options=_backend_options(args),
+        )
+    except ValueError as error:  # e.g. distributed without queue/store
+        raise SystemExit(str(error))
 
 
 def cmd_campaign(args) -> int:
@@ -230,8 +261,14 @@ def cmd_search(args) -> int:
         equipage=args.equipage,
         coordination=args.coordination == "on",
         store=store,
+        backend_options=_backend_options(args),
     )
-    outcome = runner.run(seed=args.seed, top_k=args.top, verbose=args.verbose)
+    try:
+        outcome = runner.run(
+            seed=args.seed, top_k=args.top, verbose=args.verbose
+        )
+    except ValueError as error:  # e.g. distributed without queue/store
+        raise SystemExit(str(error))
     if store is not None:
         print(f"store: {len(store.campaigns())} campaigns in {args.store}")
         store.close()
@@ -288,8 +325,12 @@ def cmd_montecarlo(args) -> int:
         backend=args.backend,
         workers=args.workers,
         store=store,
+        backend_options=_backend_options(args),
     )
-    report = estimator.estimate(args.encounters, seed=args.seed)
+    try:
+        report = estimator.estimate(args.encounters, seed=args.seed)
+    except ValueError as error:  # e.g. distributed without queue/store
+        raise SystemExit(str(error))
     print(report.summary())
     if store is not None:
         for label, arm in (
@@ -370,12 +411,15 @@ def cmd_worker(args) -> int:
 
     if args.lease <= 0:
         raise SystemExit("--lease must be > 0")
+    if args.skew_margin < 0:
+        raise SystemExit("--skew-margin must be >= 0")
     worker = Worker(
         args.queue,
         worker_id=args.worker_id,
         lease_seconds=args.lease,
         poll_interval=args.poll,
         campaign_id=args.campaign,
+        skew_margin=args.skew_margin,
     )
     stats = worker.run(
         max_chunks=args.max_chunks,
@@ -435,6 +479,23 @@ def cmd_status(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# queue maintenance
+# ----------------------------------------------------------------------
+def cmd_queue(args) -> int:
+    with _open_queue(args.path) as queue:
+        if args.queue_command == "gc":
+            if args.max_age is not None and args.max_age < 0:
+                raise SystemExit("--max-age must be >= 0")
+            report = queue.gc(
+                campaign_id=args.campaign,
+                max_age=args.max_age,
+                dry_run=args.dry_run,
+            )
+            print(report.describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
 # store
 # ----------------------------------------------------------------------
 def cmd_store(args) -> int:
@@ -443,6 +504,10 @@ def cmd_store(args) -> int:
             return _STORE_COMMANDS[args.store_command](store, args)
         except KeyError as error:
             raise SystemExit(str(error.args[0]))
+        except ValueError as error:
+            # Malformed/forbidden --where filters arrive here: one
+            # clean line, not a sqlite traceback.
+            raise SystemExit(str(error))
 
 
 def _open_queue(queue_path):
@@ -661,7 +726,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--store", metavar="PATH",
         help="persist results into this sqlite result store (re-running "
-             "the same campaign resumes: only missing scenarios simulate)",
+             "the same campaign resumes: only missing scenarios "
+             "simulate); with --backend distributed this is the store "
+             "the worker fleet drains into",
+    )
+    campaign.add_argument(
+        "--queue", metavar="PATH",
+        help="shared work-queue path for --backend distributed "
+             "(default: $REPRO_QUEUE)",
     )
     campaign.set_defaults(func=cmd_campaign)
 
@@ -713,6 +785,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "at a third of this)")
     worker.add_argument("--poll", type=float, default=0.2,
                         help="seconds between claim attempts when idle")
+    worker.add_argument("--skew-margin", type=float, default=0.0,
+                        help="extra seconds past a lease's expiry before "
+                             "reclaiming it — set to a bound on "
+                             "cross-host clock skew when the queue "
+                             "spans machines (default: 0)")
     worker.add_argument("--max-chunks", type=int, default=None,
                         help="stop after this many chunks")
     worker.add_argument("--idle-timeout", type=float, default=None,
@@ -729,6 +806,37 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("queue", help="shared work-queue sqlite path")
     status.set_defaults(func=cmd_status)
 
+    queue_cmd = subparsers.add_parser(
+        "queue", help="work-queue maintenance"
+    )
+    queue_sub = queue_cmd.add_subparsers(dest="queue_command",
+                                         required=True)
+    queue_gc = queue_sub.add_parser(
+        "gc",
+        help="drop finished chunks and orphaned job rows",
+        description=(
+            "Garbage-collect the work queue: delete done/failed chunk "
+            "rows (their payloads are the bulk of the file) of "
+            "campaigns with no actionable work left — or, with "
+            "--max-age, of campaigns older than that many seconds — "
+            "plus job rows left without chunks and stale worker "
+            "liveness rows.  Pending and claimed chunks always "
+            "survive: gc never cancels work.  --dry-run reports what "
+            "would be dropped without touching anything."
+        ),
+    )
+    queue_gc.add_argument("path", help="shared work-queue sqlite path")
+    queue_gc.add_argument("--dry-run", action="store_true",
+                          help="report, don't delete")
+    queue_gc.add_argument("--campaign", default=None, metavar="ID",
+                          help="only collect this campaign (full id)")
+    queue_gc.add_argument("--max-age", type=float, default=None,
+                          metavar="SECONDS",
+                          help="also collect campaigns submitted more "
+                               "than this many seconds ago, even with "
+                               "work outstanding")
+    queue_gc.set_defaults(func=cmd_queue)
+
     search = subparsers.add_parser(
         "search", help="GA search for challenging encounters"
     )
@@ -743,6 +851,11 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--store", metavar="PATH",
         help="log every generation's fitness campaign into this store",
+    )
+    search.add_argument(
+        "--queue", metavar="PATH",
+        help="shared work-queue path for --backend distributed "
+             "(default: $REPRO_QUEUE)",
     )
     search.set_defaults(func=cmd_search)
 
@@ -761,6 +874,11 @@ def build_parser() -> argparse.ArgumentParser:
     montecarlo.add_argument(
         "--store", metavar="PATH",
         help="persist both arms' campaigns into this result store",
+    )
+    montecarlo.add_argument(
+        "--queue", metavar="PATH",
+        help="shared work-queue path for --backend distributed "
+             "(default: $REPRO_QUEUE)",
     )
     montecarlo.set_defaults(func=cmd_montecarlo)
 

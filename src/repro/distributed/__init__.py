@@ -28,9 +28,19 @@ This package closes the loop:
   (``Campaign.run(store=executor)``, ``MonteCarloEstimator``,
   ``SearchRunner``).
 
+Fleets are also a first-class *backend*:
+:mod:`repro.distributed.backend`'s :class:`DistributedBackend` sits in
+the simulation-backend registry under the ``"distributed"`` key, so
+``Campaign(backend="distributed", backend_options={"queue": ...,
+"store": ...})`` — and every consumer of the campaign API — targets an
+already-running external fleet directly, with an automatic in-process
+fallback worker when no fleet is live.
+
 On the command line: ``repro submit`` enqueues a campaign, ``repro
 worker`` runs a worker (one per host/core, anywhere the queue file is
-reachable), ``repro status`` tracks the fleet.
+reachable), ``repro status`` tracks the fleet, ``repro queue gc``
+collects finished chunks and orphaned job rows, and ``repro campaign
+--backend distributed`` runs a whole campaign against the fleet.
 """
 
 from repro.distributed.coordinator import (
@@ -44,21 +54,27 @@ from repro.distributed.queue import (
     ChunkCounts,
     ChunkState,
     ClaimedChunk,
+    GcReport,
     JobInfo,
+    WorkerInfo,
     WorkQueue,
     default_worker_id,
 )
 from repro.distributed.worker import Worker, WorkerStats
+from repro.distributed.backend import DistributedBackend
 
 __all__ = [
     "ChunkCounts",
     "ChunkState",
     "ClaimedChunk",
+    "DistributedBackend",
     "DistributedExecutor",
     "DistributedRun",
+    "GcReport",
     "JobInfo",
     "Progress",
     "Worker",
+    "WorkerInfo",
     "WorkerStats",
     "WorkQueue",
     "default_worker_id",

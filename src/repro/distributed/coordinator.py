@@ -72,6 +72,75 @@ def _store_path(store: StoreLike) -> str:
     return os.path.abspath(path)
 
 
+def _stuck_message(queue: WorkQueue, campaign_id: str, snapshot) -> str:
+    """Diagnosis for a campaign whose chunks failed permanently.
+
+    Carries each poisoned chunk's ``last_error`` so the error a caller
+    sees from ``Campaign.run``/``wait()`` names the actual failure,
+    not just the count.
+    """
+    failures = [
+        state
+        for state in queue.chunk_states(campaign_id)
+        if state.status == "failed"
+    ]
+    detail = "; ".join(
+        f"chunk {state.chunk_index} after {state.attempts} attempt(s): "
+        f"{state.last_error or 'unknown error'}"
+        for state in failures[:3]
+    )
+    if len(failures) > 3:
+        detail += f"; ... {len(failures) - 3} more"
+    return (
+        f"campaign {campaign_id[:12]} is stuck: "
+        f"{snapshot.chunks.failed} chunk(s) failed permanently "
+        f"({snapshot.describe()})" + (f" — {detail}" if detail else "")
+    )
+
+
+def _vanished_message(campaign_id: str, snapshot) -> str:
+    """Diagnosis for an incomplete campaign with no chunk rows left."""
+    return (
+        f"campaign {campaign_id[:12]} has "
+        f"{snapshot.records_done}/{snapshot.num_scenarios} records but "
+        "no chunks in this queue — its rows were garbage-collected "
+        "(or this is the wrong queue); re-submit to enqueue the "
+        "missing work"
+    )
+
+
+def _check_not_terminal(queue: WorkQueue, campaign_id: str,
+                        snapshot) -> None:
+    """Raise if an *incomplete* campaign can never progress.
+
+    The single spelling of the two dead-end states every poll loop
+    (:meth:`DistributedRun.iter_progress` and the distributed
+    backend's await) must agree on: chunk rows vanished from the
+    queue (garbage-collected mid-wait, or a wrong queue path), and
+    every remaining chunk failed permanently.  Call only when
+    ``snapshot.complete`` is already false.
+    """
+    if snapshot.chunks.total == 0:
+        raise RuntimeError(_vanished_message(campaign_id, snapshot))
+    if snapshot.chunks.failed and snapshot.chunks.pending == 0 and (
+        snapshot.chunks.claimed == 0
+    ):
+        raise RuntimeError(_stuck_message(queue, campaign_id, snapshot))
+    if snapshot.chunks.done == snapshot.chunks.total:
+        # Workers mark a chunk done only after committing its records,
+        # so all-done with records still missing means this waiter is
+        # reading a different store than the one the job drained into
+        # (the queue's job row pins the store path) — no amount of
+        # polling will ever fill it.
+        raise RuntimeError(
+            f"campaign {campaign_id[:12]}: every chunk is done but "
+            f"only {snapshot.records_done}/{snapshot.num_scenarios} "
+            "records are in this store — the queue's job row points "
+            "at a different result store; collect from that store "
+            "instead"
+        )
+
+
 @dataclass(frozen=True)
 class Progress:
     """One poll of a distributed campaign's completion state."""
@@ -165,14 +234,7 @@ class DistributedRun:
             yield snapshot
             if snapshot.complete:
                 return
-            if snapshot.chunks.failed and snapshot.chunks.pending == 0 and (
-                snapshot.chunks.claimed == 0
-            ):
-                raise RuntimeError(
-                    f"campaign {self.campaign_id[:12]} is stuck: "
-                    f"{snapshot.chunks.failed} chunk(s) failed "
-                    f"permanently ({snapshot.describe()})"
-                )
+            _check_not_terminal(queue, self.campaign_id, snapshot)
             if deadline is not None and time.time() > deadline:
                 raise TimeoutError(
                     f"campaign {self.campaign_id[:12]} incomplete after "
@@ -239,7 +301,13 @@ def submit(
     queue_path = _queue_path(queue)
     store_path = _store_path(store)
     try:
-        backend_spec = BackendSpec.capture(campaign.backend)
+        # A fleet-native backend ships its *inner* simulation spec —
+        # workers must simulate, not re-dispatch to themselves.
+        spec_of = getattr(campaign.backend, "worker_spec", None)
+        backend_spec = (
+            spec_of() if spec_of is not None
+            else BackendSpec.capture(campaign.backend)
+        )
     except TypeError as error:
         raise TypeError(
             "distributed campaigns need a registry-built backend whose "
@@ -272,6 +340,22 @@ def submit(
             payloads.append(pickle.dumps(remaining))
 
     with WorkQueue(queue_path) as work_queue:
+        try:
+            existing = work_queue.job(campaign_id)
+        except KeyError:
+            existing = None
+        if existing is not None and existing.store_path != store_path:
+            # submit_job is idempotent per campaign id, so a re-submit
+            # against a different store would silently enqueue nothing
+            # while the waiter watches a store no worker writes to —
+            # an unbounded hang.  Refuse up front instead.
+            raise ValueError(
+                f"campaign {campaign_id[:12]} is already queued in "
+                f"{queue_path} bound to store {existing.store_path}; "
+                f"re-submitting it with store {store_path} would never "
+                "complete — collect from the original store, or gc the "
+                "queue first"
+            )
         enqueued = (
             work_queue.submit_job(
                 campaign_id,
@@ -301,6 +385,7 @@ def _worker_main(
     lease_seconds: float,
     poll_interval: float,
     campaign_id: Optional[str],
+    skew_margin: float,
 ) -> None:
     """Entry point of a spawned local worker process (drain and exit)."""
     Worker(
@@ -308,6 +393,7 @@ def _worker_main(
         lease_seconds=lease_seconds,
         poll_interval=poll_interval,
         campaign_id=campaign_id,
+        skew_margin=skew_margin,
     ).run()
 
 
@@ -317,6 +403,7 @@ def run_workers(
     lease_seconds: float = 60.0,
     poll_interval: float = 0.1,
     campaign_id: Optional[str] = None,
+    skew_margin: float = 0.0,
 ) -> None:
     """Spawn *num_workers* local worker processes and join them.
 
@@ -333,7 +420,8 @@ def run_workers(
     processes = [
         multiprocessing.Process(
             target=_worker_main,
-            args=(queue_path, lease_seconds, poll_interval, campaign_id),
+            args=(queue_path, lease_seconds, poll_interval, campaign_id,
+                  skew_margin),
         )
         for _ in range(num_workers)
     ]

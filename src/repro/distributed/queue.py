@@ -26,6 +26,26 @@ simulating but before releasing), which is exactly why workers write
 results through :class:`~repro.store.ResultStore`: its ``(campaign_id,
 scenario_index)`` primary key makes duplicate delivery a no-op.
 
+Time discipline: a queue file shared between hosts has no global
+clock, and lease logic that mixes different hosts' wall clocks is the
+classic split-brain hazard — a fast clock reclaims a live worker's
+chunk early, a slow one keeps a dead worker's lease alive.  Every
+lease decision here therefore uses a **single time authority per
+decision**: one ``_now()`` reading from the deciding connection's own
+clock covers both the claimability comparison and the new deadline
+stamp, renewals only ever *extend* a deadline (a behind-clock
+heartbeat cannot shorten a lease it just confirmed), and reclaim
+waits out a configurable ``skew_margin`` beyond the stamped expiry so
+bounded cross-host skew cannot steal a live lease.  Tests inject
+``clock=`` callables to simulate hosts skewed in both directions.
+
+Worker liveness: every claim attempt (even one that finds nothing)
+upserts a heartbeat row into the ``workers`` table, so coordinators
+can ask :meth:`WorkQueue.live_workers` whether anyone is actually
+polling — the signal the ``"distributed"`` campaign backend uses to
+fall back to an in-process worker instead of hanging on an empty
+fleet.
+
 Concurrency: the database runs in WAL mode with a busy timeout, and
 every write transaction opens ``BEGIN IMMEDIATE`` inside a short
 retry loop, so many workers hammering one queue file serialize cleanly
@@ -41,7 +61,7 @@ import time
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -68,6 +88,12 @@ CREATE TABLE IF NOT EXISTS chunks (
 );
 CREATE INDEX IF NOT EXISTS idx_chunks_claimable
     ON chunks (status, lease_expires);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id   TEXT PRIMARY KEY,
+    campaign_id TEXT,
+    started_at  REAL NOT NULL,
+    heartbeat   REAL NOT NULL
+);
 """
 
 #: Chunk lifecycle states.  ``failed`` is terminal: a chunk that kept
@@ -77,6 +103,26 @@ CHUNK_STATUSES = ("pending", "claimed", "done", "failed")
 
 #: Claim attempts (initial + reclaims) before a chunk is marked failed.
 MAX_ATTEMPTS = 5
+
+#: Default extra seconds a lease must be past its stamped expiry before
+#: another host may reclaim it.  Zero (same-host fleets share one
+#: clock) keeps reclaim latency minimal; deployments spanning hosts
+#: should set ``WorkQueue(skew_margin=...)`` (and ``repro worker
+#: --skew-margin``) to a bound on their cross-host clock skew.
+DEFAULT_SKEW_MARGIN = 0.0
+
+#: Heartbeat age (seconds) under which a registered worker counts as
+#: live.  Workers refresh their row on claim attempts and lease
+#: renewals (throttled to :data:`_HEARTBEAT_REFRESH`), so a live
+#: worker's heartbeat is never close to this old.
+DEFAULT_WORKER_TTL = 15.0
+
+#: Minimum seconds between workers-table upserts per (handle, worker).
+#: An idle fleet polls claim every fraction of a second; without the
+#: throttle every empty-handed poll would turn into a real WAL write
+#: on the shared queue file.  A quarter TTL keeps rows comfortably
+#: fresh while idle polling stays write-free.
+_HEARTBEAT_REFRESH = DEFAULT_WORKER_TTL / 4.0
 
 #: Write-transaction retries when the database stays locked beyond the
 #: busy timeout (contended multi-host filesystems).
@@ -151,6 +197,45 @@ class ChunkCounts:
         return text
 
 
+@dataclass(frozen=True)
+class WorkerInfo:
+    """One registered worker's liveness row."""
+
+    worker_id: str
+    #: Campaign the worker is pinned to (``None`` = serves any job).
+    campaign_id: Optional[str]
+    started_at: float
+    heartbeat: float
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`WorkQueue.gc` pass dropped (or would drop)."""
+
+    dry_run: bool
+    #: Campaigns whose rows were eligible for collection.
+    campaigns: Tuple[str, ...] = ()
+    done_chunks: int = 0
+    failed_chunks: int = 0
+    jobs: int = 0
+    stale_workers: int = 0
+
+    @property
+    def chunks(self) -> int:
+        return self.done_chunks + self.failed_chunks
+
+    def describe(self) -> str:
+        """One summary line for the CLI."""
+        verb = "would drop" if self.dry_run else "dropped"
+        return (
+            f"{verb} {self.chunks} chunk(s) "
+            f"({self.done_chunks} done, {self.failed_chunks} failed), "
+            f"{self.jobs} job row(s) "
+            f"across {len(self.campaigns)} campaign(s), "
+            f"{self.stale_workers} stale worker row(s)"
+        )
+
+
 class WorkQueue:
     """A filesystem-shareable sqlite work queue of campaign chunks.
 
@@ -160,9 +245,31 @@ class WorkQueue:
         Queue database path.  Every worker and coordinator process opens
         its own :class:`WorkQueue` on the same path; sqlite's WAL mode
         plus the retry discipline here make concurrent access safe.
+    skew_margin:
+        Extra seconds a lease must be past its stamped expiry before
+        *this* connection reclaims it — a bound on how far another
+        host's clock may run behind ours without us stealing its live
+        lease.  Defaults to :data:`DEFAULT_SKEW_MARGIN`.
+    clock:
+        Override for the connection's time source (epoch seconds).
+        Defaults to the sqlite connection's own clock, so every lease
+        decision compares and stamps with a single authority; tests
+        inject skewed clocks to simulate multi-host drift.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        skew_margin: float = DEFAULT_SKEW_MARGIN,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if skew_margin < 0:
+            raise ValueError("skew_margin must be >= 0")
+        self.skew_margin = float(skew_margin)
+        self._clock = clock
+        #: Last heartbeat upsert per (worker_id, campaign_id) on this
+        #: handle, for the :data:`_HEARTBEAT_REFRESH` throttle.
+        self._heartbeats: Dict[Tuple[str, Optional[str]], float] = {}
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
@@ -193,6 +300,20 @@ class WorkQueue:
 
     def __repr__(self) -> str:
         return f"WorkQueue(path={self.path!r})"
+
+    def _now(self) -> float:
+        """This connection's clock (epoch seconds) — the single time
+        authority every lease decision on this handle compares *and*
+        stamps with.  One ``_now()`` reading per decision: a claim's
+        claimability test and its new deadline never mix two clocks.
+        """
+        if self._clock is not None:
+            return float(self._clock())
+        return float(
+            self._conn.execute(
+                "SELECT (julianday('now') - 2440587.5) * 86400.0"
+            ).fetchone()[0]
+        )
 
     def _write(self, fn):
         """Run *fn* inside ``BEGIN IMMEDIATE``, retrying on lock."""
@@ -277,19 +398,25 @@ class WorkQueue:
         """Atomically claim one claimable chunk, or ``None``.
 
         A chunk is claimable while ``pending``, or while ``claimed``
-        with an **expired** lease (its previous worker is presumed
-        dead; the reclaim increments ``attempts``).  Chunks past
-        :data:`MAX_ATTEMPTS` are marked ``failed`` instead of being
-        handed out again.
+        with a lease **expired beyond the skew margin** (its previous
+        worker is presumed dead; the reclaim increments ``attempts``).
+        Chunks past :data:`MAX_ATTEMPTS` are marked ``failed`` instead
+        of being handed out again.
+
+        The expiry comparison and the new deadline stamp share one
+        :meth:`_now` reading from this connection, and every claim
+        attempt — fruitful or not — refreshes this worker's liveness
+        heartbeat in the ``workers`` table.
         """
-        now = time.time()
 
         def txn() -> Optional[ClaimedChunk]:
+            now = self._now()
+            self._heartbeat_worker(worker_id, campaign_id, now)
             clauses = (
                 "(status = 'pending' OR"
                 " (status = 'claimed' AND lease_expires < ?))"
             )
-            params: List = [now]
+            params: List = [now - self.skew_margin]
             if campaign_id is not None:
                 clauses += " AND campaign_id = ?"
                 params.append(campaign_id)
@@ -346,20 +473,30 @@ class WorkQueue:
         Returns ``False`` when the chunk is no longer held by
         *worker_id* — its lease expired and someone else reclaimed it —
         so a slow worker learns it has been presumed dead.
+
+        Renewal is **monotone**: the deadline only moves forward.  A
+        renewing host whose clock runs behind the claim-time stamp
+        must not *shorten* a lease it just confirmed alive — that is
+        exactly the skew that gets a live worker's chunk reclaimed
+        early.
         """
 
         def txn() -> bool:
+            now = self._now()
             cursor = self._conn.execute(
-                "UPDATE chunks SET lease_expires = ?"
+                "UPDATE chunks SET lease_expires ="
+                " MAX(COALESCE(lease_expires, 0), ?)"
                 " WHERE campaign_id = ? AND chunk_index = ?"
                 " AND worker_id = ? AND status = 'claimed'",
                 (
-                    time.time() + lease_seconds,
+                    now + lease_seconds,
                     campaign_id,
                     chunk_index,
                     worker_id,
                 ),
             )
+            if cursor.rowcount > 0:
+                self._heartbeat_worker(worker_id, None, now, pin=False)
             return cursor.rowcount > 0
 
         return self._write(txn)
@@ -390,7 +527,7 @@ class WorkQueue:
                     " lease_expires = NULL WHERE campaign_id = ?"
                     " AND chunk_index = ? AND worker_id = ?"
                     " AND status = 'claimed'",
-                    (time.time(), campaign_id, chunk_index, worker_id),
+                    (self._now(), campaign_id, chunk_index, worker_id),
                 )
             else:
                 cursor = self._conn.execute(
@@ -477,16 +614,199 @@ class WorkQueue:
         return tally.remaining == 0
 
     def claimable(self, campaign_id: Optional[str] = None) -> int:
-        """Chunks a worker could claim right now (incl. expired leases)."""
+        """Chunks a worker could claim right now (incl. expired leases).
+
+        Uses the same connection-clock-plus-skew-margin condition as
+        :meth:`claim`, so "claimable" here never disagrees with what a
+        claim on this handle would actually take.
+        """
         query = (
             "SELECT COUNT(*) FROM chunks WHERE (status = 'pending' OR"
             " (status = 'claimed' AND lease_expires < ?))"
         )
-        params: List = [time.time()]
+        params: List = [self._now() - self.skew_margin]
         if campaign_id is not None:
             query += " AND campaign_id = ?"
             params.append(campaign_id)
         return self._conn.execute(query, params).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Worker liveness
+    # ------------------------------------------------------------------
+    def _heartbeat_worker(
+        self,
+        worker_id: str,
+        campaign_id: Optional[str],
+        now: float,
+        pin: bool = True,
+    ) -> None:
+        """Upsert one worker's liveness row (inside a write txn).
+
+        ``pin=True`` (the claim path) records the worker's campaign
+        scope too; ``pin=False`` (lease renewals, possibly from a
+        different connection than the claiming loop) only refreshes
+        the heartbeat.  Upserts are throttled per handle: a recent
+        enough row (within :data:`_HEARTBEAT_REFRESH`) is left alone,
+        so tight idle polling costs no writes.
+        """
+        key = (worker_id, campaign_id if pin else None)
+        last = self._heartbeats.get(key)
+        if last is not None and 0 <= now - last < _HEARTBEAT_REFRESH:
+            return
+        self._heartbeats[key] = now
+        if pin:
+            self._conn.execute(
+                "INSERT INTO workers (worker_id, campaign_id,"
+                " started_at, heartbeat) VALUES (?, ?, ?, ?)"
+                " ON CONFLICT(worker_id) DO UPDATE SET"
+                " heartbeat = excluded.heartbeat,"
+                " campaign_id = excluded.campaign_id",
+                (worker_id, campaign_id, now, now),
+            )
+        else:
+            self._conn.execute(
+                "INSERT INTO workers (worker_id, campaign_id,"
+                " started_at, heartbeat) VALUES (?, NULL, ?, ?)"
+                " ON CONFLICT(worker_id) DO UPDATE SET"
+                " heartbeat = excluded.heartbeat",
+                (worker_id, now, now),
+            )
+
+    def live_workers(
+        self,
+        campaign_id: Optional[str] = None,
+        ttl: float = DEFAULT_WORKER_TTL,
+    ) -> List[WorkerInfo]:
+        """Workers whose heartbeat is fresher than *ttl* seconds.
+
+        With *campaign_id*, only workers that could serve that
+        campaign count: unpinned workers and workers pinned to it —
+        a fleet pinned to some *other* campaign is not going to drain
+        ours, however alive it is.
+        """
+        query = "SELECT * FROM workers WHERE heartbeat >= ?"
+        params: List = [self._now() - ttl]
+        if campaign_id is not None:
+            query += " AND (campaign_id IS NULL OR campaign_id = ?)"
+            params.append(campaign_id)
+        return [
+            WorkerInfo(
+                worker_id=row["worker_id"],
+                campaign_id=row["campaign_id"],
+                started_at=row["started_at"],
+                heartbeat=row["heartbeat"],
+            )
+            for row in self._conn.execute(query, params)
+        ]
+
+    def deregister_worker(self, worker_id: str) -> None:
+        """Drop one worker's liveness row (clean exit)."""
+        self._heartbeats = {
+            key: stamp
+            for key, stamp in self._heartbeats.items()
+            if key[0] != worker_id
+        }
+        self._write(
+            lambda: self._conn.execute(
+                "DELETE FROM workers WHERE worker_id = ?", (worker_id,)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        campaign_id: Optional[str] = None,
+        max_age: Optional[float] = None,
+        dry_run: bool = False,
+        worker_ttl: float = 300.0,
+    ) -> GcReport:
+        """Drop finished work: done/failed chunks and orphaned job rows.
+
+        A campaign is *eligible* when it has no actionable chunks left
+        (nothing pending, nothing claimed — drained or terminally
+        failed), or when *max_age* is given and its job row is older
+        than that many seconds (aged out, whatever its state).  For
+        eligible campaigns the ``done``/``failed`` chunk rows are
+        deleted — their payloads are the bulk of the file — and job
+        rows left without any chunks are deleted too.  Pending and
+        claimed chunks always survive: GC never cancels work.
+
+        Worker liveness rows whose heartbeat is older than
+        *worker_ttl* seconds are dropped as well (dead fleets).
+
+        ``dry_run=True`` reports what would be dropped without
+        touching anything.  Returns a :class:`GcReport` either way.
+        """
+        now = self._now()
+        job_rows = self._conn.execute(
+            "SELECT campaign_id, submitted_at FROM jobs"
+            + (" WHERE campaign_id = ?" if campaign_id is not None else ""),
+            (campaign_id,) if campaign_id is not None else (),
+        ).fetchall()
+        tallies = self.counts(campaign_id)
+
+        eligible: List[str] = []
+        droppable_jobs: List[str] = []
+        done_chunks = failed_chunks = 0
+        for row in job_rows:
+            tally = tallies.get(row["campaign_id"], ChunkCounts())
+            drained = tally.pending == 0 and tally.claimed == 0
+            aged_out = False
+            if max_age is not None:
+                try:
+                    submitted = datetime.fromisoformat(
+                        row["submitted_at"]
+                    ).timestamp()
+                except ValueError:
+                    submitted = None
+                if submitted is not None:
+                    aged_out = now - submitted > max_age
+            if not (drained or aged_out):
+                continue
+            eligible.append(row["campaign_id"])
+            done_chunks += tally.done
+            failed_chunks += tally.failed
+            # Deleting the done/failed chunks leaves the job orphaned
+            # exactly when it had no pending/claimed chunks.
+            if drained:
+                droppable_jobs.append(row["campaign_id"])
+
+        stale_cutoff = now - worker_ttl
+        stale_workers = self._conn.execute(
+            "SELECT COUNT(*) FROM workers WHERE heartbeat < ?",
+            (stale_cutoff,),
+        ).fetchone()[0]
+
+        report = GcReport(
+            dry_run=dry_run,
+            campaigns=tuple(eligible),
+            done_chunks=done_chunks,
+            failed_chunks=failed_chunks,
+            jobs=len(droppable_jobs),
+            stale_workers=stale_workers,
+        )
+        if dry_run or not (eligible or stale_workers):
+            return report
+
+        def txn() -> None:
+            for cid in eligible:
+                self._conn.execute(
+                    "DELETE FROM chunks WHERE campaign_id = ?"
+                    " AND status IN ('done', 'failed')",
+                    (cid,),
+                )
+            for cid in droppable_jobs:
+                self._conn.execute(
+                    "DELETE FROM jobs WHERE campaign_id = ?", (cid,)
+                )
+            self._conn.execute(
+                "DELETE FROM workers WHERE heartbeat < ?", (stale_cutoff,)
+            )
+
+        self._write(txn)
+        return report
 
     @staticmethod
     def _job(row: sqlite3.Row) -> JobInfo:

@@ -18,9 +18,14 @@ A worker is one process's share of a distributed campaign.  Its loop:
    harmless — then mark the chunk done.
 
 While a chunk simulates, a background heartbeat thread renews its lease
-so long-running chunks on a live worker are not reclaimed; if the
-heartbeat ever loses the lease (the queue presumed us dead), the
-results still land safely (dedup) and the done-mark is simply refused.
+so long-running chunks on a live worker are not reclaimed.  If the
+lease is ever lost (the queue presumed us dead and a rival reclaimed
+the chunk), the worker **abandons** the in-flight result instead of
+draining it: the rival owns the chunk now, and a zombie writing records
+and timing after losing its lease is exactly the split-brain write the
+lease exists to prevent.  The renew verdict is consulted twice — the
+heartbeat's last answer, plus one authoritative renew immediately
+before the drain (the heartbeat only samples every ``lease/3``).
 """
 
 from __future__ import annotations
@@ -36,6 +41,8 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.distributed.queue import (
+    DEFAULT_SKEW_MARGIN,
+    DEFAULT_WORKER_TTL,
     ClaimedChunk,
     JobInfo,
     WorkQueue,
@@ -53,6 +60,9 @@ class WorkerStats:
     worker_id: str = ""
     chunks_done: int = 0
     chunks_failed: int = 0
+    #: Chunks whose lease was lost mid-simulation: the result was
+    #: abandoned (a rival owns the chunk), nothing was written.
+    chunks_lost: int = 0
     records_written: int = 0
     records_deduped: int = 0
     wall_time: float = 0.0
@@ -62,7 +72,7 @@ class WorkerStats:
         """One line for logs and the CLI."""
         return (
             f"worker {self.worker_id}: {self.chunks_done} chunks done"
-            f" ({self.chunks_failed} failed), "
+            f" ({self.chunks_failed} failed, {self.chunks_lost} lost), "
             f"{self.records_written} records written"
             f" ({self.records_deduped} deduped), "
             f"{self.backends_built} backend build(s), "
@@ -88,7 +98,14 @@ class _LeaseHeartbeat(threading.Thread):
         self._queue_path = queue_path
         self._chunk = chunk
         self._lease_seconds = lease_seconds
-        self._interval = max(lease_seconds / 3.0, 0.02)
+        # A third of the lease, but never slower than a third of the
+        # liveness TTL: renewals also refresh the workers-table
+        # heartbeat, and a worker busy simulating a long chunk must
+        # keep reading as *live* — otherwise coordinators would spin
+        # up fallback workers against a perfectly healthy fleet.
+        self._interval = max(
+            min(lease_seconds / 3.0, DEFAULT_WORKER_TTL / 3.0), 0.02
+        )
         self._stop_event = threading.Event()
         self.lost = False
 
@@ -134,6 +151,12 @@ class Worker:
         :class:`~repro.distributed.DistributedExecutor` uses so its
         fleet neither executes unrelated queued work nor blocks on
         another campaign's leases.
+    skew_margin:
+        Extra seconds beyond a lease's stamped expiry before this
+        worker reclaims it (see
+        :data:`~repro.distributed.queue.DEFAULT_SKEW_MARGIN`); set it
+        to a bound on cross-host clock skew when the queue file spans
+        machines.
     """
 
     def __init__(
@@ -143,12 +166,14 @@ class Worker:
         lease_seconds: float = 60.0,
         poll_interval: float = 0.2,
         campaign_id: Optional[str] = None,
+        skew_margin: float = DEFAULT_SKEW_MARGIN,
     ):
         self.queue_path = str(queue_path)
         self.worker_id = worker_id or default_worker_id()
         self.lease_seconds = lease_seconds
         self.poll_interval = poll_interval
         self.campaign_id = campaign_id
+        self.skew_margin = skew_margin
         # Backends are rebuilt at most once per distinct submitted
         # spec; every chunk of a campaign (and any campaign sharing
         # the spec) reuses the same instance.  Job rows (which carry
@@ -183,27 +208,39 @@ class Worker:
         start = time.perf_counter()
         idle_since: Optional[float] = None
         try:
-            with WorkQueue(self.queue_path) as queue:
-                while max_chunks is None or stats.chunks_done < max_chunks:
-                    chunk = queue.claim(
-                        self.worker_id,
-                        self.lease_seconds,
-                        campaign_id=self.campaign_id,
-                    )
-                    if chunk is None:
-                        now = time.time()
-                        idle_since = idle_since or now
-                        if (
-                            idle_timeout is not None
-                            and now - idle_since >= idle_timeout
-                        ):
-                            break
-                        if not forever and self._queue_drained(queue):
-                            break
-                        time.sleep(self.poll_interval)
-                        continue
-                    idle_since = None
-                    self._execute(queue, chunk, stats)
+            with WorkQueue(
+                self.queue_path, skew_margin=self.skew_margin
+            ) as queue:
+                try:
+                    while (
+                        max_chunks is None or stats.chunks_done < max_chunks
+                    ):
+                        chunk = queue.claim(
+                            self.worker_id,
+                            self.lease_seconds,
+                            campaign_id=self.campaign_id,
+                        )
+                        if chunk is None:
+                            now = time.time()
+                            idle_since = idle_since or now
+                            if (
+                                idle_timeout is not None
+                                and now - idle_since >= idle_timeout
+                            ):
+                                break
+                            if not forever and self._queue_drained(queue):
+                                break
+                            time.sleep(self.poll_interval)
+                            continue
+                        idle_since = None
+                        self._execute(queue, chunk, stats)
+                finally:
+                    # Clean exit: drop the liveness row, so a finished
+                    # worker is not counted as a live fleet member.
+                    try:
+                        queue.deregister_worker(self.worker_id)
+                    except Exception:
+                        pass
         finally:
             for store in self._stores.values():
                 store.close()
@@ -246,6 +283,15 @@ class Worker:
             names = {index: name for index, name, _, _ in items}
             work = [(index, params, seed) for index, _, params, seed in items]
             outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            if not self._still_held(queue, chunk, heartbeat):
+                # The lease was lost while simulating: a rival owns the
+                # chunk (and may already have finished it).  Abandon
+                # the in-flight result — writing records or timing now
+                # would be a zombie racing the legitimate owner.
+                if heartbeat is not None:
+                    heartbeat.stop()
+                stats.chunks_lost += 1
+                return
             store = self._store_for(job.store_path)
             for (index, params, _), (_, result) in zip(work, outcomes):
                 record = RunRecord(
@@ -287,13 +333,39 @@ class Worker:
             return
         if heartbeat is not None:
             heartbeat.stop()
-        # If the lease was lost mid-chunk the release is refused and
-        # another worker re-executes; the store already dedups every
-        # record, so the duplicate delivery is harmless.
+        # A lease lost between the pre-drain check and here still
+        # cannot corrupt anything: the release is worker-id guarded
+        # and refused, and the drained records dedup in the store.
         if queue.release(
             chunk.campaign_id, chunk.chunk_index, self.worker_id, done=True
         ):
             stats.chunks_done += 1
+
+    def _still_held(
+        self,
+        queue: WorkQueue,
+        chunk: ClaimedChunk,
+        heartbeat: Optional[_LeaseHeartbeat],
+    ) -> bool:
+        """Whether this worker still owns *chunk* at drain time.
+
+        Consults the heartbeat's verdict first, then performs one
+        authoritative renew on the main connection: the heartbeat only
+        samples every ``lease/3``, so a lease reclaimed since its last
+        beat would otherwise go unnoticed exactly when it matters.
+        In-memory queues run without a heartbeat (no rival process can
+        reach them) and skip the check.
+        """
+        if heartbeat is None:
+            return True
+        if heartbeat.lost:
+            return False
+        return queue.renew(
+            chunk.campaign_id,
+            chunk.chunk_index,
+            self.worker_id,
+            self.lease_seconds,
+        )
 
     def _job_for(self, queue: WorkQueue, campaign_id: str) -> JobInfo:
         """The job row for a campaign, fetched once per campaign.

@@ -13,10 +13,16 @@ for speed; dedicated tests keep them equivalent.
 This module puts all of them behind one :class:`SimulationBackend`
 interface so every consumer — campaigns, GA fitness, Monte-Carlo
 estimation, the CLI — selects the trade-off with a single string
-(``"agent"``, ``"vectorized"`` or ``"vectorized-batch"``) instead of
-importing a different class.  New backends (e.g. a future multi-host
-dispatcher) register under their own key and become available
-everywhere at once.
+(``"agent"``, ``"vectorized"``, ``"vectorized-batch"`` or
+``"distributed"``) instead of importing a different class.  New
+backends register under their own key and become available everywhere
+at once.  The ``"distributed"`` key is the multi-host dispatcher: a
+:class:`~repro.distributed.backend.DistributedBackend` (registered
+lazily, so importing this module stays cheap) that carries a shared
+work-queue path, a result-store path and a fleet policy, and makes
+``Campaign.run(backend="distributed")`` execute on an already-running
+external worker fleet — with an automatic in-process fallback worker
+when no fleet is alive.
 
 :class:`BackendSpec` is the picklable description of a backend —
 registry key, table bytes/path, config, equipage — that campaign
@@ -107,15 +113,33 @@ def make_backend(
     config: EncounterSimConfig | None = None,
     equipage: str = "both",
     coordination: bool = True,
+    **options,
 ) -> SimulationBackend:
-    """Resolve *spec* (a registry key or a ready backend) to a backend."""
+    """Resolve *spec* (a registry key or a ready backend) to a backend.
+
+    Extra keyword *options* are forwarded to the backend factory —
+    the channel backend-specific settings travel through (e.g. the
+    ``"distributed"`` backend's ``queue=``/``store=`` paths and fleet
+    policy, which :class:`~repro.experiments.Campaign` exposes as
+    ``backend_options=``).
+    """
     if not isinstance(spec, str):
+        if options:
+            raise TypeError(
+                "backend options only apply when the backend is "
+                "constructed from a registry key, not to a ready "
+                f"instance of {type(spec).__name__}"
+            )
         return spec
     if spec not in _REGISTRY:
         known = ", ".join(available_backends())
         raise ValueError(f"unknown backend {spec!r} (available: {known})")
     return _REGISTRY[spec](
-        table=table, config=config, equipage=equipage, coordination=coordination
+        table=table,
+        config=config,
+        equipage=equipage,
+        coordination=coordination,
+        **options,
     )
 
 
@@ -274,6 +298,20 @@ class VectorizedBatchBackend(VectorizedBackend):
         return self._simulator.run_many(params_list, num_runs, rngs)
 
 
+@register_backend("distributed")
+def _distributed_factory(**kwargs) -> SimulationBackend:
+    """Factory for the ``"distributed"`` key (lazy import).
+
+    The fleet backend lives in :mod:`repro.distributed.backend` —
+    importing it pulls in the whole coordinator stack, so the registry
+    holds this thin factory instead of the class and defers the import
+    to first construction.
+    """
+    from repro.distributed.backend import DistributedBackend
+
+    return DistributedBackend(**kwargs)
+
+
 @dataclass(frozen=True)
 class BackendSpec:
     """A small picklable description of a backend, for worker processes.
@@ -284,6 +322,11 @@ class BackendSpec:
     it from), and the plain-dataclass config/equipage settings; each
     worker rebuilds its backend **once** from the spec at pool
     initialization and reuses it for every task it executes.
+
+    A spec for the ``"distributed"`` backend additionally carries the
+    shared queue/store paths, the inner simulation backend key its
+    workers execute, and the fleet policy — everything needed to
+    rebuild the fleet-facing backend in another process.
     """
 
     backend: str
@@ -292,15 +335,30 @@ class BackendSpec:
     config: Optional[EncounterSimConfig] = None
     table_bytes: Optional[bytes] = None
     table_path: Optional[str] = None
+    #: ``"distributed"`` only: shared work-queue / result-store paths.
+    queue_path: Optional[str] = None
+    store_path: Optional[str] = None
+    #: ``"distributed"`` only: the simulation backend key the fleet's
+    #: workers actually execute.
+    inner: Optional[str] = None
+    #: ``"distributed"`` only: fleet policy keyword arguments
+    #: (``lease_seconds``, ``poll_interval``, ``fallback``, ...).
+    fleet: Optional[Dict[str, object]] = None
 
     @classmethod
     def capture(cls, backend: SimulationBackend) -> "BackendSpec":
         """Describe a registry-built backend so workers can rebuild it.
 
-        Raises ``TypeError`` for backend instances that did not come
-        from the registry (no ``name``/``table``/``config`` surface) —
-        callers fall back to pickling the instance itself.
+        Backends that know their own wire format (the distributed
+        backend, whose spec must carry queue/store/fleet settings)
+        provide ``capture_spec()`` and are deferred to.  Raises
+        ``TypeError`` for backend instances that did not come from the
+        registry (no ``name``/``table``/``config`` surface) — callers
+        fall back to pickling the instance itself.
         """
+        custom = getattr(backend, "capture_spec", None)
+        if custom is not None:
+            return custom()
         name = getattr(backend, "name", None)
         if name not in _REGISTRY:
             raise TypeError(
@@ -334,10 +392,20 @@ class BackendSpec:
             table = LogicTable.from_bytes(self.table_bytes)
         else:
             table = None
+        options: Dict[str, object] = {}
+        if self.queue_path is not None:
+            options["queue"] = self.queue_path
+        if self.store_path is not None:
+            options["store"] = self.store_path
+        if self.inner is not None:
+            options["inner"] = self.inner
+        if self.fleet:
+            options.update(self.fleet)
         return make_backend(
             self.backend,
             table=table,
             config=self.config,
             equipage=self.equipage,
             coordination=self.coordination,
+            **options,
         )

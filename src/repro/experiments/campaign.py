@@ -373,6 +373,12 @@ class Campaign:
         Stochastic simulation runs per scenario (the paper uses 100).
     sim_config:
         Simulation configuration shared by every run.
+    backend_options:
+        Extra keyword arguments for the backend factory — how
+        backend-specific settings travel through the registry.  The
+        ``"distributed"`` backend takes its ``queue``/``store`` paths
+        and fleet policy here (``backend="distributed",
+        backend_options={"queue": "q.sqlite", "store": "s.sqlite"}``).
     """
 
     def __init__(
@@ -384,6 +390,7 @@ class Campaign:
         coordination: bool = True,
         runs_per_scenario: int = 100,
         sim_config: EncounterSimConfig | None = None,
+        backend_options: Optional[Dict[str, object]] = None,
     ):
         if runs_per_scenario < 1:
             raise ValueError("runs_per_scenario must be >= 1")
@@ -394,8 +401,14 @@ class Campaign:
             config=sim_config,
             equipage=equipage,
             coordination=coordination,
+            **(backend_options or {}),
         )
-        self.backend_name = (
+        # Provenance-transparent backends (the fleet dispatcher) name
+        # the backend that determines the output bits, so a distributed
+        # campaign shares identity with its in-process twin.
+        self.backend_name = getattr(
+            self.backend, "provenance_name", None
+        ) or (
             backend if isinstance(backend, str)
             else getattr(backend, "name", type(backend).__name__)
         )
@@ -448,11 +461,25 @@ class Campaign:
             here too: the campaign then executes on its worker fleet
             (``workers`` is ignored; the fleet is the parallelism) and
             the records stream from the collected result.
+
+        Like the executor seam, a campaign built with
+        ``backend="distributed"`` executes on its fleet and iterates
+        the *collected* result — the full campaign completes (and is
+        held in memory) before the first record is yielded.  For
+        bounded-memory streaming of very large campaigns, use an
+        in-process backend.
         """
         if hasattr(store, "run_campaign"):  # DistributedExecutor seam
             return iter(
                 store.run_campaign(self, seed=seed, chunk_size=chunk_size)
                 .records
+            )
+        if hasattr(self.backend, "run_campaign"):  # "distributed" backend
+            self._check_backend_store(store)
+            return iter(
+                self.backend.run_campaign(
+                    self, seed=seed, chunk_size=chunk_size
+                ).records
             )
         root = as_seed_sequence(seed)
         seed_fp = None if store is None else _fingerprint_of(root)
@@ -658,6 +685,15 @@ class Campaign:
         """
         if hasattr(store, "run_campaign"):  # DistributedExecutor seam
             return store.run_campaign(self, seed=seed, chunk_size=chunk_size)
+        if hasattr(self.backend, "run_campaign"):  # "distributed" backend
+            # A fleet-native backend owns the whole submit → await →
+            # collect cycle (its queue/store paths and fleet policy
+            # were fixed at construction); workers= is ignored — the
+            # external fleet is the parallelism.
+            self._check_backend_store(store)
+            return self.backend.run_campaign(
+                self, seed=seed, chunk_size=chunk_size
+            )
         start = time.perf_counter()
         root = as_seed_sequence(seed)
         seed_fp = None if store is None else _fingerprint_of(root)
@@ -703,12 +739,33 @@ class Campaign:
         )
 
 
+    def _check_backend_store(self, store) -> None:
+        """Reject a ``store=`` that conflicts with a fleet backend.
+
+        A fleet-native backend binds its own result store; a plain
+        :class:`~repro.store.ResultStore` pointed at the *same* file is
+        harmless (the results land there regardless), but a different
+        path would silently split the campaign across two stores.
+        """
+        if store is None:
+            return
+        path = getattr(store, "path", None)
+        if path is not None and path != ":memory:" and (
+            os.path.abspath(path) == self.backend.store_path
+        ):
+            return
+        raise ValueError(
+            "backend='distributed' already binds its result store "
+            f"({self.backend.store_path}); drop store= or point it at "
+            "the same path"
+        )
+
     def submit(
         self,
         seed: SeedLike = None,
         *,
-        queue,
-        store,
+        queue=None,
+        store=None,
         chunk_size: Optional[int] = None,
         metadata: Optional[Dict[str, object]] = None,
     ):
@@ -725,9 +782,22 @@ class Campaign:
         identical to :meth:`run` with the same seed.  Scenarios *store*
         already holds are not enqueued, so re-submitting a completed
         campaign performs zero new simulations.
+
+        With ``backend="distributed"`` the queue and store default to
+        the backend's own paths, so ``campaign.submit(seed)`` alone
+        enqueues onto the fleet the campaign would run on.
         """
         from repro.distributed import submit as submit_distributed
 
+        if queue is None:
+            queue = getattr(self.backend, "queue_path", None)
+        if store is None:
+            store = getattr(self.backend, "store_path", None)
+        if queue is None or store is None:
+            raise TypeError(
+                "submit() needs queue= and store= paths (only the "
+                "'distributed' backend supplies defaults)"
+            )
         return submit_distributed(
             self,
             seed,

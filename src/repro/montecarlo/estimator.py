@@ -98,7 +98,12 @@ class MonteCarloEstimator:
     runs_per_encounter:
         Stochastic runs per encounter per equipage arm.
     backend:
-        Simulation backend registry key shared by both arms.
+        Simulation backend registry key shared by both arms
+        (``"distributed"`` submits both arms to a worker fleet; pass
+        the queue/store paths via *backend_options*).
+    backend_options:
+        Extra factory options forwarded to each arm's backend (see
+        :class:`~repro.experiments.Campaign`).
     workers:
         Process-parallel fan-out of each arm's campaign (1 = serial;
         the estimate is identical either way).
@@ -119,6 +124,7 @@ class MonteCarloEstimator:
         backend: str = "vectorized-batch",
         workers: int = 1,
         store: Optional["ResultStore"] = None,
+        backend_options: Optional[dict] = None,
     ):
         if runs_per_encounter < 1:
             raise ValueError("runs_per_encounter must be >= 1")
@@ -129,6 +135,7 @@ class MonteCarloEstimator:
         self.sim_config = sim_config or EncounterSimConfig()
         self.runs_per_encounter = runs_per_encounter
         self.backend = backend
+        self.backend_options = backend_options
         self.workers = workers
         self.store = store
 
@@ -152,6 +159,7 @@ class MonteCarloEstimator:
                 equipage=equipage,
                 runs_per_scenario=self.runs_per_encounter,
                 sim_config=self.sim_config,
+                backend_options=self.backend_options,
             )
             return campaign.run(
                 seed=rng, workers=self.workers, store=self.store

@@ -78,6 +78,11 @@ class EncounterFitness:
     backend:
         Simulation backend registry key (or a ready backend instance);
         see :func:`repro.experiments.available_backends`.
+        ``"distributed"`` evaluates every generation's campaign on a
+        worker fleet — pass queue/store paths via *backend_options*.
+    backend_options:
+        Extra factory options forwarded to the backend (see
+        :class:`~repro.experiments.Campaign`).
     store:
         Optional :class:`~repro.store.ResultStore` the evaluation
         campaigns log through — every generation's population campaign
@@ -95,6 +100,7 @@ class EncounterFitness:
         seed: SeedLike = None,
         backend: Union[str, SimulationBackend] = "vectorized-batch",
         store: Optional["ResultStore"] = None,
+        backend_options: Optional[dict] = None,
     ):
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")
@@ -107,6 +113,7 @@ class EncounterFitness:
         self.backend = make_backend(
             backend, table=table, config=self.config,
             equipage=equipage, coordination=coordination,
+            **(backend_options or {}),
         )
         self.num_runs = num_runs
         self.store = store
@@ -233,8 +240,15 @@ class FalseAlarmFitness:
         config = config or EncounterSimConfig()
         # The two arms need different equipage, so a ready backend
         # instance cannot serve both: resolve its registry key and
-        # construct each arm from that.
-        key = backend if isinstance(backend, str) else backend.name
+        # construct each arm from that.  A fleet backend instance
+        # resolves to its *inner* simulation key (provenance_name) —
+        # per-genome two-arm evaluations are driven through direct
+        # simulate() calls, which execute in-process anyway.
+        key = (
+            backend
+            if isinstance(backend, str)
+            else getattr(backend, "provenance_name", backend.name)
+        )
         self._equipped = make_backend(
             key, table=table, config=config, equipage="both"
         )

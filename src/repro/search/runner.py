@@ -81,7 +81,12 @@ class SearchRunner:
     backend:
         Simulation backend registry key for the fitness campaigns
         (``"vectorized-batch"`` default — each GA generation simulates
-        as megabatch chunks — ``"agent"`` for the faithful engine).
+        as megabatch chunks — ``"agent"`` for the faithful engine,
+        ``"distributed"`` to evaluate generations on a worker fleet).
+    backend_options:
+        Extra factory options forwarded to the fitness backend (the
+        ``"distributed"`` backend's queue/store paths and fleet
+        policy).
     equipage / coordination:
         Equipage of the simulated encounters.
     store:
@@ -101,6 +106,7 @@ class SearchRunner:
         equipage: str = "both",
         coordination: bool = True,
         store: Optional["ResultStore"] = None,
+        backend_options: Optional[dict] = None,
     ):
         self.table = table
         self.ranges = ranges or ParameterRanges()
@@ -108,6 +114,7 @@ class SearchRunner:
         self.sim_config = sim_config or EncounterSimConfig()
         self.num_runs = num_runs
         self.backend = backend
+        self.backend_options = backend_options
         self.equipage = equipage
         self.coordination = coordination
         self.store = store
@@ -126,6 +133,7 @@ class SearchRunner:
             seed=rng,
             backend=self.backend,
             store=self.store,
+            backend_options=self.backend_options,
         )
         ga = GeneticAlgorithm(self.ranges, self.ga_config)
 

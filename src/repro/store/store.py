@@ -101,6 +101,32 @@ def _entropy_from_text(text: Optional[str]) -> Optional[int]:
     return None if text in (None, "") else int(text)
 
 
+#: Token sequences that turn a filter expression into something other
+#: than one expression: statement separators and SQL comments (which
+#: can hide a separator from a human reviewer).
+_FORBIDDEN_FILTER_TOKENS = (";", "--", "/*", "*/")
+
+
+def _validate_filter(where: str) -> str:
+    """Vet a user-supplied SQL filter expression.
+
+    ``records(where=...)`` / ``campaigns(where=...)`` interpolate the
+    filter into the query text by design (it is an expression over the
+    row columns, with ``?`` placeholders for values), so reject the
+    constructs that would let a "filter" smuggle in additional
+    statements: separators and comment sequences.  Values must travel
+    through *params*, never through the expression.
+    """
+    for token in _FORBIDDEN_FILTER_TOKENS:
+        if token in where:
+            raise ValueError(
+                f"invalid filter {where!r}: {token!r} is not allowed "
+                "(filters must be a single SQL expression; pass values "
+                "via ? placeholders and params)"
+            )
+    return where
+
+
 @dataclass(frozen=True)
 class CampaignInfo:
     """One ``campaigns`` row, plus how many records it has so far."""
@@ -435,12 +461,10 @@ class ResultStore:
             " FROM campaigns c"
         )
         if where:
-            query += f" WHERE {where}"
+            query += f" WHERE {_validate_filter(where)}"
         query += " ORDER BY c.created_at DESC, c.campaign_id"
-        return [
-            self._info(row)
-            for row in self._conn.execute(query, tuple(params))
-        ]
+        rows = self._execute_filtered(query, tuple(params), where)
+        return [self._info(row) for row in rows]
 
     def get_campaign(self, campaign_id: str) -> CampaignInfo:
         """One campaign's info (accepts abbreviated ids)."""
@@ -467,17 +491,37 @@ class ResultStore:
             clauses.append("campaign_id = ?")
             values.append(self.resolve(campaign_id))
         if where:
-            clauses.append(f"({where})")
+            clauses.append(f"({_validate_filter(where)})")
             values.extend(params)
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY campaign_id, scenario_index"
+        rows = self._execute_filtered(query, tuple(values), where)
         return [
             StoredRecord(
                 campaign_id=row["campaign_id"], record=self._record(row)
             )
-            for row in self._conn.execute(query, tuple(values))
+            for row in rows
         ]
+
+    def _execute_filtered(
+        self, query: str, values: tuple, where: Optional[str]
+    ):
+        """Execute a query carrying a user filter; fail with a clean error.
+
+        A malformed filter (bad column, syntax error, wrong placeholder
+        count) surfaces as a one-line ``ValueError`` naming the filter,
+        not a sqlite traceback — the CLI passes it straight through to
+        the user.
+        """
+        try:
+            return self._conn.execute(query, values).fetchall()
+        except (sqlite3.OperationalError, sqlite3.ProgrammingError) as error:
+            if where is None:
+                raise
+            raise ValueError(
+                f"malformed filter {where!r}: {error}"
+            ) from None
 
     def get_record(
         self, campaign_id: str, scenario_index: int

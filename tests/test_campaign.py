@@ -166,9 +166,17 @@ class TestBackendRegistry:
         fitness(head_on_encounter().as_array())
         assert fitness.backend is first
 
-    def test_backends_simulate_same_shape(self, test_table):
+    def test_backends_simulate_same_shape(self, test_table, tmp_path):
         for name in available_backends():
-            backend = make_backend(name, table=test_table)
+            # The fleet backend needs its queue/store paths; direct
+            # simulate() calls on it execute in-process regardless.
+            options = (
+                {"queue": str(tmp_path / "q.sqlite"),
+                 "store": str(tmp_path / "s.sqlite")}
+                if name == "distributed"
+                else {}
+            )
+            backend = make_backend(name, table=test_table, **options)
             result = backend.simulate(head_on_encounter(), 3, seed=0)
             assert result.num_runs == 3
             assert result.min_separation.shape == (3,)

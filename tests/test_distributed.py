@@ -42,13 +42,26 @@ RUN_FIELDS = (
 )
 
 
-def make_campaign(scenarios: int = SCENARIOS) -> Campaign:
+def make_campaign(scenarios: int = SCENARIOS, **kwargs) -> Campaign:
     """A tiny unequipped campaign (no logic table: fast to simulate)."""
     return Campaign(
         SampledSource(StatisticalEncounterModel(), scenarios),
         equipage="none",
         runs_per_scenario=RUNS,
+        **kwargs,
     )
+
+
+def fleet_options(queue_path, store_path, **extra) -> dict:
+    """backend_options for a fast test-sized "distributed" backend."""
+    options = {
+        "queue": str(queue_path),
+        "store": str(store_path),
+        "poll_interval": 0.02,
+        "lease_seconds": 10.0,
+    }
+    options.update(extra)
+    return options
 
 
 def assert_bitwise_equal(a, b):
@@ -587,3 +600,778 @@ class TestDistributedCli:
         lines = out_csv.read_text().strip().splitlines()
         assert lines[0].startswith("campaign_id,index,name,num_runs")
         assert len(lines) == 5
+
+
+# ----------------------------------------------------------------------
+# Clock skew: one time authority per decision + reclaim margin
+# ----------------------------------------------------------------------
+class TestClockSkew:
+    """Lease decisions on a multi-host queue must survive clock skew.
+
+    Each ``WorkQueue`` handle gets an injected clock simulating one
+    host; the skew margin and the monotone-renew rule are what keep a
+    live worker's chunk from being reclaimed early and a renewing
+    worker from sabotaging its own lease.
+    """
+
+    BASE = 1_000_000.0
+
+    def _queue_at(self, path, offset=0.0, margin=0.0):
+        return WorkQueue(
+            path, skew_margin=margin, clock=lambda: self.BASE + offset
+        )
+
+    def _enqueue(self, queue, campaign_id="c1", chunks=1):
+        queue.submit_job(
+            campaign_id, "store.sqlite", b"spec", RUNS, chunks,
+            [f"chunk{i}".encode() for i in range(chunks)],
+        )
+
+    def test_claim_stamps_with_connection_clock(self, paths):
+        queue_path, _ = paths
+        with self._queue_at(queue_path) as queue:
+            self._enqueue(queue)
+            held = queue.claim("w1", lease_seconds=30)
+            # Comparison and stamp both came from the injected clock,
+            # not from this process's wall clock.
+            assert held.lease_expires == self.BASE + 30
+
+    def test_ahead_clock_waits_out_skew_margin(self, paths):
+        """A host running ahead must not reclaim a live lease early."""
+        queue_path, _ = paths
+        with self._queue_at(queue_path) as owner:
+            self._enqueue(owner)
+            assert owner.claim("w1", lease_seconds=30) is not None
+        # 4s past the stamped expiry, but within the 10s margin: the
+        # lease may only *look* expired because our clock runs fast.
+        with self._queue_at(queue_path, offset=34, margin=10) as ahead:
+            assert ahead.claimable() == 0
+            assert ahead.claim("w2", lease_seconds=30) is None
+        # Past expiry plus the margin: genuinely dead, reclaim.
+        with self._queue_at(queue_path, offset=41, margin=10) as later:
+            reclaimed = later.claim("w3", lease_seconds=30)
+            assert reclaimed is not None
+            assert reclaimed.attempts == 2
+            assert reclaimed.lease_expires == self.BASE + 41 + 30
+
+    def test_behind_clock_cannot_steal_live_lease(self, paths):
+        queue_path, _ = paths
+        with self._queue_at(queue_path) as owner:
+            self._enqueue(owner)
+            assert owner.claim("w1", lease_seconds=30) is not None
+        with self._queue_at(queue_path, offset=-100) as behind:
+            assert behind.claimable() == 0
+            assert behind.claim("w2", lease_seconds=30) is None
+
+    def test_renew_is_monotone_under_behind_clock(self, paths):
+        """A behind-clock heartbeat must never *shorten* its lease.
+
+        Without the MAX() in renew, a worker whose clock runs behind
+        would stamp an already-past deadline with every heartbeat —
+        handing its own live chunk to the next claimant.
+        """
+        queue_path, _ = paths
+        with self._queue_at(queue_path) as owner:
+            self._enqueue(owner)
+            assert owner.claim("w1", lease_seconds=30) is not None
+        with self._queue_at(queue_path, offset=-100) as behind:
+            # The behind host renews its own lease: accepted, but the
+            # deadline stays at BASE+30 instead of BASE-70.
+            assert behind.renew("c1", 0, "w1", lease_seconds=30)
+        with self._queue_at(queue_path, offset=25) as honest:
+            assert honest.claim("w2", lease_seconds=30) is None
+        # A renewal that genuinely extends still moves it forward.
+        with self._queue_at(queue_path, offset=10) as later:
+            assert later.renew("c1", 0, "w1", lease_seconds=30)
+            (state,) = later.chunk_states("c1")
+            assert state.lease_expires == self.BASE + 40
+
+
+# ----------------------------------------------------------------------
+# Worker liveness registry
+# ----------------------------------------------------------------------
+class TestWorkerLiveness:
+    def test_claim_attempts_register_heartbeats(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            # Even a fruitless claim on an empty queue says "alive".
+            assert queue.claim("roamer", lease_seconds=5) is None
+            assert queue.claim(
+                "pinned", lease_seconds=5, campaign_id="camp-a"
+            ) is None
+            live = {w.worker_id for w in queue.live_workers()}
+            assert live == {"roamer", "pinned"}
+            # Campaign scoping: an unpinned worker serves anyone, a
+            # pinned worker only its own campaign.
+            serves_a = {
+                w.worker_id for w in queue.live_workers("camp-a")
+            }
+            assert serves_a == {"roamer", "pinned"}
+            serves_b = {
+                w.worker_id for w in queue.live_workers("camp-b")
+            }
+            assert serves_b == {"roamer"}
+            queue.deregister_worker("roamer")
+            assert {w.worker_id for w in queue.live_workers()} == {
+                "pinned"
+            }
+
+    def test_stale_heartbeats_are_not_live(self, paths):
+        queue_path, _ = paths
+        base = 2_000_000.0
+        with WorkQueue(queue_path, clock=lambda: base) as queue:
+            queue.claim("w1", lease_seconds=5)
+        with WorkQueue(queue_path, clock=lambda: base + 100) as later:
+            assert later.live_workers(ttl=15) == []
+            assert len(later.live_workers(ttl=200)) == 1
+
+    def test_worker_run_deregisters_on_exit(self, paths):
+        queue_path, _ = paths
+        Worker(queue_path, worker_id="transient",
+               poll_interval=0.01).run()
+        with WorkQueue(queue_path) as queue:
+            assert queue.live_workers() == []
+
+
+# ----------------------------------------------------------------------
+# Lost lease: the in-flight result must be abandoned, not drained
+# ----------------------------------------------------------------------
+class TestLostLeaseAbandonsDrain:
+    def test_two_claimants_race_one_chunk(self, paths, monkeypatch):
+        """The renew verdict gates the drain path.
+
+        A slow worker simulates a chunk; while it does, a rival (a
+        host whose clock says the lease long expired) reclaims the
+        chunk, finishes it, and marks it done.  The slow worker's
+        pre-drain renew must come back "no longer held" and the worker
+        must abandon its result — writing nothing, releasing nothing.
+        """
+        import repro.distributed.worker as worker_module
+
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        run = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        assert run.chunks_enqueued == 1
+
+        real = worker_module._execute_chunk
+        stolen_by_rival = {}
+
+        def hijack(backend, num_runs, work):
+            outcomes = real(backend, num_runs, work)
+            if stolen_by_rival:
+                return outcomes
+            # While the slow worker was "simulating", a far-ahead host
+            # decides the lease expired, reclaims the chunk, executes
+            # it and completes it.
+            with WorkQueue(
+                queue_path, clock=lambda: time.time() + 3600
+            ) as rival_queue:
+                stolen = rival_queue.claim("rival", lease_seconds=7200)
+                assert stolen is not None
+                items = pickle.loads(stolen.payload)
+                with ResultStore(store_path) as store:
+                    for (index, name, params, _), (_, result) in zip(
+                        items, outcomes
+                    ):
+                        store.add_record(
+                            stolen.campaign_id,
+                            RunRecord(
+                                index=index, name=name,
+                                params=params, runs=result,
+                            ),
+                        )
+                assert rival_queue.release(
+                    stolen.campaign_id, stolen.chunk_index, "rival",
+                    done=True,
+                )
+                stolen_by_rival["chunk"] = stolen.chunk_index
+            return outcomes
+
+        monkeypatch.setattr(worker_module, "_execute_chunk", hijack)
+        stats = Worker(
+            queue_path, worker_id="slow", lease_seconds=10,
+            poll_interval=0.01,
+        ).run()
+
+        # The slow worker consulted the renew verdict and abandoned.
+        assert stats.chunks_lost == 1
+        assert stats.chunks_done == 0
+        assert stats.records_written == 0
+        assert "0 chunks done" in stats.summary()
+        assert "1 lost" in stats.summary()
+
+        final = run.wait(timeout=10, poll=0.02)
+        assert final.complete
+        assert_bitwise_equal(serial, run.collect())
+
+
+# ----------------------------------------------------------------------
+# The "distributed" backend: fleets behind the registry key
+# ----------------------------------------------------------------------
+class TestDistributedBackend:
+    def test_empty_fleet_falls_back_and_matches_serial_bitwise(
+        self, paths
+    ):
+        """Zero live workers: the run completes via the in-process
+        fallback worker instead of hanging, bit for bit."""
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        distributed = make_campaign(
+            backend="distributed",
+            backend_options=fleet_options(queue_path, store_path),
+        ).run(seed=SEED)
+        assert_bitwise_equal(serial, distributed)
+        assert distributed.metadata["distributed_fallback"] is True
+        assert distributed.metadata["distributed_workers"] == "fleet"
+        assert distributed.metadata["simulated"] == SCENARIOS
+        assert distributed.metadata["loaded"] == 0
+
+    def test_rerun_loads_everything_from_the_store(self, paths):
+        queue_path, store_path = paths
+        options = fleet_options(queue_path, store_path)
+        first = make_campaign(
+            backend="distributed", backend_options=options
+        ).run(seed=SEED)
+        rerun = make_campaign(
+            backend="distributed", backend_options=options
+        ).run(seed=SEED)
+        assert rerun.metadata["loaded"] == SCENARIOS
+        assert rerun.metadata["simulated"] == 0
+        assert rerun.metadata["distributed_fallback"] is False
+        assert_bitwise_equal(first, rerun)
+
+    def test_provenance_is_transparent(self, paths, tmp_path):
+        """A distributed campaign is *the same experiment* as its
+        in-process twin: same backend name, same content-addressed
+        campaign id (so the two resume from and dedup against each
+        other)."""
+        queue_path, store_path = paths
+        with ResultStore(tmp_path / "plain.sqlite") as plain_store:
+            plain = make_campaign().run(seed=SEED, store=plain_store)
+        distributed = make_campaign(
+            backend="distributed",
+            backend_options=fleet_options(queue_path, store_path),
+        ).run(seed=SEED)
+        assert distributed.backend == plain.backend
+        assert (
+            distributed.metadata["campaign_id"]
+            == plain.metadata["campaign_id"]
+        )
+
+    def test_iter_records_streams_the_fleet_result(self, paths):
+        queue_path, store_path = paths
+        serial = list(make_campaign().iter_records(seed=SEED))
+        streamed = list(
+            make_campaign(
+                backend="distributed",
+                backend_options=fleet_options(queue_path, store_path),
+            ).iter_records(seed=SEED)
+        )
+        assert [r.index for r in streamed] == [r.index for r in serial]
+        for ra, rb in zip(serial, streamed):
+            for field in RUN_FIELDS:
+                assert (
+                    getattr(ra.runs, field) == getattr(rb.runs, field)
+                ).all()
+
+    def test_env_vars_supply_queue_and_store(self, paths, monkeypatch):
+        queue_path, store_path = paths
+        monkeypatch.setenv("REPRO_QUEUE", str(queue_path))
+        monkeypatch.setenv("REPRO_STORE", str(store_path))
+        serial = make_campaign().run(seed=SEED)
+        distributed = make_campaign(backend="distributed").run(seed=SEED)
+        assert_bitwise_equal(serial, distributed)
+
+    def test_missing_queue_and_store_is_a_clear_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE", raising=False)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(ValueError, match="queue"):
+            make_campaign(backend="distributed")
+
+    def test_conflicting_store_rejected_same_path_accepted(
+        self, paths, tmp_path
+    ):
+        queue_path, store_path = paths
+        campaign = make_campaign(
+            backend="distributed",
+            backend_options=fleet_options(queue_path, store_path),
+        )
+        with ResultStore(tmp_path / "other.sqlite") as other:
+            with pytest.raises(ValueError, match="binds its result"):
+                campaign.run(seed=SEED, store=other)
+        # Pointing store= at the backend's own store file is harmless.
+        with ResultStore(store_path) as same:
+            result = campaign.run(seed=SEED, store=same)
+        assert_bitwise_equal(make_campaign().run(seed=SEED), result)
+
+    def test_submit_defaults_to_backend_paths(self, paths):
+        queue_path, store_path = paths
+        campaign = make_campaign(
+            backend="distributed",
+            backend_options=fleet_options(queue_path, store_path),
+        )
+        run = campaign.submit(seed=SEED)
+        assert run.queue_path == campaign.backend.queue_path
+        assert run.store_path == campaign.backend.store_path
+        assert run.chunks_enqueued == 1
+        # A later run() of the same campaign drains what it submitted.
+        result = campaign.run(seed=SEED)
+        assert_bitwise_equal(make_campaign().run(seed=SEED), result)
+
+    def test_submit_without_paths_still_requires_them(self):
+        with pytest.raises(TypeError, match="queue"):
+            make_campaign().submit(seed=SEED)
+
+    def test_backend_spec_roundtrip_carries_fleet_policy(self, paths):
+        queue_path, store_path = paths
+        from repro.distributed import DistributedBackend
+        from repro.experiments import BackendSpec, make_backend
+
+        backend = make_backend(
+            "distributed",
+            equipage="none",
+            queue=str(queue_path),
+            store=str(store_path),
+            lease_seconds=7.5,
+            skew_margin=2.5,
+        )
+        spec = BackendSpec.capture(backend)
+        assert spec.backend == "distributed"
+        assert spec.inner == "vectorized-batch"
+        assert spec.queue_path == backend.queue_path
+        assert spec.store_path == backend.store_path
+        assert spec.fleet["lease_seconds"] == 7.5
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert isinstance(rebuilt, DistributedBackend)
+        assert rebuilt.queue_path == backend.queue_path
+        assert rebuilt.lease_seconds == 7.5
+        assert rebuilt.skew_margin == 2.5
+        # Workers always receive the *inner* simulation spec.
+        assert backend.worker_spec().backend == "vectorized-batch"
+        assert backend.provenance_name == "vectorized-batch"
+
+    def test_poison_chunk_raises_with_last_error(
+        self, paths, monkeypatch, capsys
+    ):
+        """A chunk failing MAX_ATTEMPTS raises a diagnosis from
+        Campaign.run — it must not hang the wait loop."""
+        import repro.distributed.worker as worker_module
+
+        queue_path, store_path = paths
+
+        def explode(backend, num_runs, work):
+            raise RuntimeError("boom-payload-xyz")
+
+        monkeypatch.setattr(worker_module, "_execute_chunk", explode)
+        campaign = make_campaign(
+            backend="distributed",
+            backend_options=fleet_options(
+                queue_path, store_path, poll_interval=0.01
+            ),
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            campaign.run(seed=SEED)
+        message = str(excinfo.value)
+        assert "failed permanently" in message
+        assert "boom-payload-xyz" in message
+        with WorkQueue(queue_path) as queue:
+            states = queue.chunk_states(
+                campaign.submit(seed=SEED).campaign_id
+            )
+        assert all(state.status == "failed" for state in states)
+        assert all(state.attempts == MAX_ATTEMPTS for state in states)
+
+    def test_montecarlo_via_backend_key(self, paths, tiny_table):
+        queue_path, store_path = paths
+        model = StatisticalEncounterModel()
+        plain = MonteCarloEstimator(
+            tiny_table, model, runs_per_encounter=2
+        ).estimate(3, seed=5)
+        distributed = MonteCarloEstimator(
+            tiny_table,
+            model,
+            runs_per_encounter=2,
+            backend="distributed",
+            backend_options=fleet_options(queue_path, store_path),
+        ).estimate(3, seed=5)
+        assert distributed.summary() == plain.summary()
+        assert_bitwise_equal(
+            plain.equipped_results, distributed.equipped_results
+        )
+        assert_bitwise_equal(
+            plain.unequipped_results, distributed.unequipped_results
+        )
+
+    @pytest.mark.slow
+    def test_live_two_worker_fleet_no_fallback(self, paths):
+        """The acceptance criterion: Campaign.run(backend="distributed")
+        against an already-running external 2-worker fleet is bitwise
+        identical to serial, with the fallback worker never engaged."""
+        queue_path, store_path = paths
+        serial = make_campaign().run(seed=SEED)
+        fleet = [
+            multiprocessing.Process(
+                target=_fleet_member, args=(str(queue_path),)
+            )
+            for _ in range(2)
+        ]
+        for process in fleet:
+            process.start()
+        try:
+            deadline = time.time() + 15
+            with WorkQueue(queue_path) as queue:
+                while len(queue.live_workers(ttl=5.0)) < 2:
+                    assert time.time() < deadline, "fleet never came up"
+                    time.sleep(0.05)
+            distributed = make_campaign(
+                backend="distributed",
+                backend_options=fleet_options(
+                    queue_path, store_path, chunk_size=1
+                ),
+            ).run(seed=SEED)
+        finally:
+            for process in fleet:
+                process.join(timeout=30)
+                if process.is_alive():
+                    process.terminate()
+        assert_bitwise_equal(serial, distributed)
+        assert distributed.metadata["distributed_fallback"] is False
+        with WorkQueue(queue_path) as queue:
+            states = queue.chunk_states(
+                distributed.metadata["campaign_id"]
+            )
+        assert len(states) == SCENARIOS
+        assert all(state.status == "done" for state in states)
+
+
+def _fleet_member(queue_path: str) -> None:
+    """An external service worker: polls until idle for a while."""
+    Worker(queue_path, lease_seconds=10, poll_interval=0.02).run(
+        forever=True, idle_timeout=4.0
+    )
+
+
+# ----------------------------------------------------------------------
+# Queue garbage collection
+# ----------------------------------------------------------------------
+class TestQueueGc:
+    def _enqueue(self, queue, campaign_id, chunks=2):
+        queue.submit_job(
+            campaign_id, "store.sqlite", b"spec", RUNS, chunks,
+            [f"chunk{i}".encode() for i in range(chunks)],
+        )
+
+    def _finish(self, queue, campaign_id, count):
+        for _ in range(count):
+            chunk = queue.claim(
+                "gc-worker", lease_seconds=30, campaign_id=campaign_id
+            )
+            assert chunk is not None
+            assert queue.release(
+                campaign_id, chunk.chunk_index, "gc-worker", done=True
+            )
+
+    def test_gc_drops_done_chunks_and_orphaned_jobs(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue, "finished", chunks=2)
+            self._finish(queue, "finished", 2)
+            self._enqueue(queue, "active", chunks=2)
+            self._finish(queue, "active", 1)
+
+            dry = queue.gc(dry_run=True)
+            assert dry.dry_run
+            assert dry.campaigns == ("finished",)
+            assert dry.done_chunks == 2 and dry.failed_chunks == 0
+            assert dry.jobs == 1
+            # Dry run touched nothing.
+            assert queue.chunk_counts("finished").done == 2
+            assert len(queue.jobs()) == 2
+
+            report = queue.gc()
+            assert not report.dry_run
+            assert report.chunks == 2 and report.jobs == 1
+            assert queue.chunk_counts("finished").total == 0
+            assert [job.campaign_id for job in queue.jobs()] == ["active"]
+            # The active campaign kept everything — even its done
+            # chunk (it is not yet eligible) and its pending one.
+            tally = queue.chunk_counts("active")
+            assert tally.done == 1 and tally.pending == 1
+
+    def test_gc_collects_failed_chunks_of_drained_campaigns(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue, "poisoned", chunks=1)
+            for attempt in range(MAX_ATTEMPTS):
+                chunk = queue.claim(f"w{attempt}", lease_seconds=30)
+                assert chunk is not None
+                queue.release("poisoned", 0, f"w{attempt}", done=False)
+            assert queue.claim("w-final", lease_seconds=30) is None
+            assert queue.chunk_counts("poisoned").failed == 1
+
+            report = queue.gc()
+            assert report.failed_chunks == 1
+            assert report.jobs == 1
+            assert queue.chunk_counts("poisoned").total == 0
+            assert queue.jobs() == []
+
+    def test_gc_max_age_collects_stale_active_campaigns(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            self._enqueue(queue, "stale", chunks=2)
+            self._finish(queue, "stale", 1)
+            # Not drained, not aged: nothing to collect.
+            assert queue.gc().campaigns == ()
+        # A handle whose clock is an hour ahead sees the job aged out:
+        # its done chunk goes, its pending chunk and job row stay.
+        with WorkQueue(
+            queue_path, clock=lambda: time.time() + 3600
+        ) as later:
+            report = later.gc(max_age=600)
+            assert report.campaigns == ("stale",)
+            assert report.done_chunks == 1
+            assert report.jobs == 0
+            tally = later.chunk_counts("stale")
+            assert tally.pending == 1 and tally.done == 0
+            assert len(later.jobs()) == 1
+
+    def test_gc_campaign_filter(self, paths):
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            for cid in ("one", "two"):
+                self._enqueue(queue, cid, chunks=1)
+                self._finish(queue, cid, 1)
+            report = queue.gc(campaign_id="one")
+            assert report.campaigns == ("one",)
+            assert queue.chunk_counts("one").total == 0
+            assert queue.chunk_counts("two").done == 1
+            assert [job.campaign_id for job in queue.jobs()] == ["two"]
+
+    def test_gc_drops_stale_worker_rows(self, paths):
+        queue_path, _ = paths
+        base = 3_000_000.0
+        with WorkQueue(queue_path, clock=lambda: base) as queue:
+            queue.claim("old-worker", lease_seconds=5)
+        with WorkQueue(queue_path, clock=lambda: base + 1000) as later:
+            report = later.gc(worker_ttl=300)
+            assert report.stale_workers == 1
+            assert later.live_workers(ttl=10_000) == []
+
+
+# ----------------------------------------------------------------------
+# CLI: queue gc / --backend distributed / clean filter errors
+# ----------------------------------------------------------------------
+class TestFleetCli:
+    BASE = ["--sample", "4", "--runs", "3", "--seed", "7",
+            "--equipage", "none"]
+
+    def test_queue_gc_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queue = str(tmp_path / "q.sqlite")
+        store = str(tmp_path / "s.sqlite")
+        assert main(["submit", *self.BASE,
+                     "--queue", queue, "--store", store]) == 0
+        assert main(["worker", "--queue", queue, "--poll", "0.02"]) == 0
+        capsys.readouterr()
+
+        assert main(["queue", "gc", queue, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would drop 1 chunk(s) (1 done, 0 failed)" in out
+        assert "1 job row(s)" in out
+        # The dry run deleted nothing.
+        assert main(["status", queue]) == 0
+        assert "1 campaign(s), 0 incomplete" in capsys.readouterr().out
+
+        assert main(["queue", "gc", queue]) == 0
+        assert "dropped 1 chunk(s)" in capsys.readouterr().out
+        assert main(["status", queue]) == 0
+        assert "queue is empty" in capsys.readouterr().out
+        # The results themselves are untouched by queue GC.
+        assert main(["store", "list", store]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_queue_gc_missing_queue_is_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="queue not found"):
+            main(["queue", "gc", str(tmp_path / "nope.sqlite")])
+
+    def test_campaign_backend_distributed(self, tmp_path, capsys):
+        from repro.cli import main
+
+        queue = str(tmp_path / "q.sqlite")
+        store = str(tmp_path / "s.sqlite")
+        assert main(["campaign", *self.BASE, "--backend", "distributed",
+                     "--queue", queue, "--store", store]) == 0
+        out = capsys.readouterr().out
+        # Provenance-transparent: the summary names the inner backend.
+        assert "backend=vectorized-batch" in out
+        assert "simulated 4" in out
+        # Re-running resumes from the fleet's store.
+        assert main(["campaign", *self.BASE, "--backend", "distributed",
+                     "--queue", queue, "--store", store]) == 0
+        assert "loaded 4, simulated 0" in capsys.readouterr().out
+
+    def test_campaign_backend_distributed_needs_paths(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_QUEUE", raising=False)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit, match="queue"):
+            main(["campaign", *self.BASE, "--backend", "distributed"])
+
+    def test_store_records_filter_errors_are_one_line(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        queue = str(tmp_path / "q.sqlite")
+        store = str(tmp_path / "s.sqlite")
+        assert main(["campaign", *self.BASE, "--backend", "distributed",
+                     "--queue", queue, "--store", store]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="not allowed"):
+            main(["store", "records", store,
+                  "--where", "nmac_rate > 0; DROP TABLE records"])
+        with pytest.raises(SystemExit, match="malformed filter"):
+            main(["store", "records", store,
+                  "--where", "no_such_column = 1"])
+        with pytest.raises(SystemExit, match="not allowed"):
+            main(["store", "records", store,
+                  "--where", "nmac_rate > 0 -- sneaky"])
+
+
+# ----------------------------------------------------------------------
+# Review hardening: throttled heartbeats, gc-vs-waiters, wait_timeout
+# ----------------------------------------------------------------------
+class TestReviewHardening:
+    def test_idle_heartbeats_are_throttled(self, paths):
+        """Tight idle polling must not write the workers table every
+        poll — the row refreshes only once per quarter TTL."""
+        queue_path, _ = paths
+        now = {"t": 5_000_000.0}
+        with WorkQueue(queue_path, clock=lambda: now["t"]) as queue:
+            queue.claim("w1", lease_seconds=5)
+            (worker,) = queue.live_workers(ttl=1e9)
+            first = worker.heartbeat
+            now["t"] += 1.0  # inside the refresh window: no write
+            queue.claim("w1", lease_seconds=5)
+            (worker,) = queue.live_workers(ttl=1e9)
+            assert worker.heartbeat == first
+            now["t"] += 10.0  # past the window: refreshed
+            queue.claim("w1", lease_seconds=5)
+            (worker,) = queue.live_workers(ttl=1e9)
+            assert worker.heartbeat == first + 11.0
+
+    def test_gc_of_stuck_campaign_makes_waiters_raise(
+        self, paths, monkeypatch
+    ):
+        """gc'ing a failed campaign's rows must turn a blocked wait()
+        into a clear error, not an infinite poll."""
+        import repro.distributed.worker as worker_module
+
+        queue_path, store_path = paths
+
+        def explode(backend, num_runs, work):
+            raise RuntimeError("poison")
+
+        monkeypatch.setattr(worker_module, "_execute_chunk", explode)
+        run = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        Worker(queue_path, poll_interval=0.01).run()
+        with WorkQueue(queue_path) as queue:
+            assert queue.chunk_counts(run.campaign_id).failed == 1
+            queue.gc()
+            assert queue.chunk_counts(run.campaign_id).total == 0
+        with pytest.raises(RuntimeError, match="garbage-collected"):
+            run.wait(timeout=5, poll=0.01)
+
+    def test_wait_timeout_raises_when_fleet_never_comes(self, paths):
+        queue_path, store_path = paths
+        campaign = make_campaign(
+            backend="distributed",
+            backend_options=fleet_options(
+                queue_path, store_path,
+                fallback=False, wait_timeout=0.3,
+            ),
+        )
+        with pytest.raises(TimeoutError, match="incomplete"):
+            campaign.run(seed=SEED)
+
+    def test_resubmit_to_different_store_is_refused(self, paths, tmp_path):
+        """A queue's job row pins its store; re-submitting the same
+        campaign against a different store would hang forever (nothing
+        enqueues, nothing ever lands in the new store) — refuse."""
+        queue_path, store_path = paths
+        run = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        Worker(queue_path, poll_interval=0.02).run()
+        assert run.wait(timeout=10, poll=0.02).complete
+        with pytest.raises(ValueError, match="bound to store"):
+            submit(
+                make_campaign(), SEED,
+                queue=queue_path, store=tmp_path / "other.sqlite",
+            )
+
+    def test_waiter_on_wrong_store_raises_not_hangs(self, paths, tmp_path):
+        """A handle watching a store the job never drained into must
+        surface the mismatch, not poll forever."""
+        from repro.distributed import DistributedRun
+
+        queue_path, store_path = paths
+        run = submit(
+            make_campaign(), SEED, queue=queue_path, store=store_path
+        )
+        Worker(queue_path, poll_interval=0.02).run()
+        stale_handle = DistributedRun(
+            campaign_id=run.campaign_id,
+            queue_path=run.queue_path,
+            store_path=str(tmp_path / "moved.sqlite"),
+            num_scenarios=run.num_scenarios,
+            already_stored=0,
+            chunks_enqueued=0,
+        )
+        with pytest.raises(RuntimeError, match="different result store"):
+            stale_handle.wait(timeout=5, poll=0.01)
+
+    def test_worker_ttl_below_heartbeat_cadence_rejected(self, paths):
+        queue_path, store_path = paths
+        with pytest.raises(ValueError, match="worker_ttl"):
+            make_campaign(
+                backend="distributed",
+                backend_options=fleet_options(
+                    queue_path, store_path, worker_ttl=3.0
+                ),
+            )
+
+    def test_simulate_many_falls_back_for_non_bulk_inner(self, paths):
+        """The distributed backend always advertises simulate_many;
+        with a non-bulk inner backend it must degrade to per-scenario
+        calls, not crash on the missing attribute."""
+        from repro.experiments import make_backend
+
+        queue_path, store_path = paths
+        backend = make_backend(
+            "distributed", equipage="none",
+            queue=str(queue_path), store=str(store_path),
+            inner="vectorized",
+        )
+        reference = make_backend("vectorized", equipage="none")
+        scenarios = make_campaign().source.scenarios(
+            seed=__import__("numpy").random.default_rng(0)
+        )
+        params = [s.params for s in scenarios[:2]]
+        got = backend.simulate_many(params, 3, [1, 2])
+        for result, p, seed in zip(got, params, (1, 2)):
+            expect = reference.simulate(p, 3, seed=seed)
+            for field in RUN_FIELDS:
+                assert (
+                    getattr(result, field) == getattr(expect, field)
+                ).all()

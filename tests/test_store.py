@@ -448,3 +448,49 @@ class TestStoreMisc:
         with ResultStore(path) as reopened:
             rebuilt = reopened.resultset(campaign_id)
             assert_records_identical(results, rebuilt)
+
+
+class TestFilterHardening:
+    """User-supplied --where filters must stay single expressions.
+
+    ``records(where=...)``/``campaigns(where=...)`` interpolate the
+    filter into the query by design (it is an expression over the row
+    columns); statement separators and comment sequences are rejected
+    up front, and filters that sqlite itself chokes on surface as a
+    clean one-line ``ValueError`` instead of a sqlite traceback.
+    """
+
+    @pytest.mark.parametrize(
+        "where",
+        [
+            "nmac_rate > 0; DROP TABLE records",
+            "nmac_rate > 0 -- comment",
+            "nmac_rate > 0 /* block */",
+            "nmac_rate > 0 */",
+        ],
+    )
+    def test_multi_statement_and_comment_filters_rejected(
+        self, store, where
+    ):
+        with pytest.raises(ValueError, match="not allowed"):
+            store.records(where=where)
+        with pytest.raises(ValueError, match="not allowed"):
+            store.campaigns(where=where)
+
+    def test_malformed_filter_is_clean_valueerror(self, test_table, store):
+        make_campaign(test_table, scenarios=2, runs=2).run(
+            seed=0, store=store
+        )
+        with pytest.raises(ValueError, match="malformed filter"):
+            store.records(where="no_such_column > 1")
+        with pytest.raises(ValueError, match="malformed filter"):
+            store.campaigns(where="equipage ===")
+
+    def test_legitimate_filters_still_work(self, test_table, store):
+        results = make_campaign(test_table, scenarios=3, runs=2).run(
+            seed=0, store=store
+        )
+        rows = store.records(where="nmac_rate >= ?", params=(0.0,))
+        assert len(rows) == len(results)
+        infos = store.campaigns(where="c.equipage = ?", params=("both",))
+        assert len(infos) == 1
