@@ -23,7 +23,13 @@ campaign API:
    worker fleet — and when none is live (as here), an automatic
    in-process fallback worker drains the queue instead of hanging;
 7. replay the worst scenario through the faithful agent engine to see
-   its trajectory and advisories.
+   its trajectory and advisories;
+8. stand up the campaign *service* over the same store — submit a
+   campaign as plain JSON through the in-process WSGI app (the exact
+   application ``repro serve`` binds to a socket), read live progress
+   and records over the REST surface, pin the equipped campaign as
+   the watchlist baseline, and watch the unequipped one fire an NMAC
+   regression alert in the text brief.
 
 **Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
 registered simulation backends.  Measured on a 50-scenario × 100-run
@@ -83,6 +89,34 @@ shell::
         --queue queue.sqlite --store results.sqlite
     repro store list results.sqlite --queue queue.sqlite
     repro queue gc queue.sqlite --dry-run   # collect finished chunks
+
+**The campaign service.**  The same store (and optionally the same
+queue) serve a long-running HTTP front door — stdlib-only, started
+with ``repro serve``::
+
+    repro serve --store results.sqlite --queue queue.sqlite --port 8000
+
+    # submit a campaign spec as plain JSON (the Campaign.from_spec
+    # wire format); with "wait": true the response carries the final
+    # progress snapshot, otherwise poll GET /campaigns/<id>
+    curl -X POST localhost:8000/campaigns \\
+        -d '{"scenarios": ["head_on", "tail_approach"], "runs": 100,
+             "seed": 42, "label": "equipped"}'
+    curl localhost:8000/campaigns                      # list
+    curl localhost:8000/campaigns/<id>                 # live progress
+    curl 'localhost:8000/campaigns/<id>/records?limit=10&offset=0'
+    curl localhost:8000/campaigns/<a>/diff/<b>
+    curl localhost:8000/workers                        # fleet liveness
+
+    # the standing risk watchlist: pin a baseline, read alerts/brief
+    curl -X POST localhost:8000/watchlist/baseline \\
+        -d '{"campaign_id": "<id>"}'
+    curl localhost:8000/watchlist                      # worst encounters
+    curl localhost:8000/alerts                         # fired regressions
+    curl localhost:8000/brief                          # text digest
+
+Step 8 below drives the identical WSGI application in-process (no
+socket) through ``repro.service.testing.ServiceClient``.
 
 Usage::
 
@@ -215,6 +249,42 @@ def main() -> None:
     print(f"intruder advisories:  {replay.trace.advisories_issued('intruder')}")
     print()
     print(render_vertical_profile(replay.trace, height=12, width=60))
+    print()
+
+    print("=== 8. The campaign service: REST submit + risk watchlist ===")
+    # The exact WSGI application `repro serve` binds to a socket,
+    # driven in-process here.  The service shares the store from the
+    # earlier steps, so the campaigns above are already visible.
+    from repro.service import CampaignService, Watchlist, make_app
+    from repro.service.testing import ServiceClient
+
+    service = CampaignService(store, tables={"test": table})
+    watchlist = Watchlist(store)
+    client = ServiceClient(make_app(service, watchlist))
+
+    receipt = client.post("/campaigns", json_body={
+        "scenarios": SCENARIOS, "runs": RUNS, "seed": 42,
+        "label": "via-http", "wait": True,
+    }).json()
+    print(f"POST /campaigns -> campaign {receipt['campaign_id'][:12]} "
+          f"(mode={receipt['mode']}: the spec from step 2, so "
+          f"{receipt['already_stored']} scenarios loaded, "
+          f"{receipt['simulated']} simulated)")
+    rows = client.get(
+        f"/campaigns/{receipt['campaign_id']}/records?limit=1"
+    ).json()
+    print(f"GET  /campaigns/<id>/records?limit=1 -> "
+          f"{rows['records'][0]['name']} "
+          f"(min separation {rows['records'][0]['min_separation']:.1f} m)")
+
+    # Pin the equipped campaign as the trust anchor; the unequipped
+    # counterfactual ran the same scenario list (same scenarios
+    # digest), so its far higher NMAC rate fires a regression alert.
+    client.post("/watchlist/baseline",
+                json_body={"campaign_id": receipt["campaign_id"]})
+    print()
+    print(client.get("/brief?refresh=1").text)
+    service.close()
 
 
 if __name__ == "__main__":

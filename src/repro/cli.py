@@ -436,7 +436,10 @@ def cmd_status(args) -> int:
     with _open_queue(args.queue) as queue:
         jobs = queue.jobs()
         if not jobs:
-            print("queue is empty")
+            if args.format == "json":
+                print(json.dumps({"queue": str(args.queue), "jobs": []}))
+            else:
+                print("queue is empty")
             return 0
         counts = queue.counts()
         # One store handle per distinct path — and never *create* a
@@ -444,11 +447,8 @@ def cmd_status(args) -> int:
         # does not exist from this host/cwd must be reported, not
         # papered over with a fresh empty database.
         stores: dict = {}
+        rows = []
         try:
-            print(f"{'id':<13} {'scenarios':>9} {'chunks':>7} "
-                  f"{'pending':>8} {'claimed':>8} {'done':>6} "
-                  f"{'failed':>7} records")
-            incomplete = 0
             for job in jobs:
                 tally = counts.get(job.campaign_id, ChunkCounts())
                 if job.store_path not in stores:
@@ -458,23 +458,122 @@ def cmd_status(args) -> int:
                         else None
                     )
                 store = stores[job.store_path]
-                if store is None:
-                    records = "store missing"
-                    incomplete += 1
-                else:
-                    done = len(store.completed_indices(job.campaign_id))
-                    records = f"{done}/{job.num_scenarios}"
-                    if done < job.num_scenarios:
-                        incomplete += 1
-                print(f"{job.campaign_id[:12]:<13} "
-                      f"{job.num_scenarios:>9} {tally.total:>7} "
-                      f"{tally.pending:>8} {tally.claimed:>8} "
-                      f"{tally.done:>6} {tally.failed:>7} {records}")
-            print(f"{len(jobs)} campaign(s), {incomplete} incomplete")
+                done = (
+                    None if store is None
+                    else len(store.completed_indices(job.campaign_id))
+                )
+                rows.append({
+                    "campaign_id": job.campaign_id,
+                    "num_scenarios": job.num_scenarios,
+                    "store_path": job.store_path,
+                    "store_missing": store is None,
+                    "records_done": done,
+                    "complete": (done is not None
+                                 and done >= job.num_scenarios),
+                    "chunks": tally.to_dict(),
+                })
         finally:
             for store in stores.values():
                 if store is not None:
                     store.close()
+    incomplete = sum(1 for row in rows if not row["complete"])
+    if args.format == "json":
+        print(json.dumps(
+            {"queue": str(args.queue), "jobs": rows,
+             "incomplete": incomplete},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"{'id':<13} {'scenarios':>9} {'chunks':>7} "
+          f"{'pending':>8} {'claimed':>8} {'done':>6} "
+          f"{'failed':>7} records")
+    for row in rows:
+        tally = row["chunks"]
+        records = (
+            "store missing" if row["store_missing"]
+            else f"{row['records_done']}/{row['num_scenarios']}"
+        )
+        print(f"{row['campaign_id'][:12]:<13} "
+              f"{row['num_scenarios']:>9} {tally['total']:>7} "
+              f"{tally['pending']:>8} {tally['claimed']:>8} "
+              f"{tally['done']:>6} {tally['failed']:>7} {records}")
+    print(f"{len(rows)} campaign(s), {incomplete} incomplete")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# service
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    from repro.service import (
+        CampaignService,
+        Watchlist,
+        WatchlistThread,
+        make_app,
+        make_http_server,
+    )
+
+    if args.watch_interval < 0:
+        raise SystemExit("--watch-interval must be >= 0 (0 disables)")
+    service = CampaignService(
+        args.store,
+        queue=args.queue,
+        preset=args.preset,
+        verbose=args.verbose,
+    )
+    try:
+        watchlist = Watchlist(
+            service.store, baseline=args.baseline, top=args.top
+        )
+    except KeyError as error:
+        service.close()
+        raise SystemExit(str(error.args[0]))
+    server = make_http_server(
+        make_app(service, watchlist), host=args.host, port=args.port
+    )
+    watcher = (
+        WatchlistThread(watchlist, interval=args.watch_interval)
+        if args.watch_interval else None
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(store={args.store}, queue={args.queue or '-'}, "
+        f"watch={'off' if watcher is None else f'{args.watch_interval}s'})",
+        flush=True,
+    )
+    if watcher is not None:
+        watcher.start()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if watcher is not None:
+            watcher.stop()
+        service.close()
+    return 0
+
+
+def cmd_watchlist(args) -> int:
+    from repro.service import Watchlist
+
+    if not Path(args.store).exists():
+        raise SystemExit(f"store not found: {args.store}")
+    with ResultStore(args.store) as store:
+        try:
+            watchlist = Watchlist(store, baseline=args.baseline,
+                                  top=args.top)
+        except KeyError as error:
+            raise SystemExit(str(error.args[0]))
+        snapshot = watchlist.snapshot(refresh=True)
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(watchlist.brief(), end="")
+    if args.fail_on_alert and snapshot["alerts"]:
+        return 3
     return 0
 
 
@@ -534,7 +633,13 @@ def _queue_counts(args):
 
 
 def _store_list(store: ResultStore, args) -> int:
-    campaigns = store.campaigns()
+    campaigns = store.campaigns(limit=args.limit, offset=args.offset)
+    if args.format == "json":
+        # CampaignInfo.to_dict is the same machine-readable shape the
+        # service's GET /campaigns serves — scripts parse one schema.
+        print(json.dumps([info.to_dict() for info in campaigns],
+                         indent=2, sort_keys=True))
+        return 0
     if not campaigns:
         print("store is empty")
         return 0
@@ -580,6 +685,8 @@ def _store_records(store: ResultStore, args) -> int:
         campaign_id=args.campaign,
         where=args.where,
         params=tuple(args.params or ()),
+        limit=args.limit,
+        offset=args.offset,
     )
     payload = [
         {"campaign_id": stored.campaign_id,
@@ -804,7 +911,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="chunk and record progress of queued campaigns",
     )
     status.add_argument("queue", help="shared work-queue sqlite path")
+    status.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format (json matches the service's machine view)",
+    )
     status.set_defaults(func=cmd_status)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign HTTP service + risk watchlist",
+        description=(
+            "Long-running stdlib-only HTTP front door over a result "
+            "store (and optionally a work queue): POST /campaigns "
+            "submits plain-JSON campaign specs, GET /campaigns[/{id}"
+            "[/records|/diff/{b}]] introspects them, GET /workers "
+            "reports fleet liveness, and a background watchlist "
+            "thread keeps GET /watchlist, /alerts and /brief fresh."
+        ),
+    )
+    serve.add_argument("--store", required=True,
+                       help="result-store sqlite path (created if missing)")
+    serve.add_argument("--queue", default=None, metavar="PATH",
+                       help="shared work-queue path: submissions are "
+                            "enqueued for the worker fleet (with a "
+                            "fallback drainer when no worker is live) "
+                            "instead of running in-process")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument("--preset", default="test",
+                       choices=("test", "paper"),
+                       help="default logic-table preset for equipped "
+                            "submissions")
+    serve.add_argument("--watch-interval", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="watchlist re-scan interval (0 disables the "
+                            "background thread; ?refresh=1 still works)")
+    serve.add_argument("--baseline", default=None, metavar="ID",
+                       help="pin this stored campaign (prefix ok) as the "
+                            "regression baseline at startup")
+    serve.add_argument("--top", type=int, default=10,
+                       help="encounters kept on the watchlist ranking")
+    serve.add_argument("--verbose", action="store_true")
+    serve.set_defaults(func=cmd_serve)
+
+    watchlist = subparsers.add_parser(
+        "watchlist",
+        help="one-shot risk watchlist scan of a result store",
+        description=(
+            "The service's scan → rank → alert pass as a one-shot: "
+            "rank the store's worst encounters and, with --baseline, "
+            "check every comparable campaign for NMAC/false-alarm "
+            "regressions.  --fail-on-alert exits 3 when any alert "
+            "fires (CI gate shape)."
+        ),
+    )
+    watchlist.add_argument("store", help="result-store sqlite path")
+    watchlist.add_argument("--baseline", default=None, metavar="ID",
+                           help="baseline campaign id (prefix ok)")
+    watchlist.add_argument("--top", type=int, default=10)
+    watchlist.add_argument("--format", default="text",
+                           choices=("text", "json"))
+    watchlist.add_argument("--fail-on-alert", action="store_true",
+                           help="exit 3 if any regression alert fires")
+    watchlist.set_defaults(func=cmd_watchlist)
 
     queue_cmd = subparsers.add_parser(
         "queue", help="work-queue maintenance"
@@ -894,6 +1064,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also show each campaign's work-queue chunk counts "
              "(pending/claimed/done) from this queue",
     )
+    store_list.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="json emits the same campaign dicts as GET /campaigns",
+    )
+    store_list.add_argument("--limit", type=int, default=None,
+                            help="return at most this many campaigns")
+    store_list.add_argument("--offset", type=int, default=0,
+                            help="skip this many campaigns first")
 
     store_show = store_sub.add_parser(
         "show", help="one campaign's provenance and summary"
@@ -936,6 +1114,10 @@ def build_parser() -> argparse.ArgumentParser:
     store_records.add_argument("--out", help="write here instead of stdout")
     store_records.add_argument("--no-genomes", action="store_true",
                                help="omit genome vectors from the JSON")
+    store_records.add_argument("--limit", type=int, default=None,
+                               help="return at most this many records")
+    store_records.add_argument("--offset", type=int, default=0,
+                               help="skip this many records first")
 
     store_export = store_sub.add_parser(
         "export", help="export a campaign as JSON/CSV"

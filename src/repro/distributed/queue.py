@@ -196,6 +196,16 @@ class ChunkCounts:
             text += f"/{self.failed}F"
         return text
 
+    def to_dict(self) -> dict:
+        """Plain-JSON view (the service/CLI machine-readable shape)."""
+        return {
+            "pending": self.pending,
+            "claimed": self.claimed,
+            "done": self.done,
+            "failed": self.failed,
+            "total": self.total,
+        }
+
 
 @dataclass(frozen=True)
 class WorkerInfo:
@@ -206,6 +216,18 @@ class WorkerInfo:
     campaign_id: Optional[str]
     started_at: float
     heartbeat: float
+
+    def to_dict(self, now: Optional[float] = None) -> dict:
+        """Plain-JSON view; *now* (queue clock) adds heartbeat age."""
+        row = {
+            "worker_id": self.worker_id,
+            "campaign_id": self.campaign_id,
+            "started_at": self.started_at,
+            "heartbeat": self.heartbeat,
+        }
+        if now is not None:
+            row["heartbeat_age"] = max(0.0, now - self.heartbeat)
+        return row
 
 
 @dataclass(frozen=True)
@@ -698,6 +720,31 @@ class WorkQueue:
             )
             for row in self._conn.execute(query, params)
         ]
+
+    def workers(self) -> List[WorkerInfo]:
+        """Every registered worker row, live or stale, newest first.
+
+        The fleet-introspection view behind the service's
+        ``GET /workers``: pair with :meth:`now` to compute heartbeat
+        ages against the queue's own clock (never the caller's —
+        cross-host skew is exactly what the queue clock exists to
+        avoid).
+        """
+        return [
+            WorkerInfo(
+                worker_id=row["worker_id"],
+                campaign_id=row["campaign_id"],
+                started_at=row["started_at"],
+                heartbeat=row["heartbeat"],
+            )
+            for row in self._conn.execute(
+                "SELECT * FROM workers ORDER BY heartbeat DESC, worker_id"
+            )
+        ]
+
+    def now(self) -> float:
+        """The queue's own clock (the single lease time authority)."""
+        return self._now()
 
     def deregister_worker(self, worker_id: str) -> None:
         """Drop one worker's liveness row (clean exit)."""

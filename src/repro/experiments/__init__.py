@@ -44,6 +44,7 @@ from repro.experiments.scenario import (
     ScenarioSource,
     as_scenario_source,
     preset_scenario,
+    source_from_spec,
 )
 
 __all__ = [
@@ -64,6 +65,7 @@ __all__ = [
     "VectorizedBackend",
     "VectorizedBatchBackend",
     "as_scenario_source",
+    "source_from_spec",
     "available_backends",
     "make_backend",
     "preset_scenario",

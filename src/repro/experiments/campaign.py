@@ -45,7 +45,11 @@ from repro.experiments.backends import (
     SimulationBackend,
     make_backend,
 )
-from repro.experiments.scenario import Scenario, as_scenario_source
+from repro.experiments.scenario import (
+    Scenario,
+    as_scenario_source,
+    source_from_spec,
+)
 from repro.sim.batch import BatchResult
 from repro.sim.encounter import EncounterSimConfig
 from repro.util.rng import SeedLike, as_seed_sequence
@@ -415,6 +419,68 @@ class Campaign:
         self.equipage = equipage
         self.coordination = coordination
         self.runs_per_scenario = runs_per_scenario
+
+    #: Keys a plain-JSON campaign spec may carry (:meth:`from_spec`).
+    SPEC_KEYS = frozenset(
+        {"scenarios", "backend", "equipage", "coordination", "runs"}
+    )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Dict[str, object],
+        table: Optional[LogicTable] = None,
+        sim_config: EncounterSimConfig | None = None,
+        ignore: frozenset = frozenset(),
+    ) -> "Campaign":
+        """Build a campaign from a plain-JSON specification.
+
+        The wire format of the campaign service (``POST /campaigns``)
+        and of scripted submissions: ``{"scenarios": ..., "backend":
+        ..., "equipage": ..., "coordination": ..., "runs": ...}`` with
+        every key optional except ``scenarios`` (see
+        :func:`~repro.experiments.scenario.source_from_spec` for the
+        scenario forms).  Unknown keys are rejected (typos must not
+        silently run a different campaign than the one described);
+        callers that wrap the spec in a larger envelope list their own
+        keys in *ignore*.  Malformed specs raise ``ValueError`` with a
+        one-line diagnosis.
+        """
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f"campaign spec must be an object, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - cls.SPEC_KEYS - ignore
+        if unknown:
+            raise ValueError(
+                f"unknown campaign-spec keys {sorted(unknown)} "
+                f"(expected {sorted(cls.SPEC_KEYS)})"
+            )
+        if "scenarios" not in spec:
+            raise ValueError('campaign spec needs a "scenarios" entry')
+        runs = spec.get("runs", 100)
+        if not isinstance(runs, int) or isinstance(runs, bool) or runs < 1:
+            raise ValueError(f'"runs" must be a positive integer, got {runs!r}')
+        backend = spec.get("backend", "vectorized-batch")
+        if not isinstance(backend, str):
+            raise ValueError(f'"backend" must be a registry key, got {backend!r}')
+        coordination = spec.get("coordination", True)
+        if not isinstance(coordination, bool):
+            raise ValueError(
+                f'"coordination" must be a boolean, got {coordination!r}'
+            )
+        try:
+            return cls(
+                source_from_spec(spec["scenarios"]),
+                backend=backend,
+                table=table,
+                equipage=spec.get("equipage", "both" if table else "none"),
+                coordination=coordination,
+                runs_per_scenario=runs,
+                sim_config=sim_config,
+            )
+        except (TypeError, ValueError) as error:
+            raise ValueError(str(error)) from None
 
     def iter_records(
         self,

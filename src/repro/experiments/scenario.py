@@ -180,6 +180,63 @@ class SampledSource:
         return self.count
 
 
+def source_from_spec(spec) -> ScenarioSource:
+    """Build a scenario source from a plain-JSON specification.
+
+    The wire format campaign specs travel in (the service's
+    ``POST /campaigns`` body, config files): *spec* is either
+
+    - a list of preset names and/or 9-float genome rows
+      (``["head_on", "tail_approach"]``, ``[[...], [...]]``, mixed), or
+    - ``{"sample": N}`` — draw N encounters from the statistical
+      encounter model at campaign run time (seeded by the campaign's
+      root seed, so the draw is part of the campaign's provenance).
+
+    Raises ``ValueError`` with a one-line diagnosis for malformed
+    specs — service request handlers surface it as a 400.
+    """
+    if isinstance(spec, dict):
+        unknown = set(spec) - {"sample"}
+        if unknown:
+            raise ValueError(
+                f"unknown scenario-spec keys {sorted(unknown)} "
+                '(expected {"sample": N} or a list of presets/genomes)'
+            )
+        count = spec.get("sample")
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise ValueError(
+                f'"sample" must be a positive integer, got {count!r}'
+            )
+        from repro.encounters.statistical import StatisticalEncounterModel
+
+        return SampledSource(StatisticalEncounterModel(), count)
+    if isinstance(spec, (list, tuple)):
+        if not spec:
+            raise ValueError("scenario list is empty")
+        items: List[ScenarioItem] = []
+        for i, item in enumerate(spec):
+            if isinstance(item, str):
+                items.append(preset_scenario(item))
+            elif isinstance(item, (list, tuple)) and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in item
+            ):
+                items.append(np.asarray(item, dtype=float))
+            else:
+                raise ValueError(
+                    f"scenario item {i} must be a preset name or a "
+                    f"genome row of numbers, got {item!r}"
+                )
+        try:
+            return ExplicitSource(items)
+        except (TypeError, ValueError) as error:
+            raise ValueError(str(error)) from None
+    raise ValueError(
+        f"cannot interpret {type(spec).__name__} as a scenario spec "
+        '(expected a list of presets/genomes or {"sample": N})'
+    )
+
+
 def as_scenario_source(spec) -> ScenarioSource:
     """Coerce *spec* into a :class:`ScenarioSource`.
 

@@ -1,0 +1,57 @@
+"""`repro.service`: the long-running front door over store + queue.
+
+The consumption layer the validation loop runs behind: a stdlib-only
+HTTP service (``repro serve``) that accepts plain-JSON campaign specs,
+executes them through the provenance-keyed store — on the worker fleet
+when a queue is shared, in-process otherwise — and keeps a standing
+risk watchlist (worst encounters, baseline regression alerts) over
+everything stored.
+
+Quickstart (in-process; ``repro serve`` wires the same objects)::
+
+    from repro.service import CampaignService, Watchlist, make_app
+    from repro.service.testing import ServiceClient
+
+    service = CampaignService("results.sqlite")
+    app = make_app(service, Watchlist(service.store))
+    client = ServiceClient(app)        # or make_http_server(app, port=...)
+    receipt = client.post("/campaigns", json_body={
+        "scenarios": ["head_on", "tail_approach"],
+        "runs": 100, "seed": 0, "wait": True,
+    }).json()
+    rows = client.get(
+        f"/campaigns/{receipt['campaign_id']}/records?limit=10"
+    ).json()
+
+Layering (the thin-resource/service-module split): ``app`` is WSGI
+translation only; ``service`` owns submission/introspection logic;
+``watchlist`` owns scan → rank → alert analytics; ``testing`` drives
+any of it without sockets.
+"""
+
+from repro.service.app import (
+    HttpError,
+    ServiceApp,
+    make_app,
+    make_http_server,
+)
+from repro.service.service import CampaignService, Submission
+from repro.service.watchlist import (
+    ALERT_METRICS,
+    Watchlist,
+    WatchlistThread,
+    risk_score,
+)
+
+__all__ = [
+    "ALERT_METRICS",
+    "CampaignService",
+    "HttpError",
+    "ServiceApp",
+    "Submission",
+    "Watchlist",
+    "WatchlistThread",
+    "make_app",
+    "make_http_server",
+    "risk_score",
+]

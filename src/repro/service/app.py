@@ -1,0 +1,295 @@
+"""The WSGI layer: thin REST resources over the service modules.
+
+Resources do translation only — parse the path/query/body, call one
+:class:`~repro.service.service.CampaignService` or
+:class:`~repro.service.watchlist.Watchlist` method, serialize the
+result.  All domain logic (and all state) lives in those modules, so
+the same behavior is reachable in-process (tests, embedders) and over
+HTTP (the ``repro serve`` daemon) without divergence.
+
+Everything is stdlib: ``wsgiref.simple_server`` with a
+``ThreadingMixIn`` server class (one thread per request — the store
+serializes access internally), ``json`` bodies, regex routing.
+
+Error mapping, service exceptions → HTTP statuses::
+
+    ValueError          400  (malformed spec / filter / parameter)
+    KeyError            404  (unknown campaign id)
+    HttpError(s, msg)   s    (raised by handlers directly)
+    anything else       500  (traceback to stderr, one-line body)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socketserver
+import sys
+import traceback
+from typing import Optional
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.service.service import CampaignService
+from repro.service.watchlist import Watchlist
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """An error with an explicit HTTP status, raised by handlers."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _json_body(environ) -> object:
+    """Parse the request body as JSON, or raise a 400."""
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except (TypeError, ValueError):
+        raise HttpError(400, "bad Content-Length header") from None
+    raw = environ["wsgi.input"].read(length) if length > 0 else b""
+    if not raw:
+        raise HttpError(400, "empty request body (expected a JSON object)")
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise HttpError(400, f"malformed JSON body: {error}") from None
+
+
+def _int_param(
+    query: dict, name: str, default: Optional[int] = None
+) -> Optional[int]:
+    """A non-negative integer query parameter, or a 400."""
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise HttpError(
+            400, f"query parameter {name!r} must be an integer, "
+            f"got {values[-1]!r}"
+        ) from None
+    if value < 0:
+        raise HttpError(400, f"query parameter {name!r} must be >= 0")
+    return value
+
+
+def _flag_param(query: dict, name: str) -> bool:
+    """A boolean query flag (``?name=1`` / ``?name=true``)."""
+    values = query.get(name)
+    if not values:
+        return False
+    return values[-1].lower() not in ("", "0", "false", "no")
+
+
+class ServiceApp:
+    """The WSGI application: route table + error mapping.
+
+    Handlers take ``(query, groups, environ)`` and return either a
+    JSON-serializable object (200), a ``(status, object)`` pair, or a
+    plain string (``text/plain``, the ``/brief`` digest).
+    """
+
+    def __init__(
+        self, service: CampaignService, watchlist: Optional[Watchlist] = None
+    ):
+        self.service = service
+        self.watchlist = watchlist or Watchlist(service.store)
+        self._routes = (
+            ("GET", re.compile(r"^/healthz$"), self._get_health),
+            ("GET", re.compile(r"^/campaigns$"), self._get_campaigns),
+            ("POST", re.compile(r"^/campaigns$"), self._post_campaign),
+            ("GET",
+             re.compile(r"^/campaigns/(?P<a>[^/]+)/diff/(?P<b>[^/]+)$"),
+             self._get_diff),
+            ("GET", re.compile(r"^/campaigns/(?P<cid>[^/]+)/records$"),
+             self._get_records),
+            ("GET", re.compile(r"^/campaigns/(?P<cid>[^/]+)$"),
+             self._get_campaign),
+            ("GET", re.compile(r"^/workers$"), self._get_workers),
+            ("GET", re.compile(r"^/watchlist$"), self._get_watchlist),
+            ("GET", re.compile(r"^/alerts$"), self._get_alerts),
+            ("GET", re.compile(r"^/brief$"), self._get_brief),
+            ("POST", re.compile(r"^/watchlist/baseline$"),
+             self._post_baseline),
+        )
+
+    # ------------------------------------------------------------------
+    # WSGI entry point
+    # ------------------------------------------------------------------
+    def __call__(self, environ, start_response):
+        method = (environ.get("REQUEST_METHOD") or "GET").upper()
+        path = environ.get("PATH_INFO") or "/"
+        query = parse_qs(environ.get("QUERY_STRING") or "",
+                         keep_blank_values=True)
+        path_exists = False
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_exists = True
+            if route_method != method:
+                continue
+            try:
+                result = handler(query, match.groupdict(), environ)
+            except HttpError as error:
+                return self._error(start_response, error.status,
+                                   error.message)
+            except KeyError as error:
+                message = str(error.args[0]) if error.args else str(error)
+                return self._error(start_response, 404, message)
+            except ValueError as error:
+                return self._error(start_response, 400, str(error))
+            except Exception as error:
+                traceback.print_exc(file=sys.stderr)
+                return self._error(
+                    start_response, 500,
+                    f"{type(error).__name__}: {error}",
+                )
+            return self._ok(start_response, result)
+        if path_exists:
+            return self._error(
+                start_response, 405, f"method {method} not allowed on {path}"
+            )
+        return self._error(start_response, 404, f"no such resource: {path}")
+
+    # ------------------------------------------------------------------
+    # Response plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _send(start_response, status: int, body: bytes, content_type: str):
+        start_response(
+            f"{status} {_REASONS.get(status, 'Unknown')}",
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(body))),
+            ],
+        )
+        return [body]
+
+    def _ok(self, start_response, result):
+        status = 200
+        if isinstance(result, tuple):
+            status, result = result
+        if isinstance(result, str):
+            return self._send(
+                start_response, status, result.encode("utf-8"),
+                "text/plain; charset=utf-8",
+            )
+        body = json.dumps(result, indent=2, sort_keys=True).encode("utf-8")
+        return self._send(start_response, status, body, "application/json")
+
+    def _error(self, start_response, status: int, message: str):
+        body = json.dumps(
+            {"error": message, "status": status}, sort_keys=True
+        ).encode("utf-8")
+        return self._send(start_response, status, body, "application/json")
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+    def _get_health(self, query, groups, environ):
+        return self.service.health()
+
+    def _get_campaigns(self, query, groups, environ):
+        return {
+            "campaigns": self.service.list_campaigns(
+                limit=_int_param(query, "limit"),
+                offset=_int_param(query, "offset", 0),
+            )
+        }
+
+    def _post_campaign(self, query, groups, environ):
+        return 202, self.service.submit(_json_body(environ))
+
+    def _get_campaign(self, query, groups, environ):
+        return self.service.progress(groups["cid"])
+
+    def _get_records(self, query, groups, environ):
+        where = query.get("where", [None])[-1]
+        rows = self.service.records(
+            groups["cid"],
+            where=where,
+            limit=_int_param(query, "limit"),
+            offset=_int_param(query, "offset", 0),
+        )
+        return {"campaign_id": groups["cid"], "count": len(rows),
+                "records": rows}
+
+    def _get_diff(self, query, groups, environ):
+        return self.service.diff(groups["a"], groups["b"])
+
+    def _get_workers(self, query, groups, environ):
+        return self.service.workers()
+
+    def _get_watchlist(self, query, groups, environ):
+        return self.watchlist.snapshot(refresh=_flag_param(query, "refresh"))
+
+    def _get_alerts(self, query, groups, environ):
+        snap = self.watchlist.snapshot(refresh=_flag_param(query, "refresh"))
+        return {
+            "generated_at": snap["generated_at"],
+            "baseline": snap["baseline"],
+            "alerts": snap["alerts"],
+        }
+
+    def _get_brief(self, query, groups, environ):
+        return self.watchlist.brief(refresh=_flag_param(query, "refresh"))
+
+    def _post_baseline(self, query, groups, environ):
+        body = _json_body(environ)
+        if not isinstance(body, dict) or "campaign_id" not in body:
+            raise HttpError(
+                400, 'baseline body must be {"campaign_id": "<id>"}'
+            )
+        resolved = self.watchlist.set_baseline(str(body["campaign_id"]))
+        return {"baseline": resolved}
+
+
+def make_app(
+    service: CampaignService, watchlist: Optional[Watchlist] = None
+) -> ServiceApp:
+    """Bundle service + watchlist into one WSGI application."""
+    return ServiceApp(service, watchlist=watchlist)
+
+
+class _ThreadingWSGIServer(socketserver.ThreadingMixIn, WSGIServer):
+    """One thread per request; daemonic so Ctrl-C exits promptly."""
+
+    daemon_threads = True
+
+
+class _Handler(WSGIRequestHandler):
+    """Request logging to stderr with the service's one-line format."""
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        sys.stderr.write(
+            "service: %s %s\n" % (self.address_string(), format % args)
+        )
+
+
+def make_http_server(app: ServiceApp, host: str = "127.0.0.1",
+                     port: int = 0) -> WSGIServer:
+    """A threaded ``wsgiref`` server bound to *host*:*port*.
+
+    ``port=0`` binds an ephemeral port (tests read it back from
+    ``server.server_address``).  The caller drives ``serve_forever``
+    (or ``handle_request``) and must ``server_close()`` when done.
+    """
+    return make_server(
+        host, port, app,
+        server_class=_ThreadingWSGIServer,
+        handler_class=_Handler,
+    )

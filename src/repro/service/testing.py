@@ -1,0 +1,92 @@
+"""In-process WSGI test client: drive the service with no sockets.
+
+Builds a WSGI environ by hand and calls the application directly, so
+endpoint tests exercise the exact routing/serialization code the live
+server runs — minus the network.  The live-socket path itself is
+covered once by the ``slow``-marked smoke test.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from typing import Optional
+
+
+class ClientResponse:
+    """One response: status code, headers, body, JSON accessor."""
+
+    def __init__(self, status: str, headers, body: bytes):
+        self.status_line = status
+        self.status = int(status.split(" ", 1)[0])
+        self.headers = dict(headers)
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"ClientResponse({self.status_line!r}, {len(self.body)}B)"
+
+
+class ServiceClient:
+    """Call a WSGI app as if over HTTP, synchronously, in-process."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[object] = None,
+        body: Optional[bytes] = None,
+    ) -> ClientResponse:
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        payload = body or b""
+        path, _, query = path.partition("?")
+        environ = {
+            "REQUEST_METHOD": method.upper(),
+            "PATH_INFO": path,
+            "QUERY_STRING": query,
+            "SERVER_NAME": "testserver",
+            "SERVER_PORT": "80",
+            "SERVER_PROTOCOL": "HTTP/1.1",
+            "CONTENT_TYPE": "application/json",
+            "CONTENT_LENGTH": str(len(payload)),
+            "wsgi.version": (1, 0),
+            "wsgi.url_scheme": "http",
+            "wsgi.input": io.BytesIO(payload),
+            "wsgi.errors": sys.stderr,
+            "wsgi.multithread": True,
+            "wsgi.multiprocess": False,
+            "wsgi.run_once": False,
+        }
+        captured = {}
+
+        def start_response(status, headers, exc_info=None):
+            captured["status"] = status
+            captured["headers"] = headers
+
+        chunks = self.app(environ, start_response)
+        try:
+            response_body = b"".join(chunks)
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
+        return ClientResponse(
+            captured["status"], captured["headers"], response_body
+        )
+
+    def get(self, path: str) -> ClientResponse:
+        return self.request("GET", path)
+
+    def post(self, path: str, json_body=None, body=None) -> ClientResponse:
+        return self.request("POST", path, json_body=json_body, body=body)

@@ -1,0 +1,360 @@
+"""The standing risk watchlist: scan → rank → alert over the store.
+
+The paper's validation loop asks two recurring questions of every batch
+of campaign results: *which encounters came closest to an NMAC?* and
+*did this logic table get worse than the one we trust?*  The
+:class:`Watchlist` answers both continuously instead of per-invocation:
+
+- **scan/rank** — page through every stored campaign's scalar record
+  rows (never the per-run blobs) and keep the top-N riskiest
+  encounters by a composite of NMAC rate, minimum separation, and
+  alert rate (``GET /watchlist``);
+- **alert** — compare each complete campaign's NMAC and false-alarm
+  (alert-rate) estimates against a pinned *baseline* campaign and fire
+  a regression alert when an estimate exceeds the baseline by more
+  than a tolerance (``GET /alerts``).
+
+Comparability rule: only campaigns whose ``scenarios_digest`` equals
+the baseline's are compared — same digest means the campaigns ran the
+*same encounters*, so a rate delta measures the logic table/equipage,
+not a different scenario draw.
+
+:class:`WatchlistThread` re-scans on a fixed interval in the
+background; request handlers read the cached snapshot (or force a
+fresh one with ``?refresh=1`` — what deterministic tests use).
+"""
+
+from __future__ import annotations
+
+import heapq
+import sys
+import threading
+import time
+import traceback
+from typing import List, Optional
+
+from repro.store import ResultStore
+
+#: The (store aggregate key, alert kind) pairs the baseline check covers.
+ALERT_METRICS = (
+    ("nmac_rate", "nmac"),
+    ("alert_rate", "false-alarm"),
+)
+
+
+def risk_score(row: dict, separation_scale: float = 150.0) -> float:
+    """Composite encounter risk from one scalar record row.
+
+    NMAC rate dominates (an actual near-mid-air is the event under
+    study), proximity to the NMAC cylinder contributes linearly once
+    the minimum separation drops under *separation_scale* metres, and
+    the own-ship alert rate adds a small operational-cost term —
+    encounters that both get close *and* alert constantly rank above
+    quiet distant ones.
+    """
+    separation = row.get("min_separation")
+    closeness = (
+        max(0.0, 1.0 - separation / separation_scale)
+        if separation is not None
+        else 0.0
+    )
+    return (
+        2.0 * (row.get("nmac_rate") or 0.0)
+        + closeness
+        + 0.25 * (row.get("own_alert_rate") or 0.0)
+    )
+
+
+class Watchlist:
+    """Ranked worst encounters + baseline regression alerts.
+
+    Parameters
+    ----------
+    store:
+        The shared (thread-safe) :class:`ResultStore` to scan.
+    baseline:
+        Optional campaign id (or unique prefix) to pin as the
+        regression baseline at construction.
+    top:
+        How many encounters the ranking keeps.
+    rel_tolerance / abs_tolerance:
+        A candidate fires when ``value > base + max(abs_tolerance,
+        rel_tolerance * base)`` — the relative band scales with the
+        baseline estimate, the absolute band keeps near-zero baselines
+        (NMAC rates often are) from alerting on noise.
+    page:
+        Rows fetched per store query while scanning (the watchlist
+        never materializes a whole campaign).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        baseline: Optional[str] = None,
+        top: int = 10,
+        rel_tolerance: float = 0.25,
+        abs_tolerance: float = 0.005,
+        separation_scale: float = 150.0,
+        page: int = 512,
+    ):
+        if top < 1:
+            raise ValueError("top must be >= 1")
+        if page < 1:
+            raise ValueError("page must be >= 1")
+        self.store = store
+        self.top = top
+        self.rel_tolerance = rel_tolerance
+        self.abs_tolerance = abs_tolerance
+        self.separation_scale = separation_scale
+        self.page = page
+        self._lock = threading.RLock()
+        self._baseline: Optional[str] = None
+        self._snapshot: Optional[dict] = None
+        if baseline is not None:
+            self.set_baseline(baseline)
+
+    # ------------------------------------------------------------------
+    # Baseline
+    # ------------------------------------------------------------------
+    @property
+    def baseline(self) -> Optional[str]:
+        """The pinned baseline campaign id (full hash), if any."""
+        with self._lock:
+            return self._baseline
+
+    def set_baseline(self, campaign_id: str) -> str:
+        """Pin *campaign_id* (id or unique prefix) as the baseline.
+
+        Raises ``KeyError`` for an unknown id — pinning a typo as the
+        trust anchor must fail loudly, not silently disable alerts.
+        Invalidate the cached snapshot: alerts are relative to the
+        baseline, so every cached verdict just changed.
+        """
+        resolved = self.store.resolve(campaign_id)
+        with self._lock:
+            self._baseline = resolved
+            self._snapshot = None
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Scan
+    # ------------------------------------------------------------------
+    def refresh(self) -> dict:
+        """Re-scan the store; cache and return the new snapshot."""
+        campaigns = self.store.campaigns()
+        labels = {info.campaign_id: info.label for info in campaigns}
+        records_scanned = 0
+        ranked: List = []  # heap of (risk, tiebreak, entry)
+        tiebreak = 0
+        for info in campaigns:
+            offset = 0
+            while True:
+                rows = self.store.record_rows(
+                    info.campaign_id, limit=self.page, offset=offset
+                )
+                for row in rows:
+                    risk = risk_score(row, self.separation_scale)
+                    entry = {
+                        "campaign_id": row["campaign_id"],
+                        "campaign_label": labels[row["campaign_id"]],
+                        "scenario_index": row["scenario_index"],
+                        "name": row["name"],
+                        "risk": risk,
+                        "nmac_rate": row["nmac_rate"],
+                        "min_separation": row["min_separation"],
+                        "mean_min_separation": row["mean_min_separation"],
+                        "own_alert_rate": row["own_alert_rate"],
+                    }
+                    tiebreak += 1
+                    item = (risk, -tiebreak, entry)
+                    if len(ranked) < self.top:
+                        heapq.heappush(ranked, item)
+                    else:
+                        heapq.heappushpop(ranked, item)
+                records_scanned += len(rows)
+                offset += len(rows)
+                if len(rows) < self.page:
+                    break
+        entries = [
+            item[2] for item in sorted(ranked, key=lambda i: (-i[0], i[1]))
+        ]
+        baseline_info, alerts = self._check_baseline(campaigns)
+        snapshot = {
+            "generated_at": time.time(),
+            "campaigns_scanned": len(campaigns),
+            "records_scanned": records_scanned,
+            "top": self.top,
+            "baseline": baseline_info,
+            "entries": entries,
+            "alerts": alerts,
+        }
+        with self._lock:
+            self._snapshot = snapshot
+        return snapshot
+
+    def snapshot(
+        self, refresh: bool = False, max_age: Optional[float] = None
+    ) -> dict:
+        """The cached scan result, refreshed when stale or forced."""
+        with self._lock:
+            cached = self._snapshot
+        if cached is not None and not refresh and (
+            max_age is None
+            or time.time() - cached["generated_at"] <= max_age
+        ):
+            return cached
+        return self.refresh()
+
+    # ------------------------------------------------------------------
+    # Alerts
+    # ------------------------------------------------------------------
+    def _check_baseline(self, campaigns) -> tuple:
+        """(baseline summary, fired alerts) for the current scan."""
+        with self._lock:
+            baseline = self._baseline
+        if baseline is None:
+            return None, []
+        try:
+            base_info = self.store.get_campaign(baseline)
+            base_agg = self.store.aggregates(baseline)
+        except KeyError as error:
+            # The baseline vanished (store swapped/gc'd underneath us):
+            # surface that as a standing alert rather than going quiet.
+            return (
+                {"campaign_id": baseline, "missing": True},
+                [{
+                    "kind": "baseline-missing",
+                    "metric": None,
+                    "campaign_id": baseline,
+                    "campaign_label": baseline[:12],
+                    "message": f"pinned baseline is gone: {error}",
+                }],
+            )
+        baseline_summary = {
+            "campaign_id": base_info.campaign_id,
+            "label": base_info.label,
+            "scenarios_digest": base_info.scenarios_digest,
+            "nmac_rate": base_agg["nmac_rate"],
+            "alert_rate": base_agg["alert_rate"],
+        }
+        alerts = []
+        for info in campaigns:
+            if info.campaign_id == base_info.campaign_id:
+                continue
+            if not info.complete:
+                continue  # partial rates would alert on sampling, not logic
+            if info.scenarios_digest != base_info.scenarios_digest:
+                continue  # different encounters: rates don't compare
+            agg = self.store.aggregates(info.campaign_id)
+            for metric, kind in ALERT_METRICS:
+                base_value = base_agg[metric]
+                value = agg[metric]
+                threshold = base_value + max(
+                    self.abs_tolerance, self.rel_tolerance * base_value
+                )
+                if value > threshold:
+                    alerts.append({
+                        "kind": kind,
+                        "metric": metric,
+                        "campaign_id": info.campaign_id,
+                        "campaign_label": info.label,
+                        "baseline_id": base_info.campaign_id,
+                        "value": value,
+                        "baseline_value": base_value,
+                        "delta": value - base_value,
+                        "threshold": threshold,
+                        "message": (
+                            f"{kind} regression: campaign "
+                            f"{info.campaign_id[:12]} ({info.label}) "
+                            f"{metric} {value:.4f} vs baseline "
+                            f"{base_value:.4f} "
+                            f"(+{value - base_value:.4f} > threshold "
+                            f"{threshold:.4f})"
+                        ),
+                    })
+        return baseline_summary, alerts
+
+    # ------------------------------------------------------------------
+    # Digest
+    # ------------------------------------------------------------------
+    def brief(
+        self, refresh: bool = False, max_age: Optional[float] = None
+    ) -> str:
+        """Plain-text digest of the current snapshot (``GET /brief``)."""
+        snap = self.snapshot(refresh=refresh, max_age=max_age)
+        lines = [
+            f"repro watchlist brief — {snap['campaigns_scanned']} "
+            f"campaign(s), {snap['records_scanned']} record(s) scanned"
+        ]
+        baseline = snap["baseline"]
+        if baseline is None:
+            lines.append(
+                "baseline: none pinned (POST /watchlist/baseline to arm "
+                "regression alerts)"
+            )
+        elif baseline.get("missing"):
+            lines.append(
+                f"baseline: {baseline['campaign_id'][:12]} — MISSING"
+            )
+        else:
+            lines.append(
+                f"baseline: {baseline['campaign_id'][:12]} "
+                f"({baseline['label']}) "
+                f"nmac_rate={baseline['nmac_rate']:.4f} "
+                f"alert_rate={baseline['alert_rate']:.4f}"
+            )
+        alerts = snap["alerts"]
+        if alerts:
+            lines.append(f"alerts: {len(alerts)} fired")
+            for alert in alerts:
+                lines.append(f"  [{alert['kind']}] {alert['message']}")
+        else:
+            lines.append("alerts: none fired")
+        if snap["entries"]:
+            lines.append(f"top {len(snap['entries'])} encounter(s) by risk:")
+            for rank, entry in enumerate(snap["entries"], start=1):
+                separation = entry["min_separation"]
+                lines.append(
+                    f"  {rank:>2}. {entry['campaign_id'][:12]}/"
+                    f"{entry['name']}  risk={entry['risk']:.3f}  "
+                    f"nmac={entry['nmac_rate']:.3f}  "
+                    f"min_sep={separation:.1f}m  "
+                    f"alert={entry['own_alert_rate']:.2f}"
+                )
+        else:
+            lines.append("no records stored yet")
+        return "\n".join(lines) + "\n"
+
+
+class WatchlistThread(threading.Thread):
+    """Background re-scanner: refresh the watchlist every *interval* s.
+
+    Scan failures are printed and swallowed — a transient store hiccup
+    must not kill the standing watch (the next tick retries).  The
+    first scan runs immediately on start so the service comes up with a
+    populated snapshot.
+    """
+
+    def __init__(self, watchlist: Watchlist, interval: float = 30.0):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        super().__init__(name="repro-watchlist", daemon=True)
+        self.watchlist = watchlist
+        self.interval = interval
+        self._stop_event = threading.Event()
+        self.scans = 0
+
+    def run(self) -> None:
+        while True:
+            try:
+                self.watchlist.refresh()
+                self.scans += 1
+            except Exception:
+                traceback.print_exc(file=sys.stderr)
+            if self._stop_event.wait(self.interval):
+                return
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        """Signal the thread to exit and join it."""
+        self._stop_event.set()
+        self.join(timeout=join_timeout)

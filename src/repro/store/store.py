@@ -14,6 +14,13 @@ already-stored ``(campaign, scenario)`` is a no-op, and
 :meth:`ResultStore.completed_indices` tells a re-run of the same spec
 which scenarios it can skip.  Every write of one record commits, so a
 campaign killed mid-stream keeps everything it finished.
+
+One open :class:`ResultStore` may be shared across threads: the
+campaign service's request threads and its watchlist thread all read
+(and the submission runner writes) through one handle.  A single
+connection guarded by an ``RLock`` keeps that safe for ``:memory:``
+stores too, where per-thread connections would each see a different
+database.
 """
 
 from __future__ import annotations
@@ -21,10 +28,11 @@ from __future__ import annotations
 import io
 import json
 import sqlite3
+import threading
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -107,6 +115,23 @@ def _entropy_from_text(text: Optional[str]) -> Optional[int]:
 _FORBIDDEN_FILTER_TOKENS = (";", "--", "/*", "*/")
 
 
+def _paginate(
+    query: str, values: tuple, limit: Optional[int], offset: int
+) -> Tuple[str, tuple]:
+    """Append LIMIT/OFFSET (validated) to an ordered query."""
+    if limit is not None and limit < 0:
+        raise ValueError("limit must be >= 0")
+    if offset < 0:
+        raise ValueError("offset must be >= 0")
+    if limit is None and not offset:
+        return query, values
+    # sqlite needs a LIMIT before OFFSET; -1 means unbounded.
+    return (
+        query + " LIMIT ? OFFSET ?",
+        values + (-1 if limit is None else int(limit), int(offset)),
+    )
+
+
 def _validate_filter(where: str) -> str:
     """Vet a user-supplied SQL filter expression.
 
@@ -143,6 +168,11 @@ class CampaignInfo:
     wall_time: float
     cpu_count: Optional[int]
     metadata: dict
+    #: Digest of the resolved scenario list — campaigns sharing it ran
+    #: the *same* encounters, so their rates compare apples to apples
+    #: (the comparability rule ``diff`` pairing and the service
+    #: watchlist's baseline regression checks both use).
+    scenarios_digest: str = ""
 
     @property
     def complete(self) -> bool:
@@ -153,6 +183,31 @@ class CampaignInfo:
     def label(self) -> str:
         """Human label (from metadata), or the short campaign id."""
         return str(self.metadata.get("label", self.campaign_id[:12]))
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view — the one machine-readable campaign shape
+        shared by ``repro store list --format json`` and the service's
+        ``GET /campaigns``."""
+        return {
+            "campaign_id": self.campaign_id,
+            "label": self.label,
+            "created_at": self.created_at,
+            "backend": self.backend,
+            "equipage": self.equipage,
+            "coordination": self.coordination,
+            "runs_per_scenario": self.runs_per_scenario,
+            "num_scenarios": self.num_scenarios,
+            "completed": self.completed,
+            "complete": self.complete,
+            "seed_entropy": (
+                None if self.seed_entropy is None
+                else str(self.seed_entropy)
+            ),
+            "wall_time": self.wall_time,
+            "cpu_count": self.cpu_count,
+            "scenarios_digest": self.scenarios_digest,
+            "metadata": self.metadata,
+        }
 
     def describe(self) -> str:
         """One summary line for listings."""
@@ -194,6 +249,25 @@ class CampaignDiff:
     #: scenarios — only populated when both campaigns resolved the same
     #: scenario list (equal scenario digests).
     paired_nmac: Tuple[Tuple[int, float, float], ...]
+
+    def to_dict(self) -> dict:
+        """Plain-JSON view (the service's ``GET .../diff/...`` body)."""
+        return {
+            "a": self.a.to_dict(),
+            "b": self.b.to_dict(),
+            "aggregates_a": self.aggregates_a,
+            "aggregates_b": self.aggregates_b,
+            "deltas": {
+                key: self.aggregates_b[key] - self.aggregates_a[key]
+                for key in (
+                    "nmac_rate", "alert_rate", "mean_min_separation",
+                )
+            },
+            "paired_scenarios": len(self.paired_nmac),
+            "paired_nmac_changed": sum(
+                1 for _, ra, rb in self.paired_nmac if ra != rb
+            ),
+        }
 
     def summary(self) -> str:
         """Human-readable side-by-side comparison."""
@@ -256,7 +330,17 @@ class ResultStore:
         # concurrently: WAL mode plus a generous busy timeout make
         # those single-statement INSERT OR IGNORE commits serialize
         # cleanly, and the PK dedup makes their ordering irrelevant.
-        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        #
+        # Within one process the handle itself is shared across threads
+        # (service request threads + watchlist thread + submission
+        # runner): one connection guarded by _lock rather than
+        # per-thread connections, because a ':memory:' database exists
+        # per connection and per-thread readers would each see an
+        # empty store.
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=30.0, check_same_thread=False
+        )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA busy_timeout = 30000")
         if self.path != ":memory:":
@@ -265,12 +349,29 @@ class ResultStore:
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
 
+    def _fetchall(self, query: str, params: Sequence = ()) -> list:
+        """Run one read query to completion under the lock."""
+        with self._lock:
+            return self._conn.execute(query, tuple(params)).fetchall()
+
+    def _fetchone(self, query: str, params: Sequence = ()):
+        with self._lock:
+            return self._conn.execute(query, tuple(params)).fetchone()
+
+    def _commit(self, query: str, params: Sequence = ()) -> int:
+        """Run one write statement and commit it, under the lock."""
+        with self._lock:
+            cursor = self._conn.execute(query, tuple(params))
+            self._conn.commit()
+            return cursor.rowcount
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the underlying connection."""
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -289,7 +390,7 @@ class ResultStore:
     ) -> str:
         """Register *spec* (idempotent) and return its campaign id."""
         campaign_id = spec.campaign_id
-        self._conn.execute(
+        self._commit(
             "INSERT OR IGNORE INTO campaigns (campaign_id, created_at,"
             " backend, equipage, coordination, runs_per_scenario,"
             " num_scenarios, seed_entropy, table_digest, config_digest,"
@@ -310,7 +411,6 @@ class ResultStore:
                 json.dumps(metadata or {}),
             ),
         )
-        self._conn.commit()
         return campaign_id
 
     def add_record(self, campaign_id: str, record: RunRecord) -> bool:
@@ -322,7 +422,7 @@ class ResultStore:
         however often.  Each record commits individually, so an
         interrupted campaign keeps everything already yielded.
         """
-        cursor = self._conn.execute(
+        changed = self._commit(
             "INSERT OR IGNORE INTO records (campaign_id, scenario_index,"
             " name, genome, num_runs, nmac_rate, mean_min_separation,"
             " min_separation, min_horizontal, own_alert_rate,"
@@ -345,34 +445,33 @@ class ResultStore:
                 _pack_runs(record.runs),
             ),
         )
-        self._conn.commit()
-        return cursor.rowcount > 0
+        return changed > 0
 
     def add_wall_time(self, campaign_id: str, seconds: float,
                       cpu_count: Optional[int] = None) -> None:
         """Accumulate simulation wall time (and record the CPU count)."""
-        self._conn.execute(
+        self._commit(
             "UPDATE campaigns SET wall_time = wall_time + ?,"
             " cpu_count = COALESCE(?, cpu_count) WHERE campaign_id = ?",
             (float(seconds), cpu_count, campaign_id),
         )
-        self._conn.commit()
 
     def merge_metadata(self, campaign_id: str, updates: dict) -> None:
         """Merge *updates* into a campaign's metadata (new values win)."""
-        row = self._conn.execute(
-            "SELECT metadata FROM campaigns WHERE campaign_id = ?",
-            (campaign_id,),
-        ).fetchone()
-        if row is None:
-            raise KeyError(f"no campaign matching {campaign_id!r}")
-        metadata = json.loads(row[0])
-        metadata.update(updates)
-        self._conn.execute(
-            "UPDATE campaigns SET metadata = ? WHERE campaign_id = ?",
-            (json.dumps(metadata), campaign_id),
-        )
-        self._conn.commit()
+        with self._lock:  # read-modify-write must not interleave
+            row = self._conn.execute(
+                "SELECT metadata FROM campaigns WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"no campaign matching {campaign_id!r}")
+            metadata = json.loads(row[0])
+            metadata.update(updates)
+            self._conn.execute(
+                "UPDATE campaigns SET metadata = ? WHERE campaign_id = ?",
+                (json.dumps(metadata), campaign_id),
+            )
+            self._conn.commit()
 
     def ingest(
         self, result_set: ResultSet, label: str = ""
@@ -395,25 +494,27 @@ class ResultStore:
         # Re-ingesting identical content refreshes timing but must not
         # clobber what an earlier ingest recorded (its label above all)
         # — existing metadata keys win the merge.
-        existing = json.loads(
+        with self._lock:
+            existing = json.loads(
+                self._conn.execute(
+                    "SELECT metadata FROM campaigns WHERE campaign_id = ?",
+                    (campaign_id,),
+                ).fetchone()[0]
+            )
+            metadata.update(existing)
+            cpu_count = result_set.metadata.get("cpu_count")
             self._conn.execute(
-                "SELECT metadata FROM campaigns WHERE campaign_id = ?",
-                (campaign_id,),
-            ).fetchone()[0]
-        )
-        metadata.update(existing)
-        cpu_count = result_set.metadata.get("cpu_count")
-        self._conn.execute(
-            "UPDATE campaigns SET wall_time = ?, cpu_count = COALESCE(?,"
-            " cpu_count), metadata = ? WHERE campaign_id = ?",
-            (
-                float(result_set.wall_time),
-                cpu_count,
-                json.dumps(metadata),
-                campaign_id,
-            ),
-        )
-        self._conn.commit()
+                "UPDATE campaigns SET wall_time = ?, cpu_count ="
+                " COALESCE(?, cpu_count), metadata = ?"
+                " WHERE campaign_id = ?",
+                (
+                    float(result_set.wall_time),
+                    cpu_count,
+                    json.dumps(metadata),
+                    campaign_id,
+                ),
+            )
+            self._conn.commit()
         return campaign_id
 
     # ------------------------------------------------------------------
@@ -421,7 +522,7 @@ class ResultStore:
     # ------------------------------------------------------------------
     def completed_indices(self, campaign_id: str) -> Set[int]:
         """Scenario indices already stored for *campaign_id*."""
-        rows = self._conn.execute(
+        rows = self._fetchall(
             "SELECT scenario_index FROM records WHERE campaign_id = ?",
             (campaign_id,),
         )
@@ -432,10 +533,10 @@ class ResultStore:
     # ------------------------------------------------------------------
     def resolve(self, campaign_id: str) -> str:
         """Resolve a (possibly abbreviated) campaign id to the full id."""
-        rows = self._conn.execute(
+        rows = self._fetchall(
             "SELECT campaign_id FROM campaigns WHERE campaign_id LIKE ?",
             (campaign_id + "%",),
-        ).fetchall()
+        )
         if not rows:
             raise KeyError(f"no campaign matching {campaign_id!r}")
         if len(rows) > 1:
@@ -449,11 +550,15 @@ class ResultStore:
         self,
         where: Optional[str] = None,
         params: Sequence = (),
+        limit: Optional[int] = None,
+        offset: int = 0,
     ) -> List[CampaignInfo]:
         """All stored campaigns, newest first.
 
         *where* is an optional SQL filter over the ``campaigns`` columns
-        (e.g. ``"equipage = ?"`` with ``params=("none",)``).
+        (e.g. ``"equipage = ?"`` with ``params=("none",)``);
+        *limit*/*offset* paginate large stores (the ordering is stable,
+        so consecutive pages tile the full listing).
         """
         query = (
             "SELECT c.*, (SELECT COUNT(*) FROM records r"
@@ -463,8 +568,16 @@ class ResultStore:
         if where:
             query += f" WHERE {_validate_filter(where)}"
         query += " ORDER BY c.created_at DESC, c.campaign_id"
-        rows = self._execute_filtered(query, tuple(params), where)
+        query, values = _paginate(query, tuple(params), limit, offset)
+        rows = self._execute_filtered(query, values, where)
         return [self._info(row) for row in rows]
+
+    def totals(self) -> Dict[str, int]:
+        """Store-wide row counts (the service's health/brief numbers)."""
+        return {
+            "campaigns": self._fetchone("SELECT COUNT(*) FROM campaigns")[0],
+            "records": self._fetchone("SELECT COUNT(*) FROM records")[0],
+        }
 
     def get_campaign(self, campaign_id: str) -> CampaignInfo:
         """One campaign's info (accepts abbreviated ids)."""
@@ -472,20 +585,17 @@ class ResultStore:
         matches = self.campaigns("c.campaign_id = ?", (campaign_id,))
         return matches[0]
 
-    def records(
+    def _records_query(
         self,
-        campaign_id: Optional[str] = None,
-        where: Optional[str] = None,
-        params: Sequence = (),
-    ) -> List[StoredRecord]:
-        """Stored records, optionally filtered, across campaigns.
-
-        *where* filters over the ``records`` columns (e.g.
-        ``"nmac_rate > ?"``); omit *campaign_id* to query every
-        campaign at once — the cross-campaign shape ("all scenarios
-        anywhere with NMACs") loose JSON files could not answer.
-        """
-        query = "SELECT * FROM records"
+        columns: str,
+        campaign_id: Optional[str],
+        where: Optional[str],
+        params: Sequence,
+        limit: Optional[int],
+        offset: int,
+    ) -> Tuple[str, tuple]:
+        """Build the shared filtered/paginated records query."""
+        query = f"SELECT {columns} FROM records"
         clauses, values = [], []
         if campaign_id is not None:
             clauses.append("campaign_id = ?")
@@ -496,13 +606,62 @@ class ResultStore:
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY campaign_id, scenario_index"
-        rows = self._execute_filtered(query, tuple(values), where)
+        return _paginate(query, tuple(values), limit, offset)
+
+    def records(
+        self,
+        campaign_id: Optional[str] = None,
+        where: Optional[str] = None,
+        params: Sequence = (),
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[StoredRecord]:
+        """Stored records, optionally filtered, across campaigns.
+
+        *where* filters over the ``records`` columns (e.g.
+        ``"nmac_rate > ?"``); omit *campaign_id* to query every
+        campaign at once — the cross-campaign shape ("all scenarios
+        anywhere with NMACs") loose JSON files could not answer.
+        *limit*/*offset* paginate: the ordering (campaign id, scenario
+        index) is stable, so pages tile the full result and a service
+        request never has to materialize a whole campaign.
+        """
+        query, values = self._records_query(
+            "*", campaign_id, where, params, limit, offset
+        )
+        rows = self._execute_filtered(query, values, where)
         return [
             StoredRecord(
                 campaign_id=row["campaign_id"], record=self._record(row)
             )
             for row in rows
         ]
+
+    def record_rows(
+        self,
+        campaign_id: Optional[str] = None,
+        where: Optional[str] = None,
+        params: Sequence = (),
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[Dict[str, object]]:
+        """Like :meth:`records`, but scalar aggregate columns only.
+
+        Returns plain dicts of the indexed per-scenario columns without
+        decoding any per-run blob — the shape the service's records
+        endpoint and the watchlist's ranking scans use, where decoding
+        millions of npz blobs would dominate the query.
+        """
+        columns = (
+            "campaign_id, scenario_index, name, num_runs, nmac_rate,"
+            " mean_min_separation, min_separation, min_horizontal,"
+            " own_alert_rate, intruder_alert_rate"
+        )
+        query, values = self._records_query(
+            columns, campaign_id, where, params, limit, offset
+        )
+        rows = self._execute_filtered(query, values, where)
+        return [dict(row) for row in rows]
 
     def _execute_filtered(
         self, query: str, values: tuple, where: Optional[str]
@@ -515,7 +674,7 @@ class ResultStore:
         the user.
         """
         try:
-            return self._conn.execute(query, values).fetchall()
+            return self._fetchall(query, values)
         except (sqlite3.OperationalError, sqlite3.ProgrammingError) as error:
             if where is None:
                 raise
@@ -532,22 +691,36 @@ class ResultStore:
         campaign resume path uses to interleave stored records with a
         live simulation stream that is inserting into the same table.
         """
-        row = self._conn.execute(
+        row = self._fetchone(
             "SELECT * FROM records WHERE campaign_id = ?"
             " AND scenario_index = ?",
             (campaign_id, scenario_index),
-        ).fetchone()
+        )
         return None if row is None else self._record(row)
 
-    def iter_records(self, campaign_id: str) -> Iterator[RunRecord]:
-        """Stream one campaign's records in scenario-index order."""
-        rows = self._conn.execute(
-            "SELECT * FROM records WHERE campaign_id = ?"
-            " ORDER BY scenario_index",
-            (campaign_id,),
-        )
-        for row in rows:
-            yield self._record(row)
+    def iter_records(
+        self, campaign_id: str, batch: int = 256
+    ) -> Iterator[RunRecord]:
+        """Stream one campaign's records in scenario-index order.
+
+        Rows are fetched in keyset pages of *batch* under the
+        connection lock, never via a cursor held open across yields —
+        other threads' queries and writes interleave safely between
+        pages.
+        """
+        last = -1
+        while True:
+            rows = self._fetchall(
+                "SELECT * FROM records WHERE campaign_id = ?"
+                " AND scenario_index > ?"
+                " ORDER BY scenario_index LIMIT ?",
+                (campaign_id, last, batch),
+            )
+            if not rows:
+                return
+            for row in rows:
+                yield self._record(row)
+            last = rows[-1]["scenario_index"]
 
     def resultset(self, campaign_id: str) -> ResultSet:
         """Reconstruct the full :class:`ResultSet` of one campaign.
@@ -603,7 +776,7 @@ class ResultStore:
         comparing large campaigns stays O(rows), not O(runs).
         """
         campaign_id = self.resolve(campaign_id)
-        row = self._conn.execute(
+        row = self._fetchone(
             "SELECT COUNT(*), SUM(num_runs),"
             " SUM(nmac_rate * num_runs),"
             " SUM(own_alert_rate * num_runs),"
@@ -611,14 +784,14 @@ class ResultStore:
             " MIN(min_separation)"
             " FROM records WHERE campaign_id = ?",
             (campaign_id,),
-        ).fetchone()
+        )
         scenarios, total_runs = row[0], int(row[1] or 0)
         if not total_runs:
             raise KeyError(f"campaign {campaign_id!r} has no records")
-        wall_time = self._conn.execute(
+        wall_time = self._fetchone(
             "SELECT wall_time FROM campaigns WHERE campaign_id = ?",
             (campaign_id,),
-        ).fetchone()[0]
+        )[0]
         return {
             "scenarios": scenarios,
             "total_runs": total_runs,
@@ -638,24 +811,16 @@ class ResultStore:
         """
         info_a = self.get_campaign(campaign_a)
         info_b = self.get_campaign(campaign_b)
-        digests = {
-            info.campaign_id: self._conn.execute(
-                "SELECT scenarios_digest FROM campaigns"
-                " WHERE campaign_id = ?",
-                (info.campaign_id,),
-            ).fetchone()[0]
-            for info in (info_a, info_b)
-        }
         paired: Tuple[Tuple[int, float, float], ...] = ()
-        if digests[info_a.campaign_id] == digests[info_b.campaign_id]:
-            rows = self._conn.execute(
+        if info_a.scenarios_digest == info_b.scenarios_digest:
+            rows = self._fetchall(
                 "SELECT a.scenario_index, a.nmac_rate, b.nmac_rate"
                 " FROM records a JOIN records b"
                 " ON a.scenario_index = b.scenario_index"
                 " WHERE a.campaign_id = ? AND b.campaign_id = ?"
                 " ORDER BY a.scenario_index",
                 (info_a.campaign_id, info_b.campaign_id),
-            ).fetchall()
+            )
             paired = tuple((r[0], r[1], r[2]) for r in rows)
         return CampaignDiff(
             a=info_a,
@@ -683,6 +848,7 @@ class ResultStore:
             wall_time=row["wall_time"],
             cpu_count=row["cpu_count"],
             metadata=json.loads(row["metadata"]),
+            scenarios_digest=row["scenarios_digest"],
         )
 
     @staticmethod

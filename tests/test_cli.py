@@ -298,3 +298,82 @@ class TestAirspace:
         )
         assert code == 0
         assert "alerted: 0.00" in capsys.readouterr().out
+
+
+class TestMachineReadableViews:
+    """--format json + pagination: the script/service-shared surface."""
+
+    def _seed_store(self, tmp_path, capsys, campaigns=2):
+        store_path = str(tmp_path / "s.sqlite")
+        for seed in range(campaigns):
+            assert main(["campaign", "--sample", "3", "--runs", "2",
+                         "--seed", str(seed), "--equipage", "none",
+                         "--store", store_path]) == 0
+        capsys.readouterr()
+        return store_path
+
+    def test_store_list_json_and_pagination(self, tmp_path, capsys):
+        store_path = self._seed_store(tmp_path, capsys)
+        assert main(["store", "list", store_path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert {"campaign_id", "label", "complete", "num_scenarios",
+                "scenarios_digest"} <= set(payload[0])
+
+        assert main(["store", "list", store_path, "--format", "json",
+                     "--limit", "1", "--offset", "1"]) == 0
+        window = json.loads(capsys.readouterr().out)
+        assert [c["campaign_id"] for c in window] == [
+            payload[1]["campaign_id"]
+        ]
+
+    def test_store_records_pagination(self, tmp_path, capsys):
+        store_path = self._seed_store(tmp_path, capsys, campaigns=1)
+        assert main(["store", "records", store_path,
+                     "--limit", "2", "--offset", "1"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["index"] for r in rows] == [1, 2]
+
+    def test_status_json(self, tmp_path, capsys):
+        store_path = str(tmp_path / "s.sqlite")
+        queue_path = str(tmp_path / "q.sqlite")
+        assert main(["submit", "--sample", "2", "--runs", "2",
+                     "--equipage", "none", "--queue", queue_path,
+                     "--store", store_path]) == 0
+        capsys.readouterr()
+        assert main(["status", queue_path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queue"] == queue_path
+        assert len(payload["jobs"]) == 1
+        job = payload["jobs"][0]
+        assert job["num_scenarios"] == 2
+        assert job["chunks"]["total"] >= 1
+        assert job["complete"] is False  # nothing drained it yet
+
+    def test_watchlist_command(self, tmp_path, capsys):
+        store_path = self._seed_store(tmp_path, capsys, campaigns=1)
+        assert main(["watchlist", store_path]) == 0
+        brief = capsys.readouterr().out
+        assert "watchlist brief" in brief
+        assert "none pinned" in brief
+
+        assert main(["watchlist", store_path, "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["records_scanned"] == 3
+        assert snapshot["alerts"] == []
+
+        with pytest.raises(SystemExit):
+            main(["watchlist", str(tmp_path / "missing.sqlite")])
+        with pytest.raises(SystemExit):
+            main(["watchlist", store_path, "--baseline", "deadbeef"])
+
+    def test_watchlist_fail_on_alert_gates(self, tmp_path, capsys):
+        store_path = self._seed_store(tmp_path, capsys, campaigns=1)
+        ids = json.loads(
+            (main(["store", "list", store_path, "--format", "json"]),
+             capsys.readouterr().out)[1]
+        )
+        baseline = ids[0]["campaign_id"]
+        # Only the baseline itself is stored: nothing can regress.
+        assert main(["watchlist", store_path, "--baseline", baseline,
+                     "--fail-on-alert"]) == 0

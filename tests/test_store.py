@@ -494,3 +494,122 @@ class TestFilterHardening:
         assert len(rows) == len(results)
         infos = store.campaigns(where="c.equipage = ?", params=("both",))
         assert len(infos) == 1
+
+
+class TestPagination:
+    def test_records_limit_offset_window_the_index_order(
+        self, test_table, store
+    ):
+        make_campaign(test_table, scenarios=5, runs=2).run(seed=0, store=store)
+        full = store.records()
+        page = store.records(limit=2, offset=1)
+        assert [r.index for r in page] == [r.index for r in full[1:3]]
+        assert store.records(limit=0) == []
+        assert [r.index for r in store.records(offset=4)] == [4]
+        assert store.records(offset=99) == []
+
+    def test_campaigns_limit_offset(self, test_table, store):
+        for seed in range(3):
+            make_campaign(test_table, scenarios=2, runs=2).run(
+                seed=seed, store=store
+            )
+        everything = [c.campaign_id for c in store.campaigns()]
+        assert len(everything) == 3
+        window = [c.campaign_id for c in store.campaigns(limit=1, offset=1)]
+        assert window == everything[1:2]
+
+    def test_negative_limit_and_offset_rejected(self, test_table, store):
+        with pytest.raises(ValueError, match="limit"):
+            store.records(limit=-1)
+        with pytest.raises(ValueError, match="offset"):
+            store.campaigns(offset=-1)
+
+    def test_record_rows_match_decoded_records(self, test_table, store):
+        results = make_campaign(test_table, scenarios=3, runs=2).run(
+            seed=0, store=store
+        )
+        campaign_id = results.metadata["campaign_id"]
+        rows = store.record_rows(campaign_id, limit=2)
+        assert len(rows) == 2
+        for row, record in zip(rows, results):
+            assert row["scenario_index"] == record.index
+            assert row["name"] == record.name
+            assert row["nmac_rate"] == record.nmac_rate
+            assert row["min_separation"] == record.min_separation
+        assert "params" not in rows[0]  # scalar view: no blob decode
+
+    def test_iter_records_streams_in_index_order(self, test_table, store):
+        results = make_campaign(test_table, scenarios=5, runs=2).run(
+            seed=0, store=store
+        )
+        campaign_id = results.metadata["campaign_id"]
+        streamed = list(store.iter_records(campaign_id, batch=2))
+        assert [r.index for r in streamed] == [0, 1, 2, 3, 4]
+        # assert_records_identical only needs len() + iteration.
+        assert_records_identical(streamed, list(results))
+
+    def test_totals(self, test_table, store):
+        assert store.totals() == {"campaigns": 0, "records": 0}
+        make_campaign(test_table, scenarios=3, runs=2).run(seed=0, store=store)
+        assert store.totals() == {"campaigns": 1, "records": 3}
+
+
+class TestThreadSafety:
+    """One shared handle must serve concurrent readers (the service)."""
+
+    def test_concurrent_readers_share_one_handle(self, test_table, store):
+        import threading
+
+        results = make_campaign(test_table, scenarios=4, runs=2).run(
+            seed=0, store=store
+        )
+        campaign_id = results.metadata["campaign_id"]
+        expected = store.aggregates(campaign_id)
+        errors = []
+
+        def read(loops=25):
+            try:
+                for _ in range(loops):
+                    assert store.aggregates(campaign_id) == expected
+                    rows = store.record_rows(campaign_id, limit=2, offset=1)
+                    assert [r["scenario_index"] for r in rows] == [1, 2]
+                    assert store.get_campaign(campaign_id).complete
+                    assert len(store.campaigns()) == 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_reader_threads_while_writer_appends(self, test_table, store):
+        """The service shape: request threads read while a run writes."""
+        import threading
+
+        campaign = make_campaign(test_table, scenarios=6, runs=2)
+        stop = threading.Event()
+        errors = []
+
+        def poll():
+            try:
+                while not stop.is_set():
+                    for info in store.campaigns():
+                        store.record_rows(info.campaign_id, limit=3)
+                        store.completed_indices(info.campaign_id)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        readers = [threading.Thread(target=poll) for _ in range(4)]
+        for reader in readers:
+            reader.start()
+        try:
+            results = campaign.run(seed=3, store=store)
+        finally:
+            stop.set()
+            for reader in readers:
+                reader.join()
+        assert errors == []
+        assert len(store.records()) == len(results)
