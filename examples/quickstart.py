@@ -29,7 +29,14 @@ campaign API:
    application ``repro serve`` binds to a socket), read live progress
    and records over the REST surface, pin the equipped campaign as
    the watchlist baseline, and watch the unequipped one fire an NMAC
-   regression alert in the text brief.
+   regression alert in the text brief;
+9. demonstrate the robustness layer: plant a torn record write with
+   the deterministic fault injector (``repro.faults``), catch it with
+   the store's per-record checksums (``repro store verify``),
+   quarantine it (``--repair``) so resume re-simulates exactly the
+   damaged scenario, and run a **self-healing fleet**
+   (``repro fleet``) that restarts crashed workers with backoff and
+   gives up cleanly on crash loops.
 
 **Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
 registered simulation backends.  Measured on a 50-scenario × 100-run
@@ -89,6 +96,22 @@ shell::
         --queue queue.sqlite --store results.sqlite
     repro store list results.sqlite --queue queue.sqlite
     repro queue gc queue.sqlite --dry-run   # collect finished chunks
+
+**Self-healing fleets and store integrity.**  ``repro fleet`` is a
+one-shot supervised fleet: it spawns ``repro worker`` subprocesses,
+restarts any that crash (exponential backoff; a SIGKILLed worker's
+chunk is reclaimed on lease expiry), and refuses to crash-loop — a
+slot that dies repeatedly gives up, and only if *every* slot gives up
+with work still queued does the command fail, printing the dead
+worker's stderr.  Every stored record carries a sha256 checksum;
+``repro store verify`` audits them (torn writes, bit-rot) and
+``--repair`` quarantines corrupt rows so the next resume re-simulates
+exactly the damaged scenarios — zero extra simulations::
+
+    repro fleet --queue queue.sqlite --workers 4   # supervised drain
+    repro store verify results.sqlite              # checksum audit
+    repro store verify results.sqlite --repair     # quarantine, then
+    repro submit ... && repro fleet ...            # heal on resume
 
 **The campaign service.**  The same store (and optionally the same
 queue) serve a long-running HTTP front door — stdlib-only, started
@@ -285,6 +308,40 @@ def main() -> None:
     print()
     print(client.get("/brief?refresh=1").text)
     service.close()
+
+    print("=== 9. Robustness: fault injection, verify/repair, fleet ===")
+    # Plant a torn write with the deterministic chaos layer: the next
+    # store write is truncated mid-blob, as a crash or bit-rot would.
+    from repro import faults
+    from repro.distributed import FleetSupervisor
+    from repro.faults import FaultPlan, FaultRule
+
+    victim = baseline.records[0]
+    store._conn.execute(
+        "DELETE FROM records WHERE campaign_id = ? AND scenario_index = ?",
+        (baseline.metadata["campaign_id"], victim.index),
+    )
+    store._conn.commit()
+    torn = FaultPlan(
+        seed=1, rules=[FaultRule("store.write.torn", times=(1,))]
+    )
+    with faults.inject(torn):
+        store.add_record(baseline.metadata["campaign_id"], victim)
+    report = store.verify()
+    print(f"store verify: {len(report.corrupt)} corrupt record(s) "
+          f"out of {report.checked}")
+    store.verify(repair=True)  # -> quarantine (repro store verify --repair)
+    healed = Campaign(
+        SCENARIOS, equipage="none", runs_per_scenario=RUNS
+    ).run(seed=42, store=store)
+    print(f"after --repair, resume re-simulated exactly "
+          f"{healed.metadata['simulated']} scenario(s); "
+          f"store verify ok = {store.verify().ok}")
+    # The supervised fleet (`repro fleet --workers 2`): here the queue
+    # is already drained, so the workers start, find nothing, and exit
+    # cleanly — crashed workers would be restarted with backoff.
+    fleet_report = FleetSupervisor(queue_path, workers=2).run(timeout=120)
+    print(fleet_report.summary())
 
 
 if __name__ == "__main__":

@@ -407,7 +407,11 @@ def cmd_submit(args) -> int:
 
 
 def cmd_worker(args) -> int:
-    from repro.distributed import Worker
+    from repro.distributed import (
+        EXIT_HEARTBEAT_DEAD,
+        HeartbeatFailure,
+        Worker,
+    )
 
     if args.lease <= 0:
         raise SystemExit("--lease must be > 0")
@@ -421,13 +425,50 @@ def cmd_worker(args) -> int:
         campaign_id=args.campaign,
         skew_margin=args.skew_margin,
     )
-    stats = worker.run(
-        max_chunks=args.max_chunks,
-        idle_timeout=args.idle_timeout,
-        forever=args.forever,
-    )
+    try:
+        stats = worker.run(
+            max_chunks=args.max_chunks,
+            idle_timeout=args.idle_timeout,
+            forever=args.forever,
+        )
+    except HeartbeatFailure as failure:
+        # The lease heartbeat thread died: the lease will lapse and a
+        # rival may reclaim our chunk, so racing it is unsafe.  Exit
+        # with a status a supervisor can tell apart from a drain.
+        print(f"worker: {failure}", file=sys.stderr)
+        return EXIT_HEARTBEAT_DEAD
     print(stats.summary())
     return 0
+
+
+def cmd_fleet(args) -> int:
+    from repro.distributed import FleetSupervisor
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.lease <= 0:
+        raise SystemExit("--lease must be > 0")
+    supervisor = FleetSupervisor(
+        args.queue,
+        workers=args.workers,
+        campaign_id=args.campaign,
+        lease_seconds=args.lease,
+        poll_interval=args.poll,
+        skew_margin=args.skew_margin,
+        restart_backoff=args.backoff,
+        max_restarts=args.max_restarts,
+        restart_window=args.restart_window,
+        stall_timeout=args.stall_timeout,
+    )
+    try:
+        report = supervisor.run(timeout=args.timeout)
+    except (RuntimeError, TimeoutError) as error:
+        raise SystemExit(str(error))
+    if args.verbose:
+        for event in report.events:
+            print(event.describe())
+    print(report.summary())
+    return 0 if report.drained else 1
 
 
 def cmd_status(args) -> int:
@@ -735,12 +776,24 @@ def _store_diff(store: ResultStore, args) -> int:
     return 0
 
 
+def _store_verify(store: ResultStore, args) -> int:
+    campaign_id = (
+        store.resolve(args.campaign) if args.campaign else None
+    )
+    report = store.verify(campaign_id=campaign_id, repair=args.repair)
+    print(report.describe())
+    if report.corrupt and not args.repair:
+        return 2
+    return 0
+
+
 _STORE_COMMANDS = {
     "list": _store_list,
     "show": _store_show,
     "export": _store_export,
     "diff": _store_diff,
     "records": _store_records,
+    "verify": _store_verify,
 }
 
 
@@ -905,6 +958,54 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--forever", action="store_true",
                         help="keep polling an empty queue (service mode)")
     worker.set_defaults(func=cmd_worker)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run a self-healing local worker fleet",
+        description=(
+            "Spawn N `repro worker` subprocesses in drain mode and "
+            "supervise them: crashed workers are restarted with "
+            "exponential backoff (a SIGKILLed worker's chunk is "
+            "reclaimed on lease expiry), a slot that crash-loops "
+            "--max-restarts times within --restart-window gives up "
+            "(the fleet degrades to the survivors), and only if every "
+            "slot gives up with work still queued does the command "
+            "fail, printing the last worker's stderr.  Exits 0 when "
+            "the queue drained, 1 otherwise."
+        ),
+    )
+    fleet.add_argument("--queue", metavar="PATH", required=True,
+                       help="shared work-queue sqlite path")
+    fleet.add_argument("--workers", type=int, default=2,
+                       help="worker slots to keep live (default: 2)")
+    fleet.add_argument("--campaign", default=None, metavar="ID",
+                       help="pin workers to this campaign (full id)")
+    fleet.add_argument("--lease", type=float, default=15.0,
+                       help="lease seconds per claim (short leases "
+                            "reclaim a killed worker's chunk sooner)")
+    fleet.add_argument("--poll", type=float, default=0.1,
+                       help="worker seconds between claim attempts")
+    fleet.add_argument("--skew-margin", type=float, default=0.0,
+                       help="extra seconds past lease expiry before "
+                            "reclaiming (cross-host clock-skew bound)")
+    fleet.add_argument("--backoff", type=float, default=0.25,
+                       help="seconds before a crashed worker's first "
+                            "restart (doubles per crash, capped)")
+    fleet.add_argument("--max-restarts", type=int, default=5,
+                       help="crashes within --restart-window before a "
+                            "slot gives up")
+    fleet.add_argument("--restart-window", type=float, default=60.0,
+                       help="crash-loop detection window, seconds")
+    fleet.add_argument("--stall-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill-and-restart a live worker whose queue "
+                            "heartbeat is older than this (default: "
+                            "disabled)")
+    fleet.add_argument("--timeout", type=float, default=None,
+                       help="give up entirely after this long")
+    fleet.add_argument("--verbose", action="store_true",
+                       help="print every worker exit/restart event")
+    fleet.set_defaults(func=cmd_fleet)
 
     status = subparsers.add_parser(
         "status",
@@ -1135,6 +1236,30 @@ def build_parser() -> argparse.ArgumentParser:
     store_diff.add_argument("path", help="store sqlite path")
     store_diff.add_argument("campaign_a", help="campaign id (prefix ok)")
     store_diff.add_argument("campaign_b", help="campaign id (prefix ok)")
+
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="check per-record checksums; --repair quarantines",
+        description=(
+            "Re-hash every stored record blob against its recorded "
+            "sha256 (and re-decode it) to catch torn writes and "
+            "bit-rot.  Without --repair, corrupt rows are reported "
+            "and the command exits 2.  With --repair they are moved "
+            "to a quarantine table and deleted from the live records, "
+            "so resubmitting the campaign re-simulates exactly the "
+            "damaged scenarios.  Legacy rows without a checksum are "
+            "backfilled during --repair."
+        ),
+    )
+    store_verify.add_argument("path", help="store sqlite path")
+    store_verify.add_argument(
+        "--campaign", default=None,
+        help="restrict to one campaign id (prefix ok; default: all)",
+    )
+    store_verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt rows and backfill legacy checksums",
+    )
 
     store.set_defaults(func=cmd_store)
 

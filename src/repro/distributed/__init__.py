@@ -60,7 +60,17 @@ from repro.distributed.queue import (
     WorkQueue,
     default_worker_id,
 )
-from repro.distributed.worker import Worker, WorkerStats
+from repro.distributed.supervisor import (
+    FleetReport,
+    FleetSupervisor,
+    WorkerEvent,
+)
+from repro.distributed.worker import (
+    EXIT_HEARTBEAT_DEAD,
+    HeartbeatFailure,
+    Worker,
+    WorkerStats,
+)
 from repro.distributed.backend import DistributedBackend
 
 __all__ = [
@@ -70,10 +80,15 @@ __all__ = [
     "DistributedBackend",
     "DistributedExecutor",
     "DistributedRun",
+    "EXIT_HEARTBEAT_DEAD",
+    "FleetReport",
+    "FleetSupervisor",
     "GcReport",
+    "HeartbeatFailure",
     "JobInfo",
     "Progress",
     "Worker",
+    "WorkerEvent",
     "WorkerInfo",
     "WorkerStats",
     "WorkQueue",

@@ -106,6 +106,11 @@ class DistributedBackend:
     chunk_size:
         Default scenarios per queued chunk (``None`` = planner's
         choice).
+    verify:
+        When ``True``, run :meth:`~repro.store.ResultStore.verify`
+        over the campaign's records after the fleet drains and before
+        collecting — a corrupted record (torn write, bit-rot) raises
+        instead of flowing into the result set as truth.
     """
 
     name = "distributed"
@@ -126,6 +131,7 @@ class DistributedBackend:
         worker_ttl: float = DEFAULT_WORKER_TTL,
         wait_timeout: Optional[float] = None,
         chunk_size: Optional[int] = None,
+        verify: bool = False,
     ):
         _validate_equipage(equipage, table)
         if inner == self.name or inner not in available_backends():
@@ -166,6 +172,7 @@ class DistributedBackend:
         self.worker_ttl = worker_ttl
         self.wait_timeout = wait_timeout
         self.chunk_size = chunk_size
+        self.verify = verify
         self._local: Optional[SimulationBackend] = None
 
     def __repr__(self) -> str:
@@ -224,6 +231,7 @@ class DistributedBackend:
                 "worker_ttl": self.worker_ttl,
                 "wait_timeout": self.wait_timeout,
                 "chunk_size": self.chunk_size,
+                "verify": self.verify,
             },
         )
 
@@ -306,6 +314,14 @@ class DistributedBackend:
             chunk_size=chunk_size or self.chunk_size,
         )
         fallback_ran = self._await(run)
+        if self.verify:
+            with ResultStore(self.store_path) as store:
+                report = store.verify(campaign_id=run.campaign_id)
+            if not report.ok:
+                raise RuntimeError(
+                    f"campaign {run.campaign_id[:12]} failed integrity "
+                    f"verification before collect:\n{report.describe()}"
+                )
         results = run.collect()
         results.metadata["distributed_workers"] = "fleet"
         results.metadata["distributed_fallback"] = fallback_ran

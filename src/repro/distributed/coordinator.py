@@ -367,7 +367,7 @@ def submit(
                 metadata=metadata,
             )
             if payloads
-            else False
+            else 0
         )
 
     return DistributedRun(
@@ -376,7 +376,7 @@ def submit(
         store_path=store_path,
         num_scenarios=len(scenario_list),
         already_stored=len(done),
-        chunks_enqueued=len(payloads) if enqueued else 0,
+        chunks_enqueued=enqueued,
     )
 
 
@@ -460,6 +460,11 @@ class DistributedExecutor:
         filesystem) to drain the campaign.
     wait_timeout:
         Upper bound on waiting for campaign completion.
+    supervised:
+        When ``True``, the local fleet runs under a
+        :class:`~repro.distributed.supervisor.FleetSupervisor`
+        (worker subprocesses restarted on crash, crash-loop
+        detection) instead of fire-and-forget processes.
     """
 
     def __init__(
@@ -472,6 +477,7 @@ class DistributedExecutor:
         chunk_size: Optional[int] = None,
         external_workers: bool = False,
         wait_timeout: Optional[float] = None,
+        supervised: bool = False,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -483,6 +489,7 @@ class DistributedExecutor:
         self.chunk_size = chunk_size
         self.external_workers = external_workers
         self.wait_timeout = wait_timeout
+        self.supervised = supervised
 
     def __repr__(self) -> str:
         return (
@@ -544,6 +551,17 @@ class DistributedExecutor:
                 poll_interval=self.poll_interval,
                 campaign_id=campaign_id,
             ).run()
+            return
+        if self.supervised:
+            from repro.distributed.supervisor import FleetSupervisor
+
+            FleetSupervisor(
+                self.queue_path,
+                workers=self.workers,
+                campaign_id=campaign_id,
+                lease_seconds=self.lease_seconds,
+                poll_interval=self.poll_interval,
+            ).run(timeout=self.wait_timeout)
             return
         run_workers(
             self.queue_path,

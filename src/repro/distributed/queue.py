@@ -63,6 +63,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     campaign_id       TEXT PRIMARY KEY,
@@ -341,6 +343,15 @@ class WorkQueue:
         """Run *fn* inside ``BEGIN IMMEDIATE``, retrying on lock."""
         for attempt in range(_WRITE_RETRIES):
             try:
+                # Fault seam: a "queue.write" fire behaves exactly like
+                # a busy database — transient storms are absorbed by
+                # this very retry loop, sustained ones propagate.
+                faults.maybe_fail(
+                    "queue.write",
+                    lambda event: sqlite3.OperationalError(
+                        "database is locked (injected busy storm)"
+                    ),
+                )
                 self._conn.execute("BEGIN IMMEDIATE")
             except sqlite3.OperationalError:
                 if attempt == _WRITE_RETRIES - 1:
@@ -349,6 +360,9 @@ class WorkQueue:
                 continue
             try:
                 result = fn()
+                # Fault seam: "queue.commit" stretches the window in
+                # which this transaction holds the write lock.
+                faults.maybe_delay("queue.commit")
                 self._conn.execute("COMMIT")
                 return result
             except BaseException:
@@ -367,17 +381,25 @@ class WorkQueue:
         num_scenarios: int,
         chunk_payloads: Sequence[bytes],
         metadata: Optional[dict] = None,
-    ) -> bool:
+    ) -> int:
         """Enqueue one campaign's chunks; idempotent per campaign id.
 
-        Returns ``True`` if the job was newly enqueued, ``False`` if a
-        job with the same (content-addressed) campaign id already
-        exists — in which case nothing is re-enqueued: the existing
-        chunks are either still being worked or already done, and the
-        store dedups any record either way.
+        Returns the number of chunks newly enqueued.  A re-submit while
+        the existing job still has chunks in flight (pending or
+        claimed) enqueues nothing and returns ``0`` — that work will
+        land on its own, and the store dedups any record either way.
+
+        A re-submit of a *settled* job (every chunk done or failed)
+        whose payloads cover work the store is missing tops the job up:
+        the payloads are appended as fresh chunk rows after the highest
+        existing index.  This is how quarantined scenarios (``repro
+        store verify --repair``) and attempts-exhausted failures get
+        back into the queue — the caller only ships payloads for
+        scenarios absent from the store, so a top-up re-enqueues
+        exactly the damaged tail.
         """
 
-        def txn() -> bool:
+        def txn() -> int:
             cursor = self._conn.execute(
                 "INSERT OR IGNORE INTO jobs (campaign_id, submitted_at,"
                 " store_path, backend_spec, runs_per_scenario,"
@@ -395,7 +417,34 @@ class WorkQueue:
                 ),
             )
             if cursor.rowcount == 0:
-                return False
+                if not chunk_payloads:
+                    return 0
+                in_flight = self._conn.execute(
+                    "SELECT COUNT(*) FROM chunks WHERE campaign_id = ?"
+                    " AND status IN ('pending', 'claimed')",
+                    (campaign_id,),
+                ).fetchone()[0]
+                if in_flight:
+                    return 0
+                next_index = self._conn.execute(
+                    "SELECT COALESCE(MAX(chunk_index), -1) + 1"
+                    " FROM chunks WHERE campaign_id = ?",
+                    (campaign_id,),
+                ).fetchone()[0]
+                self._conn.executemany(
+                    "INSERT INTO chunks (campaign_id, chunk_index,"
+                    " payload) VALUES (?, ?, ?)",
+                    [
+                        (campaign_id, next_index + offset, payload)
+                        for offset, payload in enumerate(chunk_payloads)
+                    ],
+                )
+                self._conn.execute(
+                    "UPDATE jobs SET num_chunks = num_chunks + ?"
+                    " WHERE campaign_id = ?",
+                    (len(chunk_payloads), campaign_id),
+                )
+                return len(chunk_payloads)
             self._conn.executemany(
                 "INSERT INTO chunks (campaign_id, chunk_index, payload)"
                 " VALUES (?, ?, ?)",
@@ -404,7 +453,7 @@ class WorkQueue:
                     for index, payload in enumerate(chunk_payloads)
                 ],
             )
-            return True
+            return len(chunk_payloads)
 
         return self._write(txn)
 

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro import faults
 from repro.distributed.queue import (
     DEFAULT_SKEW_MARGIN,
     DEFAULT_WORKER_TTL,
@@ -50,7 +51,26 @@ from repro.distributed.queue import (
 )
 from repro.experiments.backends import BackendSpec, SimulationBackend
 from repro.experiments.campaign import RunRecord, _execute_chunk
+from repro.faults import InjectedWorkerCrash
 from repro.store import ResultStore
+
+#: Exit status of ``repro worker`` when the lease-heartbeat thread died
+#: while a chunk simulated.  Distinct from generic failures (1) so a
+#: supervisor can tell "this worker's renewal machinery broke — restart
+#: it" apart from "this chunk's simulation raised".
+EXIT_HEARTBEAT_DEAD = 43
+
+
+class HeartbeatFailure(RuntimeError):
+    """The lease-heartbeat thread died while its chunk simulated.
+
+    Without the heartbeat the worker cannot keep its lease alive, so
+    every further long chunk would silently lose its claim mid-flight.
+    The worker releases the in-flight chunk (a rival can take it
+    immediately) and re-raises this instead of swallowing it — the CLI
+    maps it to :data:`EXIT_HEARTBEAT_DEAD` so a supervisor replaces the
+    worker process.
+    """
 
 
 @dataclass
@@ -108,18 +128,54 @@ class _LeaseHeartbeat(threading.Thread):
         )
         self._stop_event = threading.Event()
         self.lost = False
+        #: Traceback text if the thread died on an exception.
+        self.error: Optional[str] = None
 
     def run(self) -> None:
-        with WorkQueue(self._queue_path) as queue:
-            while not self._stop_event.wait(self._interval):
-                if not queue.renew(
-                    self._chunk.campaign_id,
-                    self._chunk.chunk_index,
-                    self._chunk.worker_id,
-                    self._lease_seconds,
-                ):
-                    self.lost = True
-                    return
+        try:
+            with WorkQueue(self._queue_path) as queue:
+                # First beat immediately, not a third of a lease in:
+                # renewal machinery broken from the start is discovered
+                # while chunk one simulates (and a seeded fault plan
+                # hits the first beat at a deterministic point — chunk
+                # start — independent of how fast the chunk runs).
+                while True:
+                    if faults.fire("worker.heartbeat.stall") is None:
+                        # A stall fire skips this renewal: the lease
+                        # ages toward expiry as if the thread wedged.
+                        faults.maybe_fail(
+                            "worker.heartbeat.die",
+                            lambda event: RuntimeError(
+                                "injected heartbeat death"
+                            ),
+                        )
+                        if not queue.renew(
+                            self._chunk.campaign_id,
+                            self._chunk.chunk_index,
+                            self._chunk.worker_id,
+                            self._lease_seconds,
+                        ):
+                            self.lost = True
+                            return
+                    if self._stop_event.wait(self._interval):
+                        return
+        except Exception:
+            self.error = traceback.format_exc()
+
+    @property
+    def dead(self) -> bool:
+        """Died without a verdict: neither stopped nor lease-lost.
+
+        A heartbeat that exited any other way left the worker flying
+        blind — its lease decays with nobody renewing it.
+        """
+        if self.error is not None:
+            return True
+        return (
+            not self.is_alive()
+            and not self.lost
+            and not self._stop_event.is_set()
+        )
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -207,9 +263,14 @@ class Worker:
         stats = WorkerStats(worker_id=self.worker_id)
         start = time.perf_counter()
         idle_since: Optional[float] = None
+        # Fault seam: a skewed worker opens its queue handle with an
+        # offset clock, as a host whose wall clock drifted would.
+        skew = faults.clock_skew("worker.clock.skew")
+        clock = (lambda: time.time() + skew) if skew else None
+        crashed = False
         try:
             with WorkQueue(
-                self.queue_path, skew_margin=self.skew_margin
+                self.queue_path, skew_margin=self.skew_margin, clock=clock
             ) as queue:
                 try:
                     while (
@@ -234,13 +295,22 @@ class Worker:
                             continue
                         idle_since = None
                         self._execute(queue, chunk, stats)
+                except InjectedWorkerCrash:
+                    # A simulated process death dies with everything in
+                    # hand: no release, no deregistration.  The lease
+                    # and liveness row age out exactly as they would
+                    # after a real SIGKILL.
+                    crashed = True
+                    raise
                 finally:
-                    # Clean exit: drop the liveness row, so a finished
-                    # worker is not counted as a live fleet member.
-                    try:
-                        queue.deregister_worker(self.worker_id)
-                    except Exception:
-                        pass
+                    if not crashed:
+                        # Clean exit: drop the liveness row, so a
+                        # finished worker is not counted as a live
+                        # fleet member.
+                        try:
+                            queue.deregister_worker(self.worker_id)
+                        except Exception:
+                            pass
         finally:
             for store in self._stores.values():
                 store.close()
@@ -274,6 +344,7 @@ class Worker:
             heartbeat.start()
         chunk_start = time.perf_counter()
         try:
+            faults.maybe_crash("worker.crash.post-claim")
             job = self._job_for(queue, chunk.campaign_id)
             backend = self._backend_for(job.backend_spec, stats)
             # Payload items are (index, name, params, seed): the name
@@ -283,6 +354,16 @@ class Worker:
             names = {index: name for index, name, _, _ in items}
             work = [(index, params, seed) for index, _, params, seed in items]
             outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            if heartbeat is not None and heartbeat.dead:
+                # The renewal machinery broke while we simulated —
+                # distinct from a *lost* lease: nobody else owns the
+                # chunk yet, but nobody is keeping it ours either.
+                raise HeartbeatFailure(
+                    f"lease heartbeat thread died while chunk "
+                    f"{chunk.campaign_id[:12]}/{chunk.chunk_index} "
+                    f"simulated: "
+                    f"{heartbeat.error or 'thread exited silently'}"
+                )
             if not self._still_held(queue, chunk, heartbeat):
                 # The lease was lost while simulating: a rival owns the
                 # chunk (and may already have finished it).  Abandon
@@ -292,8 +373,11 @@ class Worker:
                     heartbeat.stop()
                 stats.chunks_lost += 1
                 return
+            faults.maybe_crash("worker.crash.pre-drain")
             store = self._store_for(job.store_path)
-            for (index, params, _), (_, result) in zip(work, outcomes):
+            for position, ((index, params, _), (_, result)) in enumerate(
+                zip(work, outcomes)
+            ):
                 record = RunRecord(
                     index=index,
                     name=names[index],
@@ -304,11 +388,38 @@ class Worker:
                     stats.records_written += 1
                 else:
                     stats.records_deduped += 1
+                if position == 0:
+                    faults.maybe_crash("worker.crash.mid-drain")
             store.add_wall_time(
                 chunk.campaign_id,
                 time.perf_counter() - chunk_start,
                 cpu_count=os.cpu_count(),
             )
+        except InjectedWorkerCrash:
+            # Simulated process death: the heartbeat dies with the
+            # process (stop it — in-process chaos harnesses would
+            # otherwise leak a zombie renewer) but the chunk is NOT
+            # released.  Its lease expires and a rival reclaims it,
+            # exactly as after a real SIGKILL.
+            if heartbeat is not None:
+                heartbeat.stop()
+            raise
+        except HeartbeatFailure as failure:
+            # Hand the chunk back immediately (worker-id guarded, so a
+            # no-op if the decayed lease was already reclaimed) and let
+            # the failure propagate: this worker cannot protect any
+            # further lease, so it must exit distinctly, not soldier on.
+            if heartbeat is not None:
+                heartbeat.stop()
+            queue.release(
+                chunk.campaign_id,
+                chunk.chunk_index,
+                self.worker_id,
+                done=False,
+                error=str(failure),
+            )
+            stats.chunks_failed += 1
+            raise
         except Exception:
             if heartbeat is not None:
                 heartbeat.stop()

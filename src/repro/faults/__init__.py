@@ -1,0 +1,164 @@
+"""`repro.faults` — deterministic seeded fault injection.
+
+The paper's method is adversarial stress; this package turns it on our
+own infrastructure.  Production seams (queue transactions, worker chunk
+execution, store writes, service submits) call the module-level hooks
+below at named *fault points*; with no plan active every hook is a
+cheap no-op, and with one installed the plan decides — deterministically
+from one seed — which calls misbehave (see :mod:`repro.faults.plan`).
+
+Install a plan one of two ways:
+
+- in-process, scoped: ``with faults.inject(plan): ...`` (what the
+  chaos tests do);
+- cross-process: export the plan as JSON in the ``REPRO_FAULT_PLAN``
+  environment variable before spawning workers — each worker process
+  picks it up lazily on its first hook call (what the CI chaos smoke
+  and supervisor fault drills do).
+
+Fault points currently wired (the name is the contract — tests and CI
+schedules reference them):
+
+======================== ==============================================
+``queue.write``          ``sqlite3.OperationalError`` before a queue
+                         transaction begins (busy storm; the queue's
+                         own retry loop must absorb transient ones)
+``queue.commit``         sleep *delay* seconds inside the transaction,
+                         before COMMIT (slow commit under lock)
+``worker.crash.post-claim``  simulated process death after claiming
+``worker.crash.pre-drain``   ... after simulating, before any write
+``worker.crash.mid-drain``   ... after the first record write
+``worker.heartbeat.stall``   heartbeat thread skips this renewal
+``worker.heartbeat.die``     heartbeat thread dies (exception)
+``worker.clock.skew``    worker opens its queue with a clock offset of
+                         *skew* seconds
+``store.write.torn``     record blob truncated before insert (bit-rot /
+                         torn write; checksums must catch it)
+``store.write.duplicate``    record insert delivered twice
+``service.submit``       transient ``sqlite3.OperationalError`` inside
+                         service campaign submission
+======================== ==============================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    InjectedWorkerCrash,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+    "PLAN_ENV",
+    "active_plan",
+    "clear",
+    "clock_skew",
+    "fire",
+    "inject",
+    "install",
+    "maybe_crash",
+    "maybe_delay",
+    "maybe_fail",
+]
+
+#: Environment variable carrying a JSON plan to subprocesses.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_plan: Optional[FaultPlan] = None
+_env_checked = False
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Make *plan* the process-wide active plan (``None`` disarms)."""
+    global _plan, _env_checked
+    _plan = plan
+    # An explicit install (including None) overrides the environment.
+    _env_checked = True
+
+
+def clear() -> None:
+    """Disarm fault injection and forget the environment lookup."""
+    global _plan, _env_checked
+    _plan = None
+    _env_checked = False
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The active plan, if any.
+
+    When nothing was installed in-process, the first call checks
+    ``REPRO_FAULT_PLAN`` once — the path by which worker subprocesses
+    inherit the schedule a test or CI script exported.
+    """
+    global _plan, _env_checked
+    if _plan is None and not _env_checked:
+        _env_checked = True
+        text = os.environ.get(PLAN_ENV)
+        if text:
+            _plan = FaultPlan.from_json(text)
+    return _plan
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Scope *plan* as the active plan; restore the prior state on exit."""
+    global _plan, _env_checked
+    prev_plan, prev_checked = _plan, _env_checked
+    install(plan)
+    try:
+        yield plan
+    finally:
+        _plan = prev_plan
+        _env_checked = prev_checked
+
+
+# ----------------------------------------------------------------------
+# Hooks the production seams call
+# ----------------------------------------------------------------------
+def fire(point: str) -> Optional[FaultEvent]:
+    """Consult the active plan at *point*; ``None`` when unarmed."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fire(point)
+
+
+def maybe_fail(
+    point: str, make_error: Callable[[FaultEvent], BaseException]
+) -> None:
+    """Raise ``make_error(event)`` when *point* fires."""
+    event = fire(point)
+    if event is not None:
+        raise make_error(event)
+
+
+def maybe_delay(point: str) -> Optional[FaultEvent]:
+    """Sleep the rule's ``delay`` when *point* fires."""
+    event = fire(point)
+    if event is not None and event.delay > 0:
+        time.sleep(event.delay)
+    return event
+
+
+def maybe_crash(point: str) -> None:
+    """Raise :class:`InjectedWorkerCrash` when *point* fires."""
+    if fire(point) is not None:
+        raise InjectedWorkerCrash(point)
+
+
+def clock_skew(point: str) -> float:
+    """The rule's ``skew`` seconds when *point* fires, else ``0.0``."""
+    event = fire(point)
+    return event.skew if event is not None else 0.0

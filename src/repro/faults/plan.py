@@ -1,0 +1,236 @@
+"""Seeded fault schedules: :class:`FaultPlan` and its rules.
+
+A *fault point* is a named seam in the production code (``"queue.write"``,
+``"worker.crash.mid-drain"``, ``"store.write.torn"`` ...) where the code
+asks the active plan — via the module-level hooks in
+:mod:`repro.faults` — whether to misbehave **this** time.  A
+:class:`FaultPlan` is a set of :class:`FaultRule` s plus one seed; every
+decision at a point depends only on ``(seed, point, call number)``, so
+any chaos schedule replays exactly from the seed — across processes,
+machines, and python versions (the per-point streams are derived with
+sha256, not :func:`hash`).
+
+Plans serialize to JSON (:meth:`FaultPlan.to_json`) so a schedule built
+in a test or a CI script travels to worker subprocesses through the
+``REPRO_FAULT_PLAN`` environment variable.  Counters are per-process:
+a restarted worker starts its call numbering from 1 again, which is the
+useful semantic for "crash on your first chunk" style schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class InjectedFault(Exception):
+    """Base of every exception the fault layer raises on purpose."""
+
+
+class InjectedWorkerCrash(BaseException):
+    """A simulated process death at a ``worker.crash.*`` point.
+
+    Deliberately **not** an :class:`Exception` subclass: a real SIGKILL
+    is not catchable, so the simulated one must sail past the worker's
+    ordinary ``except Exception`` failure handling (which would release
+    the chunk and defeat the point — a crashed worker leaves its lease
+    to expire).
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected worker crash at {point!r}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """When one named fault point fires.
+
+    Parameters
+    ----------
+    point:
+        The fault-point name this rule arms.
+    rate:
+        Probability of firing per call, drawn from the point's own
+        seeded stream.  ``0.0`` (default) means only ``times`` fires.
+    times:
+        Explicit 1-based call numbers that always fire (deterministic
+        schedules: "fail the first two calls" is ``times=(1, 2)``).
+    max_fires:
+        Cap on total fires of this rule per process; ``None`` = no cap.
+        The bound chaos tests use to stay under the queue's
+        ``MAX_ATTEMPTS`` poison threshold.
+    delay:
+        Seconds the hook should sleep when it fires (slow-commit /
+        stall faults).
+    skew:
+        Clock offset in seconds returned by :func:`repro.faults.
+        clock_skew` when it fires (skewed-worker faults).
+    """
+
+    point: str
+    rate: float = 0.0
+    times: Tuple[int, ...] = ()
+    max_fires: Optional[int] = None
+    delay: float = 0.0
+    skew: float = 0.0
+
+    def __post_init__(self):
+        if not self.point:
+            raise ValueError("a FaultRule needs a fault-point name")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError(f"max_fires must be >= 0, got {self.max_fires}")
+        object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        if any(t < 1 for t in self.times):
+            raise ValueError("times are 1-based call numbers (>= 1)")
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "rate": self.rate,
+            "times": list(self.times),
+            "max_fires": self.max_fires,
+            "delay": self.delay,
+            "skew": self.skew,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        return cls(
+            point=data["point"],
+            rate=data.get("rate", 0.0),
+            times=tuple(data.get("times") or ()),
+            max_fires=data.get("max_fires"),
+            delay=data.get("delay", 0.0),
+            skew=data.get("skew", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault: which point, which call, and its parameters."""
+
+    point: str
+    call: int
+    delay: float = 0.0
+    skew: float = 0.0
+
+
+def _point_stream(seed: int, point: str) -> random.Random:
+    """The seeded random stream of one fault point.
+
+    Derived through sha256 so the stream depends only on the plan seed
+    and the point name — stable across processes and python versions
+    (``hash()`` is salted per process and would break replay).
+    """
+    digest = hashlib.sha256(f"{seed}:{point}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class FaultPlan:
+    """A replayable, seeded schedule of faults over named points.
+
+    Thread-safe: worker heartbeat threads and the main drain loop may
+    consult the same plan concurrently.  All mutable state (per-point
+    call counters, fire counters, random streams, the event log) lives
+    on the plan instance, so two plans never interfere.
+    """
+
+    def __init__(self, seed: int = 0, rules: Sequence[FaultRule] = ()):
+        self.seed = int(seed)
+        self._rules: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.point in self._rules:
+                raise ValueError(
+                    f"duplicate rule for fault point {rule.point!r}"
+                )
+            self._rules[rule.point] = rule
+        self._lock = threading.Lock()
+        self._calls: Dict[str, int] = {}
+        self._fires: Dict[str, int] = {}
+        self._streams: Dict[str, random.Random] = {}
+        self._events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
+    def fire(self, point: str) -> Optional[FaultEvent]:
+        """Record one call at *point*; return an event iff it fires."""
+        rule = self._rules.get(point)
+        with self._lock:
+            call = self._calls.get(point, 0) + 1
+            self._calls[point] = call
+            if rule is None:
+                return None
+            fired = call in rule.times
+            if not fired and rule.rate > 0.0:
+                stream = self._streams.get(point)
+                if stream is None:
+                    stream = _point_stream(self.seed, point)
+                    self._streams[point] = stream
+                fired = stream.random() < rule.rate
+            if not fired:
+                return None
+            fires = self._fires.get(point, 0)
+            if rule.max_fires is not None and fires >= rule.max_fires:
+                return None
+            self._fires[point] = fires + 1
+            event = FaultEvent(
+                point=point, call=call, delay=rule.delay, skew=rule.skew
+            )
+            self._events.append(event)
+            return event
+
+    # ------------------------------------------------------------------
+    # Introspection (what tests assert on)
+    # ------------------------------------------------------------------
+    def calls(self, point: str) -> int:
+        """How many times *point* was consulted in this process."""
+        with self._lock:
+            return self._calls.get(point, 0)
+
+    def fired(self, point: str) -> int:
+        """How many times *point* actually fired in this process."""
+        with self._lock:
+            return self._fires.get(point, 0)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """Every fired event, in firing order."""
+        with self._lock:
+            return tuple(self._events)
+
+    @property
+    def rules(self) -> Tuple[FaultRule, ...]:
+        return tuple(self._rules.values())
+
+    def __repr__(self) -> str:
+        points = ", ".join(sorted(self._rules))
+        return f"FaultPlan(seed={self.seed}, points=[{points}])"
+
+    # ------------------------------------------------------------------
+    # Wire format (cross-process propagation)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """The plan (seed + rules, not counters) as one JSON line."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "rules": [rule.to_dict() for rule in self.rules],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            seed=data.get("seed", 0),
+            rules=[FaultRule.from_dict(r) for r in data.get("rules", ())],
+        )

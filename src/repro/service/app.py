@@ -201,7 +201,9 @@ class ServiceApp:
     # Resources
     # ------------------------------------------------------------------
     def _get_health(self, query, groups, environ):
-        return self.service.health()
+        body = self.service.health()
+        body["watchlist"] = self.watchlist.scan_health()
+        return body
 
     def _get_campaigns(self, query, groups, environ):
         return {

@@ -24,6 +24,7 @@ Error model (the WSGI layer maps these to HTTP statuses):
 from __future__ import annotations
 
 import os
+import sqlite3
 import sys
 import threading
 import time
@@ -32,12 +33,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro import faults
 from repro.experiments.campaign import (
     Campaign,
     _fingerprint_of,
 )
 from repro.store import CampaignSpec, ResultStore
 from repro.util.rng import as_seed_sequence
+
+#: Bounded retry for queued submissions racing a busy fleet: attempts
+#: and base backoff for transient sqlite lock errors.  A submission
+#: that still cannot enqueue after these propagates (the WSGI layer
+#: maps it to a 500) — at that point the queue is genuinely wedged,
+#: not merely under churn.
+SUBMIT_RETRIES = 4
+SUBMIT_BACKOFF = 0.05
 
 
 def _service_config(preset: str):
@@ -226,18 +236,39 @@ class CampaignService:
         return receipt
 
     def _submit_queued(self, campaign, seed, chunk_size, label) -> dict:
-        """Enqueue chunks for the fleet; fall back to a local drainer."""
+        """Enqueue chunks for the fleet; fall back to a local drainer.
+
+        Enqueueing writes into the shared queue file while the whole
+        fleet hammers it, so a transient ``database is locked`` is
+        expected weather, not an error worth a 500: retry with backoff
+        a few times before giving up.  Idempotent by construction —
+        the job is content-addressed, so a retry after a partially
+        observed failure cannot double-enqueue.
+        """
         from repro.distributed.coordinator import submit as enqueue
         from repro.distributed.queue import WorkQueue
 
-        run = enqueue(
-            campaign,
-            seed,
-            queue=self.queue_path,
-            store=self.store.path,
-            chunk_size=chunk_size,
-            metadata={"label": label} if label else None,
-        )
+        for attempt in range(SUBMIT_RETRIES):
+            try:
+                faults.maybe_fail(
+                    "service.submit",
+                    lambda event: sqlite3.OperationalError(
+                        "database is locked (injected submit fault)"
+                    ),
+                )
+                run = enqueue(
+                    campaign,
+                    seed,
+                    queue=self.queue_path,
+                    store=self.store.path,
+                    chunk_size=chunk_size,
+                    metadata={"label": label} if label else None,
+                )
+                break
+            except sqlite3.OperationalError:
+                if attempt == SUBMIT_RETRIES - 1:
+                    raise
+                time.sleep(SUBMIT_BACKOFF * (2 ** attempt))
         campaign_id = run.campaign_id
         if label:
             self.store.merge_metadata(campaign_id, {"label": label})

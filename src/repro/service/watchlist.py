@@ -110,6 +110,15 @@ class Watchlist:
         self._lock = threading.RLock()
         self._baseline: Optional[str] = None
         self._snapshot: Optional[dict] = None
+        # Scan-loop health: failed background scans used to vanish into
+        # stderr; now every refresh outcome is recorded here and
+        # surfaced through GET /healthz (see scan_health()).
+        self._scans = 0
+        self._scan_failures = 0
+        self._consecutive_failures = 0
+        self._last_scan_at: Optional[float] = None
+        self._last_error: Optional[str] = None
+        self._last_error_at: Optional[float] = None
         if baseline is not None:
             self.set_baseline(baseline)
 
@@ -140,7 +149,43 @@ class Watchlist:
     # Scan
     # ------------------------------------------------------------------
     def refresh(self) -> dict:
-        """Re-scan the store; cache and return the new snapshot."""
+        """Re-scan the store; cache and return the new snapshot.
+
+        Every outcome — success or failure — is recorded for
+        :meth:`scan_health`, then failures re-raise (direct callers
+        see them; the background thread logs and retries next tick).
+        """
+        try:
+            snapshot = self._refresh()
+        except Exception as error:
+            with self._lock:
+                self._scan_failures += 1
+                self._consecutive_failures += 1
+                self._last_error = f"{type(error).__name__}: {error}"
+                self._last_error_at = time.time()
+            raise
+        with self._lock:
+            self._scans += 1
+            self._consecutive_failures = 0
+            self._last_scan_at = snapshot["generated_at"]
+        return snapshot
+
+    def scan_health(self) -> dict:
+        """The scan loop's vital signs (the ``/healthz`` watchlist
+        block): scan/failure counts, last success and last error with
+        timestamps — a watchlist that has been failing every tick is
+        visible here instead of only in stderr."""
+        with self._lock:
+            return {
+                "scans": self._scans,
+                "failures": self._scan_failures,
+                "consecutive_failures": self._consecutive_failures,
+                "last_scan_at": self._last_scan_at,
+                "last_error": self._last_error,
+                "last_error_at": self._last_error_at,
+            }
+
+    def _refresh(self) -> dict:
         campaigns = self.store.campaigns()
         labels = {info.campaign_id: info.label for info in campaigns}
         records_scanned = 0
@@ -329,10 +374,12 @@ class Watchlist:
 class WatchlistThread(threading.Thread):
     """Background re-scanner: refresh the watchlist every *interval* s.
 
-    Scan failures are printed and swallowed — a transient store hiccup
-    must not kill the standing watch (the next tick retries).  The
-    first scan runs immediately on start so the service comes up with a
-    populated snapshot.
+    Scan failures are printed and retried next tick — a transient
+    store hiccup must not kill the standing watch — but never *lost*:
+    the watchlist records each failure (:meth:`Watchlist.scan_health`),
+    so ``GET /healthz`` shows a watch that has been failing silently.
+    The first scan runs immediately on start so the service comes up
+    with a populated snapshot.
     """
 
     def __init__(self, watchlist: Watchlist, interval: float = 30.0):

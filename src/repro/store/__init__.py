@@ -34,6 +34,8 @@ from repro.store.spec import (
 from repro.store.store import (
     CampaignDiff,
     CampaignInfo,
+    CorruptRecord,
+    IntegrityReport,
     ResultStore,
     StoredRecord,
 )
@@ -42,6 +44,8 @@ __all__ = [
     "CampaignDiff",
     "CampaignInfo",
     "CampaignSpec",
+    "CorruptRecord",
+    "IntegrityReport",
     "ResultStore",
     "StoredRecord",
     "config_digest",

@@ -25,6 +25,7 @@ database.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import sqlite3
@@ -36,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro import faults
 from repro.encounters.encoding import EncounterParameters
 from repro.experiments.campaign import ResultSet, RunRecord
 from repro.sim.batch import BatchResult
@@ -71,10 +73,19 @@ CREATE TABLE IF NOT EXISTS records (
     own_alert_rate      REAL NOT NULL,
     intruder_alert_rate REAL NOT NULL,
     runs_blob           BLOB NOT NULL,
+    checksum            TEXT,
     PRIMARY KEY (campaign_id, scenario_index)
 );
 CREATE INDEX IF NOT EXISTS idx_records_nmac
     ON records (campaign_id, nmac_rate);
+CREATE TABLE IF NOT EXISTS quarantine (
+    campaign_id    TEXT NOT NULL,
+    scenario_index INTEGER NOT NULL,
+    name           TEXT NOT NULL,
+    reason         TEXT NOT NULL,
+    quarantined_at TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, scenario_index)
+);
 """
 
 #: Field order of the packed per-run arrays (matches ``BatchResult``).
@@ -303,6 +314,81 @@ class CampaignDiff:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class CorruptRecord:
+    """One record that failed integrity verification."""
+
+    campaign_id: str
+    scenario_index: int
+    name: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "scenario_index": self.scenario_index,
+            "name": self.name,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class IntegrityReport:
+    """What one :meth:`ResultStore.verify` pass found (and did)."""
+
+    checked: int
+    corrupt: Tuple[CorruptRecord, ...]
+    #: Legacy rows with no stored checksum, verified by decode only.
+    missing_checksum: int
+    #: Whether corrupt rows were quarantined (``repair=True``).
+    repaired: bool
+    #: Legacy checksums written back during a repair pass.
+    backfilled: int
+
+    @property
+    def ok(self) -> bool:
+        """No corruption found (or every corrupt row was quarantined)."""
+        return not self.corrupt or self.repaired
+
+    def to_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "corrupt": [c.to_dict() for c in self.corrupt],
+            "missing_checksum": self.missing_checksum,
+            "repaired": self.repaired,
+            "backfilled": self.backfilled,
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        """Human summary for the ``repro store verify`` CLI."""
+        lines = [
+            f"checked {self.checked} record(s): "
+            f"{len(self.corrupt)} corrupt, "
+            f"{self.missing_checksum} legacy (no checksum)"
+        ]
+        for item in self.corrupt:
+            verdict = "quarantined" if self.repaired else "CORRUPT"
+            lines.append(
+                f"  [{verdict}] {item.campaign_id[:12]}/"
+                f"{item.scenario_index} ({item.name}): {item.reason}"
+            )
+        if self.corrupt and self.repaired:
+            lines.append(
+                "corrupt rows quarantined; re-running the campaign "
+                "re-simulates exactly those scenarios"
+            )
+        elif self.corrupt:
+            lines.append(
+                "run `repro store verify --repair` to quarantine them"
+            )
+        if self.backfilled:
+            lines.append(
+                f"backfilled {self.backfilled} legacy checksum(s)"
+            )
+        return "\n".join(lines)
+
+
 class ResultStore:
     """A durable, queryable sink for campaign results.
 
@@ -347,6 +433,18 @@ class ResultStore:
             self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_SCHEMA)
+        # Stores created before per-record checksums existed lack the
+        # column (executescript only creates missing *tables*): migrate
+        # in place.  Legacy rows keep checksum NULL — verify() falls
+        # back to decodability for them, and repair backfills.
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(records)")
+        }
+        if "checksum" not in columns:
+            self._conn.execute(
+                "ALTER TABLE records ADD COLUMN checksum TEXT"
+            )
         self._conn.commit()
 
     def _fetchall(self, query: str, params: Sequence = ()) -> list:
@@ -419,32 +517,49 @@ class ResultStore:
         The ``(campaign_id, scenario_index)`` primary key makes this the
         dedup point: the same scenario of the same spec (and therefore
         the same seed) is stored exactly once, whoever runs it and
-        however often.  Each record commits individually, so an
-        interrupted campaign keeps everything already yielded.
+        however often.  Each record commits individually, so a
+        campaign killed mid-stream keeps everything it finished.
+
+        Every row carries the sha256 of its packed per-run blob, so a
+        torn write or later bit-rot is detectable (:meth:`verify`)
+        instead of resuming as truth.
         """
-        changed = self._commit(
+        blob = _pack_runs(record.runs)
+        checksum = hashlib.sha256(blob).hexdigest()
+        # Fault seam: a torn write persists a truncated blob while the
+        # checksum still describes the intended bytes — the shape
+        # verify() exists to catch.
+        if faults.fire("store.write.torn") is not None:
+            blob = blob[: max(1, len(blob) // 3)]
+        query = (
             "INSERT OR IGNORE INTO records (campaign_id, scenario_index,"
             " name, genome, num_runs, nmac_rate, mean_min_separation,"
             " min_separation, min_horizontal, own_alert_rate,"
-            " intruder_alert_rate, runs_blob)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                campaign_id,
-                record.index,
-                record.name,
-                np.ascontiguousarray(
-                    record.params.as_array(), dtype=np.float64
-                ).tobytes(),
-                record.num_runs,
-                record.nmac_rate,
-                record.mean_min_separation,
-                record.min_separation,
-                record.min_horizontal,
-                record.own_alert_rate,
-                record.intruder_alert_rate,
-                _pack_runs(record.runs),
-            ),
+            " intruder_alert_rate, runs_blob, checksum)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
         )
+        values = (
+            campaign_id,
+            record.index,
+            record.name,
+            np.ascontiguousarray(
+                record.params.as_array(), dtype=np.float64
+            ).tobytes(),
+            record.num_runs,
+            record.nmac_rate,
+            record.mean_min_separation,
+            record.min_separation,
+            record.min_horizontal,
+            record.own_alert_rate,
+            record.intruder_alert_rate,
+            blob,
+            checksum,
+        )
+        changed = self._commit(query, values)
+        # Fault seam: at-least-once delivery hands the same record in
+        # twice; the primary key must make the second a no-op.
+        if faults.fire("store.write.duplicate") is not None:
+            self._commit(query, values)
         return changed > 0
 
     def add_wall_time(self, campaign_id: str, seconds: float,
@@ -748,6 +863,157 @@ class ResultStore:
             wall_time=info.wall_time,
             metadata=metadata,
         )
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        campaign_id: Optional[str] = None,
+        repair: bool = False,
+        batch: int = 256,
+    ) -> IntegrityReport:
+        """Check every stored record's per-run blob against its checksum.
+
+        A record is corrupt when its blob no longer hashes to the
+        stored sha256 (torn write, bit-rot), fails to decode, or
+        decodes to the wrong run count.  Legacy rows written before
+        checksums existed (``checksum IS NULL``) are verified by
+        decodability alone.
+
+        With ``repair=True`` corrupt rows are **quarantined**: moved
+        out of ``records`` into the ``quarantine`` table (reason +
+        timestamp), so the campaign's completed-index set shrinks by
+        exactly those scenarios — a resume of the same spec re-simulates
+        precisely the damaged tail and nothing else.  Repair also
+        backfills legacy rows' checksums (they just proved decodable).
+
+        Scans in keyset pages of *batch* — never a whole store in
+        memory, and other threads' reads/writes interleave between
+        pages.
+        """
+        if campaign_id is not None:
+            campaign_id = self.resolve(campaign_id)
+        checked = 0
+        missing_checksum = 0
+        corrupt: List[CorruptRecord] = []
+        backfill: List[Tuple[str, str, int]] = []
+        last: Tuple[str, int] = ("", -1)
+        while True:
+            clauses = ["(campaign_id, scenario_index) > (?, ?)"]
+            values: List[object] = [last[0], last[1]]
+            if campaign_id is not None:
+                clauses.append("campaign_id = ?")
+                values.append(campaign_id)
+            rows = self._fetchall(
+                "SELECT campaign_id, scenario_index, name, num_runs,"
+                " runs_blob, checksum FROM records"
+                f" WHERE {' AND '.join(clauses)}"
+                " ORDER BY campaign_id, scenario_index LIMIT ?",
+                (*values, batch),
+            )
+            if not rows:
+                break
+            for row in rows:
+                checked += 1
+                blob = row["runs_blob"]
+                actual = hashlib.sha256(blob).hexdigest()
+                if row["checksum"] is None:
+                    missing_checksum += 1
+                reason = self._check_blob(row, blob, actual)
+                if reason is not None:
+                    corrupt.append(
+                        CorruptRecord(
+                            campaign_id=row["campaign_id"],
+                            scenario_index=row["scenario_index"],
+                            name=row["name"],
+                            reason=reason,
+                        )
+                    )
+                elif row["checksum"] is None and repair:
+                    backfill.append(
+                        (actual, row["campaign_id"], row["scenario_index"])
+                    )
+            last = (rows[-1]["campaign_id"], rows[-1]["scenario_index"])
+        if repair and (corrupt or backfill):
+            self._quarantine(corrupt, backfill)
+        return IntegrityReport(
+            checked=checked,
+            corrupt=tuple(corrupt),
+            missing_checksum=missing_checksum,
+            repaired=repair,
+            backfilled=len(backfill),
+        )
+
+    @staticmethod
+    def _check_blob(row, blob: bytes, actual: str) -> Optional[str]:
+        """Why one record row is corrupt, or ``None`` if it is sound."""
+        stored = row["checksum"]
+        if stored is not None and stored != actual:
+            return (
+                f"checksum mismatch (stored {stored[:12]}..., "
+                f"blob hashes to {actual[:12]}...)"
+            )
+        try:
+            runs = _unpack_runs(blob)
+        except Exception as error:
+            return f"undecodable runs blob: {type(error).__name__}: {error}"
+        if runs.num_runs != row["num_runs"]:
+            return (
+                f"run count mismatch (blob has {runs.num_runs}, "
+                f"row says {row['num_runs']})"
+            )
+        return None
+
+    def _quarantine(
+        self,
+        corrupt: Sequence[CorruptRecord],
+        backfill: Sequence[Tuple[str, str, int]],
+    ) -> None:
+        """Move corrupt rows aside and backfill legacy checksums.
+
+        One transaction: a repair interrupted halfway must not leave a
+        record deleted but unquarantined (or vice versa).
+        """
+        stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        with self._lock:
+            for item in corrupt:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO quarantine (campaign_id,"
+                    " scenario_index, name, reason, quarantined_at)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (
+                        item.campaign_id,
+                        item.scenario_index,
+                        item.name,
+                        item.reason,
+                        stamp,
+                    ),
+                )
+                self._conn.execute(
+                    "DELETE FROM records WHERE campaign_id = ?"
+                    " AND scenario_index = ?",
+                    (item.campaign_id, item.scenario_index),
+                )
+            for checksum, cid, index in backfill:
+                self._conn.execute(
+                    "UPDATE records SET checksum = ? WHERE campaign_id = ?"
+                    " AND scenario_index = ? AND checksum IS NULL",
+                    (checksum, cid, index),
+                )
+            self._conn.commit()
+
+    def quarantined(
+        self, campaign_id: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Quarantine-table rows (all campaigns, or one)."""
+        query = "SELECT * FROM quarantine"
+        values: tuple = ()
+        if campaign_id is not None:
+            query += " WHERE campaign_id = ?"
+            values = (self.resolve(campaign_id),)
+        query += " ORDER BY campaign_id, scenario_index"
+        return [dict(row) for row in self._fetchall(query, values)]
 
     # ------------------------------------------------------------------
     # Export / comparison

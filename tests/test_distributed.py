@@ -99,9 +99,33 @@ class TestWorkQueue:
     def test_submit_is_idempotent(self, paths):
         queue_path, _ = paths
         with WorkQueue(queue_path) as queue:
-            assert self._enqueue(queue) is True
-            assert self._enqueue(queue) is False
+            assert self._enqueue(queue) == 2
+            # While chunks are in flight a re-submit enqueues nothing.
+            assert self._enqueue(queue) == 0
             assert queue.chunk_counts("c1").total == 2
+
+    def test_settled_job_can_be_topped_up(self, paths):
+        # After every chunk settles, a re-submit with fresh payloads
+        # appends them as new chunk rows (the repair-resume path: the
+        # caller only ships work the store is missing).
+        queue_path, _ = paths
+        with WorkQueue(queue_path) as queue:
+            assert self._enqueue(queue) == 2
+            for index in range(2):
+                queue.claim("w1", lease_seconds=30)
+                queue.release("c1", index, "w1", done=True)
+            assert queue.drained("c1")
+            assert queue.submit_job(
+                "c1", "store.sqlite", b"spec", RUNS, 2, [b"chunk-redo"]
+            ) == 1
+            tally = queue.chunk_counts("c1")
+            assert tally.total == 3 and tally.pending == 1
+            assert queue.job("c1").num_chunks == 3
+            # The appended chunk claims like any other, at a fresh
+            # index past the originals.
+            held = queue.claim("w2", lease_seconds=30)
+            assert held.chunk_index == 2
+            assert held.payload == b"chunk-redo"
 
     def test_claim_release_cycle(self, paths):
         queue_path, _ = paths
@@ -976,10 +1000,10 @@ class TestDistributedBackend:
         message = str(excinfo.value)
         assert "failed permanently" in message
         assert "boom-payload-xyz" in message
+        # Read the id from the queue: a re-submit would now *top up*
+        # the settled job, re-enqueueing the failed chunks for retry.
         with WorkQueue(queue_path) as queue:
-            states = queue.chunk_states(
-                campaign.submit(seed=SEED).campaign_id
-            )
+            states = queue.chunk_states(queue.jobs()[0].campaign_id)
         assert all(state.status == "failed" for state in states)
         assert all(state.attempts == MAX_ATTEMPTS for state in states)
 
