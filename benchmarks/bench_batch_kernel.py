@@ -1,0 +1,134 @@
+"""Benchmark: the noise-tape megabatch kernel vs its frozen ancestor.
+
+The megabatch kernel pre-draws every scenario's disturbance and sensor
+noise into tapes, keeps the active lanes a contiguous sorted prefix,
+and shares one joint Q lookup between both equipped aircraft.  The
+pre-refactor inline-draw implementation is frozen verbatim in
+:mod:`repro.sim.batch_reference` as the golden baseline, so this bench
+measures exactly the refactor's win on the acceptance workload (the
+paper's GA-evaluation shape: 50 scenarios × 100 stochastic runs) —
+and asserts the results stay **bitwise identical** while doing so.
+
+Two records land under ``benchmarks/results/``:
+
+- ``kernel_tape_speedup``: interleaved best-of-N wall clocks for the
+  frozen reference and the tape kernel, with the speedup ratio (the
+  acceptance bar is 1.3x on this container) and the single-CPU caveat;
+- ``kernel_phase_profile``: the per-phase breakdown (tape draw /
+  decision / physics / observe / transfer) from a profiled
+  ``Campaign.run(profile=True)``, persisted through
+  :func:`record_campaign` so the store's campaign metadata carries it.
+
+Under ``--smoke`` the workloads shrink to CI size, the speedup floor is
+not asserted (one tiny noisy run proves wiring, not performance), and
+nothing is persisted.
+"""
+
+import time
+
+from conftest import record_campaign, record_result, single_cpu_note
+
+import numpy as np
+
+from repro.encounters import StatisticalEncounterModel
+from repro.experiments import Campaign, SampledSource
+from repro.sim.batch import BatchEncounterSimulator
+from repro.sim.batch_reference import reference_run_many
+
+#: The acceptance workload (one GA generation's evaluation chunk).
+KERNEL_SCENARIOS = 50
+KERNEL_RUNS = 100
+
+#: Interleaved timing repetitions.  Best-of over interleaved pairs, not
+#: back-to-back blocks: container timing noise is large and slow drift
+#: (other tenants) would otherwise bias whichever block ran second.
+KERNEL_REPS = 7
+
+#: Wall-clock floor the tape kernel must clear over the frozen
+#: reference on the full workload.
+MIN_SPEEDUP = 1.3
+
+
+def _workload(smoke):
+    model = StatisticalEncounterModel()
+    scenarios = model.sample(
+        6 if smoke else KERNEL_SCENARIOS, seed=np.random.default_rng(7)
+    )
+    runs = 10 if smoke else KERNEL_RUNS
+    seeds = list(range(100, 100 + len(scenarios)))
+    return scenarios, runs, seeds
+
+
+def test_bench_kernel_tape_speedup(fast_table, smoke):
+    scenarios, runs, seeds = _workload(smoke)
+    sim = BatchEncounterSimulator(fast_table, equipage="both")
+
+    # Warm both paths (table caches, first-touch allocations).
+    sim.run_many(scenarios[:3], 5, seeds[:3])
+    reference_run_many(sim, scenarios[:3], 5, seeds[:3])
+
+    reps = 2 if smoke else KERNEL_REPS
+    ref_times, tape_times = [], []
+    for _ in range(reps):
+        start = time.perf_counter()
+        ref_results = reference_run_many(sim, scenarios, runs, seeds)
+        ref_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        tape_results = sim.run_many(scenarios, runs, seeds)
+        tape_times.append(time.perf_counter() - start)
+
+    identical = all(
+        np.array_equal(getattr(a, field), getattr(b, field))
+        for a, b in zip(tape_results, ref_results)
+        for field in (
+            "min_separation",
+            "min_horizontal",
+            "nmac",
+            "own_alerted",
+            "intruder_alerted",
+        )
+    )
+    ref_best, tape_best = min(ref_times), min(tape_times)
+    speedup = ref_best / tape_best
+    record_result(
+        "kernel_tape_speedup",
+        f"workload:            {len(scenarios)} scenarios x {runs} runs\n"
+        f"inline-draw (frozen reference) best of {reps}: {ref_best:.3f}s\n"
+        f"noise-tape kernel              best of {reps}: {tape_best:.3f}s\n"
+        f"speedup:             {speedup:.2f}x (floor {MIN_SPEEDUP}x)\n"
+        f"bitwise identical:   {identical}\n"
+        + single_cpu_note(),
+    )
+    assert identical
+    if not smoke:
+        assert speedup >= MIN_SPEEDUP
+
+
+def test_bench_kernel_phase_profile(fast_table, smoke):
+    scenarios, runs, _ = _workload(smoke)
+    campaign = Campaign(
+        SampledSource(StatisticalEncounterModel(), len(scenarios)),
+        backend="vectorized-batch",
+        table=fast_table,
+        runs_per_scenario=runs,
+    )
+    results = campaign.run(seed=7, profile=True)
+    profile = results.metadata["kernel_profile"]
+    record_campaign("kernel_phase_profile", results)
+    breakdown = "\n".join(
+        f"{phase:<12} {profile[phase]:7.3f}s "
+        f"({100.0 * profile[phase] / profile['total']:5.1f}%)"
+        for phase in ("tape_draw", "decision", "physics", "observe",
+                      "transfer")
+    )
+    record_result(
+        "kernel_phase_profile",
+        f"workload:  {len(scenarios)} scenarios x {runs} runs "
+        f"[device={profile['device']}]\n"
+        f"{breakdown}\n"
+        f"total      {profile['total']:7.3f}s over {profile['calls']} "
+        f"kernel call(s)\n"
+        + single_cpu_note(),
+    )
+    assert profile["total"] > 0.0
+    assert profile["transfer"] == 0.0 or profile["device"] != "numpy"

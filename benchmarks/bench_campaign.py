@@ -1,8 +1,8 @@
 """Benchmark: the campaign API's backend fidelity/speed trade-off.
 
 Runs the same reference campaign — the paper's two canonical geometries
-plus sampled encounters from the statistical model — through all three
-registered simulation backends (``agent``, ``vectorized``,
+plus sampled encounters from the statistical model — through the three
+in-process CPU backends (``agent``, ``vectorized``,
 ``vectorized-batch``) and through the process-parallel path, recording
 each run's :class:`~repro.experiments.ResultSet` (aggregates plus
 wall-clock timing) under ``benchmarks/results/``.
@@ -24,7 +24,7 @@ persisted (the wiring is exercised, recorded results are untouched).
 
 import os
 
-from conftest import record_campaign, record_result
+from conftest import record_campaign, record_result, single_cpu_note
 
 from repro.encounters import StatisticalEncounterModel
 from repro.experiments import Campaign, ExplicitSource, SampledSource
@@ -105,7 +105,8 @@ def test_bench_campaign_megabatch_speedup(fast_table, smoke):
         f"vectorized wall:   {vec_results.wall_time:.2f}s\n"
         f"megabatch wall:    {mega_results.wall_time:.2f}s\n"
         f"speedup:           {speedup:.2f}x\n"
-        f"identical results: {identical}\n",
+        f"identical results: {identical}\n"
+        + single_cpu_note(),
     )
     assert identical
     if not smoke:
@@ -121,14 +122,10 @@ def test_bench_campaign_parallel_speedup(fast_table, smoke):
     parallel = campaign.run(seed=1, workers=workers, chunk_size=chunk_size)
     record_campaign("campaign_parallel", parallel)
     cpu_count = os.cpu_count()
-    caveat = (
-        f"CAVEAT: measured on a {cpu_count}-CPU machine — with a single "
-        "core the process pool can at best match serial, so any "
-        "speedup <= 1x here says nothing about the executor; "
-        "re-record on multi-core hardware.\n"
-        if (cpu_count or 1) <= 1
-        else f"measured on {cpu_count} CPUs.\n"
-    )
+    # The shared caveat plus the executor-specific consequence: on one
+    # core the process pool can at best match serial, so a <= 1x number
+    # here says nothing about the executor itself.
+    caveat = single_cpu_note()
     record_result(
         "campaign_parallel_speedup",
         f"workload:       {len(serial)} scenarios x "

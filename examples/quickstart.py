@@ -38,23 +38,37 @@ campaign API:
    (``repro fleet``) that restarts crashed workers with backoff and
    gives up cleanly on crash loops.
 
-**Choosing a backend.**  ``Campaign(backend=...)`` selects one of three
+**Choosing a backend.**  ``Campaign(backend=...)`` selects one of the
 registered simulation backends.  Measured on a 50-scenario × 100-run
 campaign (the paper's GA-evaluation shape, test-resolution table,
-single core; regenerate with ``pytest benchmarks/bench_campaign.py``):
+single core; regenerate with ``pytest benchmarks/bench_campaign.py``
+and ``pytest benchmarks/bench_batch_kernel.py``):
 
 - ``"agent"``            — one faithful agent-based simulation per run:
   96.7 s.  Full scrutiny: traces, advisory timelines.
 - ``"vectorized"``       — all runs of one scenario advance as one
   NumPy array: 2.4 s.
 - ``"vectorized-batch"`` — whole chunks of scenarios flattened into a
-  single lane array (the megabatch path, default everywhere): 0.67 s.
+  single lane array, with every scenario's disturbance/sensor noise
+  pre-drawn into tapes (the megabatch path, default everywhere):
+  0.59 s — ~1.3x over the pre-tape kernel on this single-core box.
+- ``"vectorized-batch-gpu"`` — the same megabatch kernel on an
+  accelerator array namespace (CuPy, auto-detected).  Noise tapes are
+  still drawn on host, so results stay bitwise comparable; with no
+  usable device it **warns and falls back** to the CPU kernel with
+  identical results (its provenance then reads ``vectorized-batch``).
 
 ``"vectorized-batch"`` replays the exact per-scenario noise streams of
 ``"vectorized"``, so the two produce bitwise-identical campaigns; the
 agent engine agrees statistically (both properties are under test).
 Very large campaigns can stream records without materializing the list
 via ``Campaign.iter_records(seed=...)``.
+
+``Campaign.run(profile=True)`` (CLI: ``repro campaign --profile``)
+additionally collects the megabatch kernel's per-phase wall-clock
+breakdown — tape draw / decision / physics / observe / transfer — into
+``results.metadata["kernel_profile"]`` (on the 50×100 workload above:
+decision ~56%, tape draw ~19%, physics ~19%, observe ~6%).
 
 **Persisting into a result store.**  ``run(store=ResultStore(path))``
 writes every record into a sqlite store keyed by the campaign's

@@ -171,13 +171,26 @@ class LogicTable:
         # so blocking cannot change any output bit.
         for start in range(0, n, _Q_BATCH_BLOCK):
             rows = slice(start, min(start + _Q_BATCH_BLOCK, n))
+            wb = w_hi[rows]
+            if not wb.any():
+                # Degenerate tau interpolation for the whole block —
+                # every lane clipped at the horizon (tau beyond the
+                # table, the pre-CPA bulk of long encounters) or sitting
+                # exactly on a stage.  The k_hi gather would be multi-
+                # plied by 0 and the k_lo one by 1, so skip both: half
+                # the gather traffic, same values out.
+                gathered = flat_q[
+                    blocks[rows, 0, :, None] + indices[rows, None, :]
+                ]
+                out[rows] = np.sum(gathered * weights[rows, None, :], axis=2)
+                continue
             gathered = flat_q[
                 blocks[rows, :, :, None] + indices[rows, None, None, :]
             ]
             q_pair = np.sum(gathered * weights[rows, None, None, :], axis=3)
             out[rows] = (
-                (1.0 - w_hi[rows])[:, None] * q_pair[:, 0]
-                + w_hi[rows][:, None] * q_pair[:, 1]
+                (1.0 - wb)[:, None] * q_pair[:, 0]
+                + wb[:, None] * q_pair[:, 1]
             )
         return out
 

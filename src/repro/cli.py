@@ -232,9 +232,21 @@ def cmd_campaign(args) -> int:
     store = _open_store(args)
     results = campaign.run(
         seed=args.seed, workers=args.workers, chunk_size=args.chunk_size,
-        store=store,
+        store=store, profile=args.profile,
     )
     print(results.summary())
+    if args.profile:
+        kernel_profile = getattr(
+            campaign.backend, "kernel_profile", None
+        )
+        if kernel_profile is not None:
+            print(kernel_profile.describe())
+        else:
+            note = results.metadata.get("kernel_profile", {})
+            print(
+                "kernel profile unavailable: "
+                f"{note.get('unsupported', 'not collected')}"
+            )
     if store is not None:
         _print_store_outcome(results)
         store.close()
@@ -894,6 +906,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue", metavar="PATH",
         help="shared work-queue path for --backend distributed "
              "(default: $REPRO_QUEUE)",
+    )
+    campaign.add_argument(
+        "--profile", action="store_true",
+        help="print the megabatch kernel's per-phase wall-clock "
+             "breakdown (tape draw / decision / physics / observe / "
+             "transfer); in-process megabatch backends only",
     )
     campaign.set_defaults(func=cmd_campaign)
 

@@ -91,10 +91,11 @@ CREATE TABLE IF NOT EXISTS chunks (
 CREATE INDEX IF NOT EXISTS idx_chunks_claimable
     ON chunks (status, lease_expires);
 CREATE TABLE IF NOT EXISTS workers (
-    worker_id   TEXT PRIMARY KEY,
-    campaign_id TEXT,
-    started_at  REAL NOT NULL,
-    heartbeat   REAL NOT NULL
+    worker_id    TEXT PRIMARY KEY,
+    campaign_id  TEXT,
+    started_at   REAL NOT NULL,
+    heartbeat    REAL NOT NULL,
+    capabilities TEXT
 );
 """
 
@@ -218,6 +219,10 @@ class WorkerInfo:
     campaign_id: Optional[str]
     started_at: float
     heartbeat: float
+    #: What the worker advertised it can execute (backend keys,
+    #: accelerator status — see :func:`repro.distributed.worker.
+    #: worker_capabilities`); ``None`` until it advertises.
+    capabilities: Optional[dict] = None
 
     def to_dict(self, now: Optional[float] = None) -> dict:
         """Plain-JSON view; *now* (queue clock) adds heartbeat age."""
@@ -226,6 +231,7 @@ class WorkerInfo:
             "campaign_id": self.campaign_id,
             "started_at": self.started_at,
             "heartbeat": self.heartbeat,
+            "capabilities": self.capabilities,
         }
         if now is not None:
             row["heartbeat_age"] = max(0.0, now - self.heartbeat)
@@ -308,6 +314,18 @@ class WorkQueue:
             self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_SCHEMA)
+        # Schema migration: the capabilities column postdates fielded
+        # queue files, and CREATE TABLE IF NOT EXISTS never alters an
+        # existing table — add the column in place so old queues keep
+        # working (rows read as NULL until a worker advertises).
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(workers)")
+        }
+        if "capabilities" not in columns:
+            self._conn.execute(
+                "ALTER TABLE workers ADD COLUMN capabilities TEXT"
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -743,6 +761,51 @@ class WorkQueue:
                 (worker_id, now, now),
             )
 
+    @staticmethod
+    def _worker_info(row) -> WorkerInfo:
+        """One ``workers`` row as a :class:`WorkerInfo` (JSON decoded)."""
+        capabilities = None
+        if row["capabilities"]:
+            try:
+                capabilities = json.loads(row["capabilities"])
+            except (TypeError, ValueError):
+                capabilities = None
+        return WorkerInfo(
+            worker_id=row["worker_id"],
+            campaign_id=row["campaign_id"],
+            started_at=row["started_at"],
+            heartbeat=row["heartbeat"],
+            capabilities=capabilities,
+        )
+
+    def advertise_capabilities(
+        self, worker_id: str, capabilities: dict
+    ) -> None:
+        """Record what *worker_id* can execute (backend keys, devices).
+
+        Workers call this once at startup; heartbeat upserts leave the
+        column alone, so the advertisement survives the whole worker
+        lifetime.  Coordinators read it back through
+        :meth:`live_workers`/:meth:`workers` — e.g. to check whether
+        any live fleet member can serve a campaign submitted with the
+        ``"vectorized-batch-gpu"`` backend on an actual accelerator.
+        """
+        blob = json.dumps(capabilities)
+
+        def txn() -> None:
+            now = self._now()
+            self._conn.execute(
+                "INSERT INTO workers (worker_id, campaign_id,"
+                " started_at, heartbeat, capabilities)"
+                " VALUES (?, NULL, ?, ?, ?)"
+                " ON CONFLICT(worker_id) DO UPDATE SET"
+                " heartbeat = excluded.heartbeat,"
+                " capabilities = excluded.capabilities",
+                (worker_id, now, now, blob),
+            )
+
+        self._write(txn)
+
     def live_workers(
         self,
         campaign_id: Optional[str] = None,
@@ -761,12 +824,7 @@ class WorkQueue:
             query += " AND (campaign_id IS NULL OR campaign_id = ?)"
             params.append(campaign_id)
         return [
-            WorkerInfo(
-                worker_id=row["worker_id"],
-                campaign_id=row["campaign_id"],
-                started_at=row["started_at"],
-                heartbeat=row["heartbeat"],
-            )
+            self._worker_info(row)
             for row in self._conn.execute(query, params)
         ]
 
@@ -780,12 +838,7 @@ class WorkQueue:
         avoid).
         """
         return [
-            WorkerInfo(
-                worker_id=row["worker_id"],
-                campaign_id=row["campaign_id"],
-                started_at=row["started_at"],
-                heartbeat=row["heartbeat"],
-            )
+            self._worker_info(row)
             for row in self._conn.execute(
                 "SELECT * FROM workers ORDER BY heartbeat DESC, worker_id"
             )

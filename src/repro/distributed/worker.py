@@ -61,6 +61,27 @@ from repro.store import ResultStore
 EXIT_HEARTBEAT_DEAD = 43
 
 
+def worker_capabilities() -> Dict[str, object]:
+    """What this host's worker can execute, for fleet introspection.
+
+    Advertised on the queue's workers table at startup
+    (:meth:`~repro.distributed.queue.WorkQueue.advertise_capabilities`):
+    the registered backend keys this process can rebuild, plus the
+    accelerator picture from :mod:`repro.sim.xp` — so a coordinator can
+    tell whether a ``"vectorized-batch-gpu"`` campaign submitted to
+    this fleet will run on an actual device or fall back to the CPU
+    kernel on every member.
+    """
+    from repro.experiments.backends import available_backends
+    from repro.sim.xp import accelerator_available, detect_accelerators
+
+    return {
+        "backends": list(available_backends()),
+        "accelerated": accelerator_available(),
+        "accelerators": detect_accelerators(),
+    }
+
+
 class HeartbeatFailure(RuntimeError):
     """The lease-heartbeat thread died while its chunk simulated.
 
@@ -272,6 +293,16 @@ class Worker:
             with WorkQueue(
                 self.queue_path, skew_margin=self.skew_margin, clock=clock
             ) as queue:
+                try:
+                    # Advertise what this worker can execute before the
+                    # first claim, so coordinators see capabilities the
+                    # moment the worker reads as live.  Best-effort: a
+                    # busy queue must not keep a worker from working.
+                    queue.advertise_capabilities(
+                        self.worker_id, worker_capabilities()
+                    )
+                except Exception:
+                    pass
                 try:
                     while (
                         max_chunks is None or stats.chunks_done < max_chunks

@@ -296,7 +296,13 @@ def _execute_chunk(
     whole chunk in one call; everything else is driven scenario by
     scenario.  Either way each scenario's result derives only from its
     own seed, so chunk boundaries cannot change any output bit.
+
+    An empty chunk (a fully-stored resume's missing tail) short-circuits
+    to no outcomes instead of reaching a backend that rejects empty
+    batches.
     """
+    if not chunk:
+        return []
     bulk = getattr(backend, "simulate_many", None)
     if bulk is not None and len(chunk) > 1:
         results = bulk(
@@ -721,6 +727,7 @@ class Campaign:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         store: Optional["ResultStore"] = None,
+        profile: bool = False,
     ) -> ResultSet:
         """Execute the campaign and aggregate a :class:`ResultSet`.
 
@@ -748,6 +755,16 @@ class Campaign:
         (:class:`~repro.montecarlo.MonteCarloEstimator`,
         :class:`~repro.search.SearchRunner`) inherits distributed
         execution the same way.
+
+        With ``profile=True`` and a megabatch backend, the kernel's
+        per-phase wall-clock breakdown (tape draw / decision / physics /
+        observe / transfer) lands in ``metadata["kernel_profile"]`` —
+        and from there into every store/bench record the result set
+        flows through.  Profiling is in-process only: with ``workers >
+        1`` (or a backend without kernel timers) the metadata instead
+        carries an honest ``{"unsupported": reason}`` note.  Fleet runs
+        (the ``store=``-executor and ``"distributed"`` seams above)
+        ignore the flag.
         """
         if hasattr(store, "run_campaign"):  # DistributedExecutor seam
             return store.run_campaign(self, seed=seed, chunk_size=chunk_size)
@@ -765,6 +782,12 @@ class Campaign:
         seed_fp = None if store is None else _fingerprint_of(root)
         scenario_list, chunks, workers = self._plan(root, workers, chunk_size)
         metadata: Dict[str, object] = {"cpu_count": os.cpu_count()}
+        if (os.cpu_count() or 1) <= 1:
+            # Timings recorded on a single-core host cannot show
+            # parallel speedup; downstream records carry the caveat so
+            # nobody reads a 1x workers-scaling number as a regression.
+            metadata["single_cpu_caveat"] = True
+        kernel_profile = self._start_profile(profile, workers, metadata)
         if store is None:
             records = list(self._iter_planned(scenario_list, chunks, workers))
         else:
@@ -792,6 +815,8 @@ class Campaign:
                 loaded=len(plan.done),
                 simulated=len(scenario_list) - len(plan.done),
             )
+        if kernel_profile is not None:
+            metadata["kernel_profile"] = kernel_profile.to_dict()
         return ResultSet(
             records=records,
             backend=self.backend_name,
@@ -804,6 +829,34 @@ class Campaign:
             metadata=metadata,
         )
 
+    def _start_profile(
+        self, profile: bool, workers: int, metadata: Dict[str, object]
+    ):
+        """Attach kernel phase timers to the backend, or explain why not.
+
+        Returns the live :class:`~repro.sim.batch.KernelProfile` when
+        profiling is possible (megabatch backend, in-process execution);
+        otherwise stamps ``metadata["kernel_profile"]`` with an
+        ``unsupported`` note and returns ``None`` — a silent no-op would
+        let callers mistake "not measured" for "zero cost".
+        """
+        if not profile:
+            return None
+        enable = getattr(self.backend, "enable_profiling", None)
+        if enable is None:
+            metadata["kernel_profile"] = {
+                "unsupported": f"backend {self.backend_name!r} has no "
+                "kernel phase timers"
+            }
+            return None
+        if workers > 1:
+            metadata["kernel_profile"] = {
+                "unsupported": "kernel profiling is in-process only; "
+                "subprocess workers cannot report phase timings "
+                "(re-run with workers=1)"
+            }
+            return None
+        return enable()
 
     def _check_backend_store(self, store) -> None:
         """Reject a ``store=`` that conflicts with a fleet backend.

@@ -16,6 +16,7 @@ confront.  This module implements that machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -69,9 +70,14 @@ class UniformAxis:
                 f"axis {self.name!r} needs high > low, got [{self.low}, {self.high}]"
             )
 
-    @property
+    @cached_property
     def points(self) -> np.ndarray:
-        """The grid points as a 1-D float array."""
+        """The grid points as a 1-D float array (computed once).
+
+        Cached because axis points sit on interpolation hot paths (the
+        megabatch decision phase locates every lane on every axis each
+        decision); the axis is frozen, so the points never change.
+        """
         return np.linspace(self.low, self.high, self.num)
 
     @property
@@ -116,6 +122,13 @@ class Grid:
             [int(np.prod(self.shape[i + 1:])) for i in range(len(self.shape))],
             dtype=np.int64,
         )
+        # Flat-index offset of every cell corner relative to the "all
+        # lo" corner: bit `dim` of corner c selects that axis's hi end,
+        # which is always exactly one grid step (one stride) above lo.
+        corners = np.arange(1 << self.ndim, dtype=np.int64)
+        self._corner_offsets = (
+            ((corners[:, None] >> np.arange(self.ndim)) & 1) * self._strides
+        ).sum(axis=1)
 
     @property
     def ndim(self) -> int:
@@ -173,17 +186,24 @@ class Grid:
                 f"coords must have {self.ndim} columns, got {coords.shape[1]}"
             )
         n = coords.shape[0]
-        num_corners = 1 << self.ndim
-        indices = np.zeros((n, num_corners), dtype=np.int64)
-        weights = np.ones((n, num_corners), dtype=float)
+        # ``hi`` is always ``lo + 1`` (interp_weights_1d clips hi into
+        # [1, num-1] and derives lo from it), so corner indices are one
+        # base flat index per point plus the precomputed per-corner
+        # offsets — pure int64 arithmetic, so reassociating the sums
+        # cannot change a single index.
+        base = np.zeros(n, dtype=np.int64)
+        weights = np.ones((n, 1), dtype=float)
         for dim, ax in enumerate(self.axes):
-            lo, hi, w_hi = interp_weights_1d(ax.points, coords[:, dim])
-            for corner in range(num_corners):
-                take_hi = (corner >> dim) & 1
-                idx = hi if take_hi else lo
-                w = w_hi if take_hi else (1.0 - w_hi)
-                indices[:, corner] += self._strides[dim] * idx
-                weights[:, corner] *= w
+            lo, _hi, w_hi = interp_weights_1d(ax.points, coords[:, dim])
+            base += self._strides[dim] * lo
+            # Grow the corner axis one dim at a time, new bit slowest:
+            # corner c's weight stays the product of its per-axis
+            # weights taken in axis order (axis 0 first), so every
+            # weight bit matches the per-corner accumulation it
+            # replaces.
+            pair = np.stack([1.0 - w_hi, w_hi], axis=1)  # (n, 2)
+            weights = (pair[:, :, None] * weights[:, None, :]).reshape(n, -1)
+        indices = base[:, None] + self._corner_offsets[None, :]
         return indices, weights
 
     def interpolate(self, values: np.ndarray, coords: np.ndarray) -> np.ndarray:

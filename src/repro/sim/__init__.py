@@ -17,11 +17,15 @@ pieces:
 - :mod:`repro.sim.encounter` — the high-level ``run_encounter`` entry
   point used by everything else (GA fitness, Monte-Carlo, examples);
 - :mod:`repro.sim.batch` — a vectorized fast path that simulates the
-  many noisy runs of one encounter simultaneously.
+  many noisy runs of one encounter simultaneously (with pre-drawn
+  noise tapes, per-phase :class:`~repro.sim.batch.KernelProfile`
+  timers, and an array-namespace seam);
+- :mod:`repro.sim.xp` — the array-namespace seam itself (numpy always;
+  CuPy auto-detected), behind the ``"vectorized-batch-gpu"`` backend.
 """
 
 from repro.sim.agents import UavAgent
-from repro.sim.batch import BatchEncounterSimulator, BatchResult
+from repro.sim.batch import BatchEncounterSimulator, BatchResult, KernelProfile
 from repro.sim.disturbance import DisturbanceModel
 from repro.sim.encounter import (
     EncounterResult,
@@ -32,19 +36,30 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.monitors import AccidentDetector, ProximityMeasurer
 from repro.sim.sensors import AdsBSensor
 from repro.sim.trace import TrajectoryTrace, render_vertical_profile
+from repro.sim.xp import (
+    ArrayNamespace,
+    accelerator_available,
+    detect_accelerators,
+    get_namespace,
+)
 
 __all__ = [
     "AccidentDetector",
     "AdsBSensor",
+    "ArrayNamespace",
     "BatchEncounterSimulator",
     "BatchResult",
     "DisturbanceModel",
     "EncounterResult",
     "EncounterSimConfig",
+    "KernelProfile",
     "ProximityMeasurer",
     "SimulationEngine",
     "TrajectoryTrace",
     "UavAgent",
+    "accelerator_available",
+    "detect_accelerators",
+    "get_namespace",
     "render_vertical_profile",
     "run_encounter",
 ]

@@ -1,0 +1,192 @@
+"""Array-namespace seam for the megabatch kernel (numpy today, CuPy when
+a device is present).
+
+The megabatch simulator's inner loop is pure array arithmetic over
+``(scenarios * runs)``-lane buffers — the natural input shape for an
+accelerator.  This module isolates *which* array library executes that
+arithmetic behind one small object, :class:`ArrayNamespace`, so the
+kernel code imports no accelerator library directly and the rest of the
+repo keeps its hard numpy-only dependency surface:
+
+- ``numpy`` — always available, the reference namespace.  ``asarray`` /
+  ``to_numpy`` are identity functions and ``synchronize`` is a no-op,
+  so the CPU kernel pays nothing for the seam.
+- ``cupy`` — auto-detected (importable *and* at least one CUDA device).
+  Host-drawn noise tapes are transferred with ``asarray`` and results
+  come back with ``to_numpy``; ``synchronize`` fences the device so
+  per-phase kernel timings measure work, not launch latency.
+- ``jax`` — detected and reported by :func:`detect_accelerators`, but
+  not usable as a kernel namespace: the megabatch kernel mutates its
+  lane buffers in place (``pos[:, 2] += ...``), which JAX's immutable
+  arrays cannot express.  Requesting it raises with that explanation
+  rather than silently falling back.
+
+Nothing here imports cupy/jax at module import time; detection is
+deferred and cached, so ``import repro.sim.xp`` is always safe in
+CPU-only environments (CI, the distributed fleet's smallest workers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy
+
+#: Device spellings :func:`get_namespace` accepts.
+DEVICES: Tuple[str, ...] = ("auto", "numpy", "cupy")
+
+
+class ArrayNamespace:
+    """One array library, wrapped for the megabatch kernel.
+
+    Attributes
+    ----------
+    name:
+        ``"numpy"`` or ``"cupy"``.
+    np:
+        The array module itself (``numpy`` or ``cupy``); the kernel
+        calls ``xp.np.hypot`` etc. on it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        module,
+        to_numpy: Optional[Callable] = None,
+        synchronize: Optional[Callable[[], None]] = None,
+    ):
+        self.name = name
+        self.np = module
+        self._to_numpy = to_numpy
+        self._synchronize = synchronize
+
+    @property
+    def is_accelerated(self) -> bool:
+        """Whether arrays live on a device rather than host memory."""
+        return self.name != "numpy"
+
+    def asarray(self, array):
+        """Move a host array into this namespace (no-op on numpy)."""
+        if not self.is_accelerated:
+            return array
+        return self.np.asarray(array)
+
+    def to_numpy(self, array) -> numpy.ndarray:
+        """Move an array of this namespace back to host numpy."""
+        if self._to_numpy is None:
+            return numpy.asarray(array)
+        return self._to_numpy(array)
+
+    def synchronize(self) -> None:
+        """Fence outstanding device work (no-op on numpy).
+
+        Phase timers call this so a timing bracket measures completed
+        kernel work instead of asynchronous launch latency.
+        """
+        if self._synchronize is not None:
+            self._synchronize()
+
+    def errstate(self, **kwargs):
+        """``numpy.errstate`` on numpy; a null context elsewhere."""
+        if self.name == "numpy":
+            return self.np.errstate(**kwargs)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def __repr__(self) -> str:
+        return f"ArrayNamespace({self.name!r})"
+
+
+#: The always-available reference namespace.
+NUMPY_NAMESPACE = ArrayNamespace("numpy", numpy)
+
+_DETECTED: Optional[Dict[str, str]] = None
+
+
+def _try_cupy() -> Optional[ArrayNamespace]:
+    """A cupy namespace if the library imports AND a device answers."""
+    try:
+        import cupy
+
+        if cupy.cuda.runtime.getDeviceCount() < 1:
+            return None
+        return ArrayNamespace(
+            "cupy",
+            cupy,
+            to_numpy=cupy.asnumpy,
+            synchronize=cupy.cuda.runtime.deviceSynchronize,
+        )
+    except Exception:
+        return None
+
+
+def detect_accelerators(refresh: bool = False) -> Dict[str, str]:
+    """What accelerator stacks this host has, as ``{name: status}``.
+
+    Statuses are one-line diagnoses (``"available"``, ``"not
+    installed"``, ``"installed, no device"``, ``"detected, unsupported
+    (immutable arrays)"``) — the map the GPU backend embeds in its
+    fallback warning so a mis-provisioned fleet node says *why* it ran
+    on CPU.  Cached after the first call.
+    """
+    global _DETECTED
+    if _DETECTED is not None and not refresh:
+        return dict(_DETECTED)
+    report: Dict[str, str] = {}
+    try:
+        import cupy  # noqa: F401
+
+        report["cupy"] = (
+            "available" if _try_cupy() is not None else "installed, no device"
+        )
+    except Exception:
+        report["cupy"] = "not installed"
+    try:
+        import jax  # noqa: F401
+
+        # JAX is reported but never used: the in-place megabatch kernel
+        # cannot run on immutable arrays (see module docstring).
+        report["jax"] = "detected, unsupported (immutable arrays)"
+    except Exception:
+        report["jax"] = "not installed"
+    _DETECTED = dict(report)
+    return report
+
+
+def accelerator_available() -> bool:
+    """Whether :func:`get_namespace` ``("auto")`` would leave the CPU."""
+    return _try_cupy() is not None
+
+
+def get_namespace(device: str = "auto") -> ArrayNamespace:
+    """Resolve a device request to an :class:`ArrayNamespace`.
+
+    ``"auto"`` returns the accelerator namespace when one is usable and
+    falls back to numpy otherwise (callers that must *surface* the
+    fallback — the ``"vectorized-batch-gpu"`` backend — check
+    :func:`accelerator_available` themselves and warn).  ``"numpy"``
+    and ``"cupy"`` are explicit; an explicit request that cannot be
+    satisfied raises ``RuntimeError`` instead of silently degrading.
+    """
+    if device == "numpy":
+        return NUMPY_NAMESPACE
+    if device == "cupy":
+        namespace = _try_cupy()
+        if namespace is None:
+            raise RuntimeError(
+                "device 'cupy' requested but unusable here: "
+                f"{detect_accelerators().get('cupy', 'not installed')}"
+            )
+        return namespace
+    if device == "jax":
+        raise RuntimeError(
+            "the megabatch kernel mutates its lane buffers in place and "
+            "cannot run on JAX's immutable arrays; use device='cupy' or "
+            "'numpy'"
+        )
+    if device == "auto":
+        return _try_cupy() or NUMPY_NAMESPACE
+    raise ValueError(
+        f"unknown device {device!r} (use one of {', '.join(DEVICES)})"
+    )
