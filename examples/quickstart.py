@@ -36,7 +36,12 @@ campaign API:
    quarantine it (``--repair``) so resume re-simulates exactly the
    damaged scenario, and run a **self-healing fleet**
    (``repro fleet``) that restarts crashed workers with backoff and
-   gives up cleanly on crash loops.
+   gives up cleanly on crash loops;
+10. make the whole pipeline observable: re-run a campaign with tracing
+    armed (spans persist into the result store; the traced run stays
+    bitwise identical to its untraced twin), render the span-tree
+    waterfall with its critical path, and scrape the fleet-wide
+    Prometheus metrics snapshot.
 
 **Choosing a backend.**  ``Campaign(backend=...)`` selects one of the
 registered simulation backends.  Measured on a 50-scenario × 100-run
@@ -154,6 +159,25 @@ with ``repro serve``::
 
 Step 8 below drives the identical WSGI application in-process (no
 socket) through ``repro.service.testing.ServiceClient``.
+
+**Telemetry.**  ``repro campaign --trace --store ...`` (or the
+``telemetry.collect(db)`` context manager) records a cross-process
+span tree into the result store: submit/wait spans from the
+coordinator, claim/simulate/drain spans from every worker — the trace
+context rides the queue job's metadata and ``$REPRO_TRACE``, never the
+campaign spec, so a traced run keeps the bitwise-identical campaign id
+and results digest of its untraced twin — plus kernel phase spans,
+store writes, and service requests.  Disarmed (the default) every hook
+returns a shared no-op object.  Metrics aggregate across the fleet
+through the queue and render as Prometheus text::
+
+    repro campaign --sample 50 --runs 100 \\
+        --store results.sqlite --trace
+    repro trace <campaign-id> --store results.sqlite   # waterfall
+    repro metrics --store results.sqlite --queue queue.sqlite
+    curl localhost:8000/metrics                    # Prometheus scrape
+    curl localhost:8000/healthz                    # compact snapshot
+    curl localhost:8000/campaigns/<id>/trace       # span tree JSON
 
 Usage::
 
@@ -356,6 +380,34 @@ def main() -> None:
     # cleanly — crashed workers would be restarted with backoff.
     fleet_report = FleetSupervisor(queue_path, workers=2).run(timeout=120)
     print(fleet_report.summary())
+    print()
+
+    print("=== 10. Telemetry: traced campaign, waterfall, metrics ===")
+    from repro import telemetry
+
+    # Arm tracing for one run; spans land in the result store.  The
+    # trace context never touches the campaign spec, so the traced run
+    # is bitwise identical to an untraced twin of the same seed.
+    with telemetry.collect(store.path):
+        traced = Campaign(
+            SCENARIOS, table=table, runs_per_scenario=RUNS
+        ).run(seed=13, store=store)
+    twin = Campaign(
+        SCENARIOS, table=table, runs_per_scenario=RUNS
+    ).run(seed=13)
+    identical = (traced.min_separations() == twin.min_separations()).all()
+    print(f"traced vs untraced twin: bitwise identical = {identical}")
+    spans = telemetry.load_spans(
+        store.path, campaign_id=traced.metadata["campaign_id"]
+    )
+    print(telemetry.render_trace(spans))  # waterfall + critical path
+    # The same text `repro metrics` / GET /metrics serve — local
+    # counters merged with queue- and store-derived gauges.
+    scrape = telemetry.scrape(queue_path=queue_path, store_path=store.path)
+    wanted = ("repro_store_", "repro_queue_chunks", "repro_fleet_workers")
+    print("\n".join(
+        line for line in scrape.splitlines() if line.startswith(wanted)
+    ))
 
 
 if __name__ == "__main__":

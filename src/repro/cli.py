@@ -48,6 +48,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import telemetry
 from repro.acasx import build_logic_table, paper_config, test_config
 from repro.acasx.cache import build_or_load
 from repro.acasx.config import AcasConfig
@@ -225,15 +226,39 @@ def _campaign_from_args(args) -> Campaign:
         raise SystemExit(str(error))
 
 
+def _arm_trace_cli(args, process: str) -> bool:
+    """Arm telemetry on ``--store`` when ``--trace`` was requested.
+
+    Spans live in the store's sqlite file, so tracing without a store
+    has nowhere to write — that's a usage error, not a silent no-op.
+    """
+    if not getattr(args, "trace", False):
+        return False
+    if not getattr(args, "store", None):
+        raise SystemExit("--trace requires --store (spans live there)")
+    telemetry.arm(args.store, process=process)
+    return True
+
+
 def cmd_campaign(args) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     campaign = _campaign_from_args(args)
     store = _open_store(args)
-    results = campaign.run(
-        seed=args.seed, workers=args.workers, chunk_size=args.chunk_size,
-        store=store, profile=args.profile,
-    )
+    traced = _arm_trace_cli(args, process="cli:campaign")
+    try:
+        results = campaign.run(
+            seed=args.seed, workers=args.workers, chunk_size=args.chunk_size,
+            store=store, profile=args.profile,
+        )
+    finally:
+        if traced:
+            telemetry.disarm()  # flushes buffered spans
+    if traced:
+        campaign_id = results.metadata.get("campaign_id")
+        if campaign_id:
+            print(f"trace recorded: repro trace {campaign_id[:12]} "
+                  f"--store {args.store}")
     print(results.summary())
     if args.profile:
         kernel_profile = getattr(
@@ -398,14 +423,22 @@ def cmd_airspace(args) -> int:
 # ----------------------------------------------------------------------
 def cmd_submit(args) -> int:
     campaign = _campaign_from_args(args)
-    run = campaign.submit(
-        seed=args.seed,
-        queue=args.queue,
-        store=args.store,
-        chunk_size=args.chunk_size,
-    )
+    traced = _arm_trace_cli(args, process="cli:submit")
+    try:
+        run = campaign.submit(
+            seed=args.seed,
+            queue=args.queue,
+            store=args.store,
+            chunk_size=args.chunk_size,
+        )
+    finally:
+        if traced:
+            telemetry.disarm()  # flushes the submit/enqueue spans
     print(f"campaign {run.campaign_id[:12]}: "
           f"{run.num_scenarios} scenarios x {args.runs} runs")
+    if traced:
+        print(f"trace armed: workers will add spans; view with "
+              f"repro trace {run.campaign_id[:12]} --store {args.store}")
     print(f"enqueued {run.chunks_enqueued} chunk(s) "
           f"({run.already_stored} scenario(s) already stored, "
           f"{run.simulated} to simulate)")
@@ -479,6 +512,15 @@ def cmd_fleet(args) -> int:
     if args.verbose:
         for event in report.events:
             print(event.describe())
+    else:
+        # Restarts/give-ups/stall-kills are incident evidence — always
+        # show the recent tail, not only under --verbose.
+        tail = report.tail()
+        if tail:
+            print(f"recent events (last {len(tail)} of "
+                  f"{len(report.events)}):")
+            for line in tail:
+                print(f"  {line}")
     print(report.summary())
     return 0 if report.drained else 1
 
@@ -574,6 +616,11 @@ def cmd_serve(args) -> int:
         preset=args.preset,
         verbose=args.verbose,
     )
+    if args.store != ":memory:":
+        # The serve daemon is always traced: request/submit spans land
+        # in the store it serves, and submissions propagate the trace
+        # to the worker fleet through job metadata.
+        telemetry.arm(args.store, process="service")
     try:
         watchlist = Watchlist(
             service.store, baseline=args.baseline, top=args.top
@@ -606,6 +653,41 @@ def cmd_serve(args) -> int:
         if watcher is not None:
             watcher.stop()
         service.close()
+        telemetry.disarm()  # flush any buffered spans
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Render one campaign's span tree (``repro trace``)."""
+    if not Path(args.store).exists():
+        raise SystemExit(f"store not found: {args.store}")
+    with ResultStore(args.store) as store:
+        try:
+            campaign_id = store.resolve(args.campaign)
+        except KeyError:
+            # Spans can outlive (or precede) the campaign row; fall
+            # back to prefix-matching the spans table directly.
+            campaign_id = args.campaign
+    spans = telemetry.load_spans(args.store, campaign_id=campaign_id)
+    if not spans:
+        print(f"no spans recorded for campaign {args.campaign} "
+              f"(run with --trace, or serve/submit through a traced "
+              f"service)", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(telemetry.trace_payload(spans), indent=2,
+                         sort_keys=True))
+    else:
+        print(telemetry.render_trace(spans), end="")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Headless Prometheus scrape from store/queue state (no HTTP)."""
+    if args.store is None and args.queue is None:
+        raise SystemExit("nothing to scrape: pass --store and/or --queue")
+    text = telemetry.scrape(queue_path=args.queue, store_path=args.store)
+    print(text, end="")
     return 0
 
 
@@ -913,6 +995,11 @@ def build_parser() -> argparse.ArgumentParser:
              "breakdown (tape draw / decision / physics / observe / "
              "transfer); in-process megabatch backends only",
     )
+    campaign.add_argument(
+        "--trace", action="store_true",
+        help="record a span trace into --store (results stay bitwise "
+             "identical); view with 'repro trace'",
+    )
     campaign.set_defaults(func=cmd_campaign)
 
     submit = subparsers.add_parser(
@@ -936,6 +1023,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shared work-queue sqlite path")
     submit.add_argument("--store", metavar="PATH", required=True,
                         help="result store the workers drain into")
+    submit.add_argument(
+        "--trace", action="store_true",
+        help="open a trace the worker fleet joins (span context rides "
+             "the job metadata); view with 'repro trace'",
+    )
     submit.set_defaults(func=cmd_submit)
 
     worker = subparsers.add_parser(
@@ -1094,6 +1186,45 @@ def build_parser() -> argparse.ArgumentParser:
     watchlist.add_argument("--fail-on-alert", action="store_true",
                            help="exit 3 if any regression alert fires")
     watchlist.set_defaults(func=cmd_watchlist)
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="render one campaign's span trace as a waterfall",
+        description=(
+            "Load the spans a traced run recorded into the result "
+            "store (campaign --trace, submit --trace, or any campaign "
+            "submitted through a 'repro serve' daemon) and render them "
+            "as an indented waterfall with the critical path marked — "
+            "one connected tree even when the work crossed a "
+            "coordinator, a supervisor, and a fleet of worker "
+            "processes."
+        ),
+    )
+    trace_cmd.add_argument("campaign", help="campaign id (prefix ok)")
+    trace_cmd.add_argument("--store", metavar="PATH", required=True,
+                           help="result store holding the spans")
+    trace_cmd.add_argument("--format", default="text",
+                           choices=("text", "json"),
+                           help="json emits the same payload as "
+                                "GET /campaigns/{id}/trace")
+    trace_cmd.set_defaults(func=cmd_trace)
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="print a Prometheus scrape without running the service",
+        description=(
+            "Assemble the same Prometheus text exposition GET /metrics "
+            "serves — worker-published counters aggregated through the "
+            "queue plus queue/store state gauges — directly from the "
+            "sqlite files, for fleets running without an HTTP front "
+            "door."
+        ),
+    )
+    metrics_cmd.add_argument("--store", metavar="PATH", default=None,
+                             help="result store to gauge")
+    metrics_cmd.add_argument("--queue", metavar="PATH", default=None,
+                             help="work queue to aggregate")
+    metrics_cmd.set_defaults(func=cmd_metrics)
 
     queue_cmd = subparsers.add_parser(
         "queue", help="work-queue maintenance"

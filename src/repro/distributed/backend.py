@@ -43,6 +43,7 @@ import os
 import time
 from typing import List, Optional, Sequence, Union
 
+from repro import telemetry
 from repro.distributed.coordinator import (
     DistributedRun,
     _check_not_terminal,
@@ -313,7 +314,11 @@ class DistributedBackend:
             store=self.store_path,
             chunk_size=chunk_size or self.chunk_size,
         )
-        fallback_ran = self._await(run)
+        with telemetry.span(
+            "campaign.await", campaign_id=run.campaign_id
+        ) as await_span:
+            fallback_ran = self._await(run)
+            await_span.set(fallback=fallback_ran)
         if self.verify:
             with ResultStore(self.store_path) as store:
                 report = store.verify(campaign_id=run.campaign_id)
@@ -345,10 +350,12 @@ class DistributedBackend:
         rows vanished (garbage-collected mid-wait) raises instead of
         polling forever.
         """
+        # Monotonic deadline (PR-5 time discipline): wall-clock steps
+        # must not fire spurious timeouts mid-wait.
         deadline = (
             None
             if self.wait_timeout is None
-            else time.time() + self.wait_timeout
+            else time.monotonic() + self.wait_timeout
         )
         fallback_worker: Optional[Worker] = None
         with WorkQueue(
@@ -359,7 +366,7 @@ class DistributedBackend:
                 if snapshot.complete:
                     return fallback_worker is not None
                 _check_not_terminal(queue, run.campaign_id, snapshot)
-                if deadline is not None and time.time() > deadline:
+                if deadline is not None and time.monotonic() > deadline:
                     raise TimeoutError(
                         f"campaign {run.campaign_id[:12]} incomplete "
                         f"after {self.wait_timeout}s "

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro import telemetry
 from repro.distributed.queue import ChunkCounts, WorkQueue
 from repro.distributed.worker import Worker, WorkerStats
 from repro.experiments.backends import BackendSpec
@@ -181,6 +182,10 @@ class DistributedRun:
     #: Chunks newly enqueued by this submission (0 when the campaign
     #: was already complete, or when the same id was already queued).
     chunks_enqueued: int
+    #: Span id of the ``campaign.submit`` span (``None`` when tracing
+    #: was disarmed).  ``wait()``/``collect()`` open on an empty span
+    #: stack; seating them here keeps one submission one trace tree.
+    trace_parent: Optional[str] = None
 
     @property
     def simulated(self) -> int:
@@ -214,7 +219,10 @@ class DistributedRun:
         for the whole polling loop (re-opening them per poll would
         needlessly contend with the workers writing to the same files).
         """
-        deadline = None if timeout is None else time.time() + timeout
+        # Monotonic deadline: a wall-clock step mid-wait must neither
+        # fire a spurious timeout nor extend the wait (the PR-5 time
+        # discipline, applied to the coordinator's own clock).
+        deadline = None if timeout is None else time.monotonic() + timeout
         with WorkQueue(self.queue_path) as queue, ResultStore(
             self.store_path
         ) as store:
@@ -235,7 +243,7 @@ class DistributedRun:
             if snapshot.complete:
                 return
             _check_not_terminal(queue, self.campaign_id, snapshot)
-            if deadline is not None and time.time() > deadline:
+            if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(
                     f"campaign {self.campaign_id[:12]} incomplete after "
                     f"{timeout}s ({snapshot.describe()})"
@@ -247,9 +255,15 @@ class DistributedRun:
     ) -> Progress:
         """Block until the campaign completes; return the final state."""
         snapshot = None
-        for snapshot in self.iter_progress(poll=poll, timeout=timeout):
-            pass
-        assert snapshot is not None
+        with telemetry.span(
+            "campaign.wait", campaign_id=self.campaign_id
+        ) as wait_span:
+            if wait_span.span_id is not None and wait_span.parent_id is None:
+                wait_span.parent_id = self.trace_parent
+            for snapshot in self.iter_progress(poll=poll, timeout=timeout):
+                pass
+            assert snapshot is not None
+            wait_span.set(records_done=snapshot.records_done)
         return snapshot
 
     def collect(self) -> ResultSet:
@@ -260,7 +274,12 @@ class DistributedRun:
         blobs in scenario-index order, and each scenario's bits derived
         only from its own pre-spawned seed, whichever worker ran it.
         """
-        with ResultStore(self.store_path) as store:
+        with telemetry.span(
+            "campaign.collect", campaign_id=self.campaign_id
+        ) as collect_span, ResultStore(self.store_path) as store:
+            if (collect_span.span_id is not None
+                    and collect_span.parent_id is None):
+                collect_span.parent_id = self.trace_parent
             done = len(store.completed_indices(self.campaign_id))
             if done < self.num_scenarios:
                 raise RuntimeError(
@@ -300,75 +319,97 @@ def submit(
     """
     queue_path = _queue_path(queue)
     store_path = _store_path(store)
-    try:
-        # A fleet-native backend ships its *inner* simulation spec —
-        # workers must simulate, not re-dispatch to themselves.
-        spec_of = getattr(campaign.backend, "worker_spec", None)
-        backend_spec = (
-            spec_of() if spec_of is not None
-            else BackendSpec.capture(campaign.backend)
-        )
-    except TypeError as error:
-        raise TypeError(
-            "distributed campaigns need a registry-built backend whose "
-            f"spec can be shipped to workers: {error}"
-        ) from None
-
-    from repro.util.rng import as_seed_sequence
-
-    root = as_seed_sequence(seed)
-    # Fingerprint before planning spawns from the sequence (the
-    # identity rule Campaign.run follows).
-    seed_fp = _fingerprint_of(root)
-    scenario_list, chunks, _ = campaign._plan(root, 1, chunk_size)
-    spec = CampaignSpec.capture(campaign, scenario_list, root, seed_fp=seed_fp)
-
-    with ResultStore(store_path) as result_store:
-        campaign_id = result_store.open_campaign(spec)
-        done = result_store.completed_indices(campaign_id)
-
-    # Ship only missing work; names travel with the params because
-    # workers never see the scenario list.
-    payloads: List[bytes] = []
-    for chunk in chunks:
-        remaining = [
-            (index, scenario_list[index].name, params, child)
-            for index, params, child in chunk
-            if index not in done
-        ]
-        if remaining:
-            payloads.append(pickle.dumps(remaining))
-
-    with WorkQueue(queue_path) as work_queue:
+    submit_span = telemetry.span("campaign.submit")
+    with submit_span:
         try:
-            existing = work_queue.job(campaign_id)
-        except KeyError:
-            existing = None
-        if existing is not None and existing.store_path != store_path:
-            # submit_job is idempotent per campaign id, so a re-submit
-            # against a different store would silently enqueue nothing
-            # while the waiter watches a store no worker writes to —
-            # an unbounded hang.  Refuse up front instead.
-            raise ValueError(
-                f"campaign {campaign_id[:12]} is already queued in "
-                f"{queue_path} bound to store {existing.store_path}; "
-                f"re-submitting it with store {store_path} would never "
-                "complete — collect from the original store, or gc the "
-                "queue first"
+            # A fleet-native backend ships its *inner* simulation spec —
+            # workers must simulate, not re-dispatch to themselves.
+            spec_of = getattr(campaign.backend, "worker_spec", None)
+            backend_spec = (
+                spec_of() if spec_of is not None
+                else BackendSpec.capture(campaign.backend)
             )
-        enqueued = (
-            work_queue.submit_job(
-                campaign_id,
-                store_path,
-                pickle.dumps(backend_spec),
-                campaign.runs_per_scenario,
-                len(scenario_list),
-                payloads,
-                metadata=metadata,
+        except TypeError as error:
+            raise TypeError(
+                "distributed campaigns need a registry-built backend whose "
+                f"spec can be shipped to workers: {error}"
+            ) from None
+
+        from repro.util.rng import as_seed_sequence
+
+        root = as_seed_sequence(seed)
+        with telemetry.span("campaign.plan"):
+            # Fingerprint before planning spawns from the sequence (the
+            # identity rule Campaign.run follows).
+            seed_fp = _fingerprint_of(root)
+            scenario_list, chunks, _ = campaign._plan(root, 1, chunk_size)
+            spec = CampaignSpec.capture(
+                campaign, scenario_list, root, seed_fp=seed_fp
             )
-            if payloads
-            else 0
+
+        with ResultStore(store_path) as result_store:
+            campaign_id = result_store.open_campaign(spec)
+            done = result_store.completed_indices(campaign_id)
+        submit_span.set(
+            campaign_id=campaign_id, num_scenarios=len(scenario_list),
+            already_stored=len(done),
         )
+
+        # Ship only missing work; names travel with the params because
+        # workers never see the scenario list.
+        payloads: List[bytes] = []
+        for chunk in chunks:
+            remaining = [
+                (index, scenario_list[index].name, params, child)
+                for index, params, child in chunk
+                if index not in done
+            ]
+            if remaining:
+                payloads.append(pickle.dumps(remaining))
+
+        # Trace propagation rides the *job* metadata, never the spec:
+        # the campaign id and digest of a traced run must stay bitwise
+        # identical to its untraced twin.  Workers parent their chunk
+        # spans to this trace's root span (the enclosing fleet span if
+        # one is open, else this submit span).
+        context = telemetry.trace_context()
+        if context is not None:
+            metadata = dict(metadata or {})
+            metadata["trace"] = context
+
+        with telemetry.span("campaign.enqueue"), WorkQueue(
+            queue_path
+        ) as work_queue:
+            try:
+                existing = work_queue.job(campaign_id)
+            except KeyError:
+                existing = None
+            if existing is not None and existing.store_path != store_path:
+                # submit_job is idempotent per campaign id, so a re-submit
+                # against a different store would silently enqueue nothing
+                # while the waiter watches a store no worker writes to —
+                # an unbounded hang.  Refuse up front instead.
+                raise ValueError(
+                    f"campaign {campaign_id[:12]} is already queued in "
+                    f"{queue_path} bound to store {existing.store_path}; "
+                    f"re-submitting it with store {store_path} would never "
+                    "complete — collect from the original store, or gc the "
+                    "queue first"
+                )
+            enqueued = (
+                work_queue.submit_job(
+                    campaign_id,
+                    store_path,
+                    pickle.dumps(backend_spec),
+                    campaign.runs_per_scenario,
+                    len(scenario_list),
+                    payloads,
+                    metadata=metadata,
+                )
+                if payloads
+                else 0
+            )
+        submit_span.set(chunks_enqueued=enqueued)
 
     return DistributedRun(
         campaign_id=campaign_id,
@@ -377,6 +418,7 @@ def submit(
         num_scenarios=len(scenario_list),
         already_stored=len(done),
         chunks_enqueued=enqueued,
+        trace_parent=submit_span.span_id,
     )
 
 
@@ -525,11 +567,17 @@ class DistributedExecutor:
         plumbing reports everywhere else, plus the fleet size.
         """
         start = time.perf_counter()
-        run = self.submit(campaign, seed, chunk_size=chunk_size)
-        if run.simulated and not self.external_workers:
-            self._drive_workers(run.campaign_id)
-        run.wait(timeout=self.wait_timeout, poll=self.poll_interval)
-        results = run.collect()
+        fleet_span = telemetry.span(
+            "campaign.fleet",
+            workers="external" if self.external_workers else self.workers,
+        )
+        with fleet_span:
+            run = self.submit(campaign, seed, chunk_size=chunk_size)
+            fleet_span.set(campaign_id=run.campaign_id)
+            if run.simulated and not self.external_workers:
+                self._drive_workers(run.campaign_id)
+            run.wait(timeout=self.wait_timeout, poll=self.poll_interval)
+            results = run.collect()
         results.metadata["distributed_workers"] = (
             "external" if self.external_workers else self.workers
         )

@@ -64,6 +64,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
+from repro.telemetry.metrics import MetricsRegistry, REGISTRY, merge_samples
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -96,6 +97,11 @@ CREATE TABLE IF NOT EXISTS workers (
     started_at   REAL NOT NULL,
     heartbeat    REAL NOT NULL,
     capabilities TEXT
+);
+CREATE TABLE IF NOT EXISTS worker_metrics (
+    worker_id TEXT PRIMARY KEY,
+    updated   REAL NOT NULL,
+    samples   TEXT NOT NULL
 );
 """
 
@@ -292,11 +298,34 @@ class WorkQueue:
         path: Union[str, Path],
         skew_margin: float = DEFAULT_SKEW_MARGIN,
         clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if skew_margin < 0:
             raise ValueError("skew_margin must be >= 0")
         self.skew_margin = float(skew_margin)
         self._clock = clock
+        # Queue-seam metric families, resolved once: claim/renew/release
+        # outcomes are counted after their transaction commits (never
+        # inside it — a retried txn must not double-count).
+        registry = metrics if metrics is not None else REGISTRY
+        self.metrics = registry
+        self._m_claims = registry.counter(
+            "repro_queue_claims_total",
+            "Chunk claim attempts by outcome"
+            " (claimed/reclaimed/empty/poisoned).",
+        )
+        self._m_renewals = registry.counter(
+            "repro_queue_renewals_total",
+            "Lease renewals by outcome (renewed/lost).",
+        )
+        self._m_releases = registry.counter(
+            "repro_queue_releases_total",
+            "Chunk releases by outcome (done/retry/stale).",
+        )
+        self._m_enqueued = registry.counter(
+            "repro_queue_chunks_enqueued_total",
+            "Chunk rows enqueued through submit_job.",
+        )
         #: Last heartbeat upsert per (worker_id, campaign_id) on this
         #: handle, for the :data:`_HEARTBEAT_REFRESH` throttle.
         self._heartbeats: Dict[Tuple[str, Optional[str]], float] = {}
@@ -473,7 +502,10 @@ class WorkQueue:
             )
             return len(chunk_payloads)
 
-        return self._write(txn)
+        enqueued = self._write(txn)
+        if enqueued:
+            self._m_enqueued.inc(enqueued)
+        return enqueued
 
     # ------------------------------------------------------------------
     # Lease-based claiming
@@ -498,7 +530,10 @@ class WorkQueue:
         heartbeat in the ``workers`` table.
         """
 
+        outcome = "empty"
+
         def txn() -> Optional[ClaimedChunk]:
+            nonlocal outcome
             now = self._now()
             self._heartbeat_worker(worker_id, campaign_id, now)
             clauses = (
@@ -519,6 +554,7 @@ class WorkQueue:
                 return None
             attempts = row["attempts"] + 1
             if attempts > MAX_ATTEMPTS:
+                outcome = "poisoned"
                 self._conn.execute(
                     "UPDATE chunks SET status = 'failed', worker_id = NULL,"
                     " lease_expires = NULL WHERE campaign_id = ?"
@@ -526,6 +562,7 @@ class WorkQueue:
                     (row["campaign_id"], row["chunk_index"]),
                 )
                 return None
+            outcome = "reclaimed" if attempts > 1 else "claimed"
             deadline = now + lease_seconds
             self._conn.execute(
                 "UPDATE chunks SET status = 'claimed', worker_id = ?,"
@@ -548,7 +585,9 @@ class WorkQueue:
                 attempts=attempts,
             )
 
-        return self._write(txn)
+        claimed = self._write(txn)
+        self._m_claims.inc(outcome=outcome)
+        return claimed
 
     def renew(
         self,
@@ -588,7 +627,9 @@ class WorkQueue:
                 self._heartbeat_worker(worker_id, None, now, pin=False)
             return cursor.rowcount > 0
 
-        return self._write(txn)
+        renewed = self._write(txn)
+        self._m_renewals.inc(outcome="renewed" if renewed else "lost")
+        return renewed
 
     def release(
         self,
@@ -629,7 +670,11 @@ class WorkQueue:
                 )
             return cursor.rowcount > 0
 
-        return self._write(txn)
+        released = self._write(txn)
+        self._m_releases.inc(
+            outcome=("done" if done else "retry") if released else "stale"
+        )
+        return released
 
     # ------------------------------------------------------------------
     # Introspection
@@ -848,6 +893,54 @@ class WorkQueue:
         """The queue's own clock (the single lease time authority)."""
         return self._now()
 
+    # ------------------------------------------------------------------
+    # Fleet metrics publication
+    # ------------------------------------------------------------------
+    def publish_metrics(self, worker_id: str, samples: Sequence[dict]) -> None:
+        """Upsert one worker's flattened metric samples.
+
+        Workers publish their private registry's ``flatten()`` output
+        after each chunk; the row is an absolute point-in-time snapshot
+        (not a delta), so re-publication is idempotent and a crashed
+        worker's last snapshot keeps counting toward fleet totals until
+        GC ages it out.
+        """
+        blob = json.dumps(list(samples))
+
+        def txn() -> None:
+            self._conn.execute(
+                "INSERT INTO worker_metrics (worker_id, updated, samples)"
+                " VALUES (?, ?, ?)"
+                " ON CONFLICT(worker_id) DO UPDATE SET"
+                " updated = excluded.updated, samples = excluded.samples",
+                (worker_id, self._now(), blob),
+            )
+
+        self._write(txn)
+
+    def fleet_metric_samples(
+        self, max_age: Optional[float] = None
+    ) -> List[dict]:
+        """Sum every published worker snapshot into one sample list.
+
+        The service merges this with its own registry for fleet-wide
+        ``/metrics`` totals.  *max_age* (seconds, against the queue
+        clock) drops snapshots from long-gone workers.
+        """
+        query = "SELECT samples FROM worker_metrics"
+        params: List = []
+        if max_age is not None:
+            query += " WHERE updated >= ?"
+            params.append(self._now() - max_age)
+        query += " ORDER BY worker_id"
+        sets = []
+        for row in self._conn.execute(query, params):
+            try:
+                sets.append(json.loads(row["samples"]))
+            except (TypeError, ValueError):
+                continue
+        return merge_samples(*sets)
+
     def deregister_worker(self, worker_id: str) -> None:
         """Drop one worker's liveness row (clean exit)."""
         self._heartbeats = {
@@ -952,6 +1045,10 @@ class WorkQueue:
                 )
             self._conn.execute(
                 "DELETE FROM workers WHERE heartbeat < ?", (stale_cutoff,)
+            )
+            self._conn.execute(
+                "DELETE FROM worker_metrics WHERE updated < ?",
+                (stale_cutoff,),
             )
 
         self._write(txn)

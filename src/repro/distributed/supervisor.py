@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Union
 
+from repro import telemetry
 from repro.distributed.queue import (
     DEFAULT_SKEW_MARGIN,
     WorkQueue,
@@ -94,6 +95,12 @@ class FleetReport:
             f"{self.restarts} restart(s), {self.gave_up} gave up, "
             f"{status} in {self.wall_time:.2f}s"
         )
+
+    def tail(self, limit: int = 8) -> List[str]:
+        """The last *limit* events, one line each — the at-a-glance
+        incident log ``repro fleet`` prints even without ``--verbose``.
+        """
+        return [event.describe() for event in self.events[-limit:]]
 
 
 class _Slot:
@@ -249,7 +256,7 @@ class FleetSupervisor:
         )
         handle.close()
         slot.state = "running"
-        slot.started_at = time.time()
+        slot.started_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # The monitor loop
@@ -263,15 +270,23 @@ class FleetSupervisor:
         elapses first (all workers are killed).
         """
         start = time.perf_counter()
-        deadline = None if timeout is None else time.time() + timeout
-        with WorkQueue(
+        # Monotonic supervisor clock: deadlines, backoff resumption and
+        # stall grace are all durations — a wall-clock step must not
+        # restart workers early or fake a timeout.  Queue heartbeat
+        # ages still come from the queue's own clock (see _stalled).
+        deadline = None if timeout is None else time.monotonic() + timeout
+        supervise_span = telemetry.span(
+            "fleet.supervise", workers=self.workers,
+            campaign_id=self.campaign_id,
+        )
+        with supervise_span, WorkQueue(
             self.queue_path, skew_margin=self.skew_margin
         ) as queue:
             for slot in self._slots:
                 self._start(slot)
             try:
                 while True:
-                    now = time.time()
+                    now = time.monotonic()
                     if self._poll_slots(queue, now):
                         break
                     if deadline is not None and now > deadline:
@@ -296,6 +311,9 @@ class FleetSupervisor:
                     f"{self.restart_window}s); work remains queued. "
                     f"Last worker stderr:\n{stderr}"
                 )
+            supervise_span.set(
+                restarts=self._restarts, gave_up=gave_up, drained=drained,
+            )
         return FleetReport(
             workers=self.workers,
             restarts=self._restarts,
@@ -393,6 +411,14 @@ class FleetSupervisor:
         slot: _Slot,
         returncode: Optional[int] = None,
     ) -> None:
+        """Log one fleet event — unconditionally, into three sinks.
+
+        The in-memory list feeds :class:`FleetReport` (and its
+        :meth:`~FleetReport.tail`), the metrics registry counts it for
+        ``/metrics``, and when tracing is armed it lands as an event on
+        the supervise span — none of which is gated on ``--verbose``,
+        which only controls live printing.
+        """
         self._events.append(
             WorkerEvent(
                 kind=kind,
@@ -401,6 +427,15 @@ class FleetSupervisor:
                 returncode=returncode,
                 stderr_tail=slot.last_stderr if kind != "exit" else "",
             )
+        )
+        telemetry.REGISTRY.counter(
+            "repro_supervisor_events_total",
+            "Fleet supervisor events by kind"
+            " (exit/crash/restart/gave-up/stall-kill).",
+        ).inc(kind=kind)
+        telemetry.event(
+            f"fleet:{kind}", slot=slot.index, worker_id=slot.worker_id,
+            returncode=returncode,
         )
 
     def _drained(self, queue: WorkQueue) -> bool:

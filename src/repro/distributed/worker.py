@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro import faults
+from repro import faults, telemetry
 from repro.distributed.queue import (
     DEFAULT_SKEW_MARGIN,
     DEFAULT_WORKER_TTL,
@@ -52,7 +52,9 @@ from repro.distributed.queue import (
 from repro.experiments.backends import BackendSpec, SimulationBackend
 from repro.experiments.campaign import RunRecord, _execute_chunk
 from repro.faults import InjectedWorkerCrash
+from repro.sim.batch import KERNEL_PHASES
 from repro.store import ResultStore
+from repro.telemetry.metrics import MetricsRegistry
 
 #: Exit status of ``repro worker`` when the lease-heartbeat thread died
 #: while a chunk simulated.  Distinct from generic failures (1) so a
@@ -258,6 +260,23 @@ class Worker:
         self._backends: Dict[bytes, SimulationBackend] = {}
         self._stores: Dict[str, ResultStore] = {}
         self._jobs: Dict[str, "JobInfo"] = {}
+        # Private registry (never the process default): an in-process
+        # fallback worker inside a coordinator must not double-count
+        # against the coordinator's own registry, and publication to
+        # the queue is per-worker-id anyway.
+        self.metrics = MetricsRegistry()
+        self._m_chunks = self.metrics.counter(
+            "repro_worker_chunks_total",
+            "Chunks this worker finished, by outcome (done/failed/lost).",
+        )
+        self._m_chunk_seconds = self.metrics.histogram(
+            "repro_worker_chunk_seconds",
+            "Claim-to-release chunk execution time (the lease hold).",
+        )
+        self._m_records = self.metrics.counter(
+            "repro_worker_records_total",
+            "Records drained to the store, by outcome (written/deduped).",
+        )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -291,7 +310,8 @@ class Worker:
         crashed = False
         try:
             with WorkQueue(
-                self.queue_path, skew_margin=self.skew_margin, clock=clock
+                self.queue_path, skew_margin=self.skew_margin, clock=clock,
+                metrics=self.metrics,
             ) as queue:
                 try:
                     # Advertise what this worker can execute before the
@@ -313,7 +333,10 @@ class Worker:
                             campaign_id=self.campaign_id,
                         )
                         if chunk is None:
-                            now = time.time()
+                            # Monotonic idle clock: a wall-clock step
+                            # (NTP slew, host suspend) must not fake an
+                            # idle timeout or reset one.
+                            now = time.monotonic()
                             idle_since = idle_since or now
                             if (
                                 idle_timeout is not None
@@ -326,6 +349,7 @@ class Worker:
                             continue
                         idle_since = None
                         self._execute(queue, chunk, stats)
+                        self._publish_metrics(queue)
                 except InjectedWorkerCrash:
                     # A simulated process death dies with everything in
                     # hand: no release, no deregistration.  The lease
@@ -335,9 +359,11 @@ class Worker:
                     raise
                 finally:
                     if not crashed:
-                        # Clean exit: drop the liveness row, so a
-                        # finished worker is not counted as a live
-                        # fleet member.
+                        # Clean exit: final metrics snapshot, then drop
+                        # the liveness row, so a finished worker is not
+                        # counted as a live fleet member (its published
+                        # totals survive until queue GC ages them out).
+                        self._publish_metrics(queue)
                         try:
                             queue.deregister_worker(self.worker_id)
                         except Exception:
@@ -377,6 +403,71 @@ class Worker:
         try:
             faults.maybe_crash("worker.crash.post-claim")
             job = self._job_for(queue, chunk.campaign_id)
+        except InjectedWorkerCrash:
+            if heartbeat is not None:
+                heartbeat.stop()
+            raise
+        except Exception:
+            if heartbeat is not None:
+                heartbeat.stop()
+            error = traceback.format_exc()
+            print(
+                f"[worker {self.worker_id}] chunk "
+                f"{chunk.campaign_id[:12]}/{chunk.chunk_index} failed "
+                f"(attempt {chunk.attempts}):\n{error}",
+                file=sys.stderr,
+            )
+            queue.release(
+                chunk.campaign_id,
+                chunk.chunk_index,
+                self.worker_id,
+                done=False,
+                error=error.strip().splitlines()[-1],
+            )
+            stats.chunks_failed += 1
+            self._m_chunks.inc(outcome="failed")
+            return
+        context = self._arm_trace(job)
+        chunk_span = telemetry.span(
+            "worker.chunk",
+            campaign_id=chunk.campaign_id,
+            chunk_index=chunk.chunk_index,
+            attempts=chunk.attempts,
+            worker_id=self.worker_id,
+        )
+        if (
+            context is not None
+            and chunk_span.span_id is not None
+            and chunk_span.parent_id is None
+        ):
+            # In-process fallback workers share the submitting
+            # process's collector (whose remote_parent is unset):
+            # seat the chunk under the job's recorded parent span so
+            # the trace stays one connected tree.
+            chunk_span.parent_id = context.get("parent_id")
+        try:
+            with chunk_span:
+                self._execute_traced(
+                    queue, chunk, stats, heartbeat, job, chunk_span,
+                    chunk_start,
+                )
+        finally:
+            collector = telemetry.collector()
+            if collector is not None:
+                collector.flush()
+
+    def _execute_traced(
+        self,
+        queue: WorkQueue,
+        chunk: ClaimedChunk,
+        stats: WorkerStats,
+        heartbeat: Optional[_LeaseHeartbeat],
+        job: JobInfo,
+        chunk_span,
+        chunk_start: float,
+    ) -> None:
+        """The span-wrapped body of :meth:`_execute`."""
+        try:
             backend = self._backend_for(job.backend_spec, stats)
             # Payload items are (index, name, params, seed): the name
             # travels with the work because workers never see the
@@ -384,7 +475,12 @@ class Worker:
             items = pickle.loads(chunk.payload)
             names = {index: name for index, name, _, _ in items}
             work = [(index, params, seed) for index, _, params, seed in items]
-            outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            phase_before = self._phase_snapshot(backend)
+            sim_span = telemetry.span("worker.simulate", scenarios=len(work))
+            with sim_span:
+                sim_wall = time.time()
+                outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            self._record_phase_spans(backend, phase_before, sim_span, sim_wall)
             if heartbeat is not None and heartbeat.dead:
                 # The renewal machinery broke while we simulated —
                 # distinct from a *lost* lease: nobody else owns the
@@ -403,29 +499,40 @@ class Worker:
                 if heartbeat is not None:
                     heartbeat.stop()
                 stats.chunks_lost += 1
+                self._m_chunks.inc(outcome="lost")
+                chunk_span.set(outcome="lost")
                 return
             faults.maybe_crash("worker.crash.pre-drain")
             store = self._store_for(job.store_path)
-            for position, ((index, params, _), (_, result)) in enumerate(
-                zip(work, outcomes)
-            ):
-                record = RunRecord(
-                    index=index,
-                    name=names[index],
-                    params=params,
-                    runs=result,
+            written = deduped = 0
+            with telemetry.span("worker.drain") as drain_span:
+                for position, ((index, params, _), (_, result)) in enumerate(
+                    zip(work, outcomes)
+                ):
+                    record = RunRecord(
+                        index=index,
+                        name=names[index],
+                        params=params,
+                        runs=result,
+                    )
+                    if store.add_record(chunk.campaign_id, record):
+                        written += 1
+                    else:
+                        deduped += 1
+                    if position == 0:
+                        faults.maybe_crash("worker.crash.mid-drain")
+                store.add_wall_time(
+                    chunk.campaign_id,
+                    time.perf_counter() - chunk_start,
+                    cpu_count=os.cpu_count(),
                 )
-                if store.add_record(chunk.campaign_id, record):
-                    stats.records_written += 1
-                else:
-                    stats.records_deduped += 1
-                if position == 0:
-                    faults.maybe_crash("worker.crash.mid-drain")
-            store.add_wall_time(
-                chunk.campaign_id,
-                time.perf_counter() - chunk_start,
-                cpu_count=os.cpu_count(),
-            )
+                drain_span.set(written=written, deduped=deduped)
+            stats.records_written += written
+            stats.records_deduped += deduped
+            if written:
+                self._m_records.inc(written, outcome="written")
+            if deduped:
+                self._m_records.inc(deduped, outcome="deduped")
         except InjectedWorkerCrash:
             # Simulated process death: the heartbeat dies with the
             # process (stop it — in-process chaos harnesses would
@@ -450,6 +557,7 @@ class Worker:
                 error=str(failure),
             )
             stats.chunks_failed += 1
+            self._m_chunks.inc(outcome="failed")
             raise
         except Exception:
             if heartbeat is not None:
@@ -472,6 +580,8 @@ class Worker:
                 error=error.strip().splitlines()[-1],
             )
             stats.chunks_failed += 1
+            self._m_chunks.inc(outcome="failed")
+            chunk_span.set(outcome="failed")
             return
         if heartbeat is not None:
             heartbeat.stop()
@@ -482,6 +592,8 @@ class Worker:
             chunk.campaign_id, chunk.chunk_index, self.worker_id, done=True
         ):
             stats.chunks_done += 1
+            self._m_chunks.inc(outcome="done")
+            self._m_chunk_seconds.observe(time.perf_counter() - chunk_start)
 
     def _still_held(
         self,
@@ -538,6 +650,90 @@ class Worker:
         """The result store a job drains into, opened once per path."""
         store = self._stores.get(store_path)
         if store is None:
-            store = ResultStore(store_path)
+            store = ResultStore(store_path, metrics=self.metrics)
             self._stores[store_path] = store
         return store
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _arm_trace(self, job: JobInfo) -> Optional[dict]:
+        """Join the submitting coordinator's trace, if the job carries one.
+
+        The coordinator stamps ``{"trace": {trace_id, parent_id, db}}``
+        into the job metadata (never into :class:`CampaignSpec` — the
+        campaign id must stay bitwise identical).  Workers re-seat the
+        process collector per traced job; untraced jobs leave whatever
+        arming (e.g. ``REPRO_TRACE``) already in force untouched.
+        Returns the job's trace context when it has one.
+        """
+        metadata = job.metadata if isinstance(job.metadata, dict) else {}
+        context = metadata.get("trace")
+        if not isinstance(context, dict) or "trace_id" not in context:
+            return None
+        try:
+            telemetry.ensure(
+                context.get("db") or job.store_path,
+                context["trace_id"],
+                remote_parent=context.get("parent_id"),
+                process=f"worker:{self.worker_id}",
+            )
+        except Exception:
+            # Tracing is best-effort: a bad span db must never take
+            # down the worker that was asked to trace into it.
+            pass
+        return context
+
+    @staticmethod
+    def _phase_snapshot(backend: SimulationBackend) -> Optional[dict]:
+        """Current per-phase kernel totals, when traced and profilable."""
+        if not telemetry.armed():
+            return None
+        enable = getattr(backend, "enable_profiling", None)
+        if enable is None:
+            return None
+        profile = getattr(backend, "kernel_profile", None)
+        if profile is None:
+            profile = enable()
+        return {phase: getattr(profile, phase) for phase in KERNEL_PHASES}
+
+    @staticmethod
+    def _record_phase_spans(
+        backend: SimulationBackend,
+        before: Optional[dict],
+        sim_span,
+        sim_wall: float,
+    ) -> None:
+        """Re-seat this chunk's :class:`KernelProfile` deltas as spans.
+
+        The kernel times phases in bulk, not as nested calls, so the
+        spans are synthetic: laid end to end under the simulate span in
+        canonical phase order, flagged ``synthetic`` so consumers know
+        the layout (not the totals) is reconstructed.
+        """
+        if before is None or sim_span.span_id is None:
+            return
+        collector = telemetry.collector()
+        profile = getattr(backend, "kernel_profile", None)
+        if collector is None or profile is None:
+            return
+        offset = 0.0
+        for phase in KERNEL_PHASES:
+            delta = getattr(profile, phase) - before.get(phase, 0.0)
+            if delta <= 0.0:
+                continue
+            collector.record(
+                f"kernel.{phase}",
+                sim_wall + offset,
+                delta,
+                sim_span.span_id,
+                {"synthetic": True, "campaign_id": sim_span.campaign_id},
+            )
+            offset += delta
+
+    def _publish_metrics(self, queue: WorkQueue) -> None:
+        """Best-effort snapshot of this worker's registry to the queue."""
+        try:
+            queue.publish_metrics(self.worker_id, self.metrics.flatten())
+        except Exception:
+            pass

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.acasx.logic_table import LogicTable
 from repro.encounters.encoding import EncounterParameters
 from repro.experiments.backends import (
@@ -684,10 +685,16 @@ class Campaign:
                 )
 
         if workers == 1:
-            for chunk in chunks:
-                yield from to_records(
-                    _execute_chunk(self.backend, self.runs_per_scenario, chunk)
-                )
+            for chunk_index, chunk in enumerate(chunks):
+                with telemetry.span(
+                    "campaign.chunk",
+                    chunk_index=chunk_index,
+                    scenarios=len(chunk),
+                ):
+                    outcomes = _execute_chunk(
+                        self.backend, self.runs_per_scenario, chunk
+                    )
+                yield from to_records(outcomes)
             return
 
         # Workers rebuild the backend once each from a picklable spec;
@@ -778,45 +785,58 @@ class Campaign:
                 self, seed=seed, chunk_size=chunk_size
             )
         start = time.perf_counter()
-        root = as_seed_sequence(seed)
-        seed_fp = None if store is None else _fingerprint_of(root)
-        scenario_list, chunks, workers = self._plan(root, workers, chunk_size)
-        metadata: Dict[str, object] = {"cpu_count": os.cpu_count()}
-        if (os.cpu_count() or 1) <= 1:
-            # Timings recorded on a single-core host cannot show
-            # parallel speedup; downstream records carry the caveat so
-            # nobody reads a 1x workers-scaling number as a regression.
-            metadata["single_cpu_caveat"] = True
-        kernel_profile = self._start_profile(profile, workers, metadata)
-        if store is None:
-            records = list(self._iter_planned(scenario_list, chunks, workers))
-        else:
-            plan = self._store_plan(
-                store, scenario_list, chunks, root, seed_fp
+        run_span = telemetry.span(
+            "campaign.run", backend=self.backend_name, workers=workers
+        )
+        with run_span:
+            root = as_seed_sequence(seed)
+            seed_fp = None if store is None else _fingerprint_of(root)
+            scenario_list, chunks, workers = self._plan(
+                root, workers, chunk_size
             )
-            records = list(
-                self._iter_stored(store, plan, scenario_list, workers)
-            )
-            if plan.missing_chunks:
-                # Only runs that simulated contribute wall time (and
-                # their worker count): a pure-load resume must not
-                # inflate the stored timing record.
-                store.add_wall_time(
-                    plan.campaign_id,
-                    time.perf_counter() - start,
-                    cpu_count=os.cpu_count(),
+            run_span.set(scenarios=len(scenario_list), workers=workers)
+            metadata: Dict[str, object] = {"cpu_count": os.cpu_count()}
+            if (os.cpu_count() or 1) <= 1:
+                # Timings recorded on a single-core host cannot show
+                # parallel speedup; downstream records carry the caveat
+                # so nobody reads a 1x workers-scaling number as a
+                # regression.
+                metadata["single_cpu_caveat"] = True
+            kernel_profile = self._start_profile(profile, workers, metadata)
+            if store is None:
+                records = list(
+                    self._iter_planned(scenario_list, chunks, workers)
                 )
-                store.merge_metadata(
-                    plan.campaign_id,
-                    {"workers": min(workers, len(plan.missing_chunks))},
+            else:
+                plan = self._store_plan(
+                    store, scenario_list, chunks, root, seed_fp
                 )
-            metadata.update(
-                campaign_id=plan.campaign_id,
-                loaded=len(plan.done),
-                simulated=len(scenario_list) - len(plan.done),
-            )
-        if kernel_profile is not None:
-            metadata["kernel_profile"] = kernel_profile.to_dict()
+                run_span.set(
+                    campaign_id=plan.campaign_id, loaded=len(plan.done)
+                )
+                records = list(
+                    self._iter_stored(store, plan, scenario_list, workers)
+                )
+                if plan.missing_chunks:
+                    # Only runs that simulated contribute wall time (and
+                    # their worker count): a pure-load resume must not
+                    # inflate the stored timing record.
+                    store.add_wall_time(
+                        plan.campaign_id,
+                        time.perf_counter() - start,
+                        cpu_count=os.cpu_count(),
+                    )
+                    store.merge_metadata(
+                        plan.campaign_id,
+                        {"workers": min(workers, len(plan.missing_chunks))},
+                    )
+                metadata.update(
+                    campaign_id=plan.campaign_id,
+                    loaded=len(plan.done),
+                    simulated=len(scenario_list) - len(plan.done),
+                )
+            if kernel_profile is not None:
+                metadata["kernel_profile"] = kernel_profile.to_dict()
         return ResultSet(
             records=records,
             backend=self.backend_name,

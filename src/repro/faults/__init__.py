@@ -128,11 +128,26 @@ def inject(plan: FaultPlan):
 # Hooks the production seams call
 # ----------------------------------------------------------------------
 def fire(point: str) -> Optional[FaultEvent]:
-    """Consult the active plan at *point*; ``None`` when unarmed."""
+    """Consult the active plan at *point*; ``None`` when unarmed.
+
+    A fire is an observable incident: when telemetry is armed it lands
+    as an event on the current span and bumps the
+    ``repro_fault_fires_total`` counter — on the *fired* path only, so
+    the unarmed/no-fire fast path stays a cheap dictionary miss.
+    """
     plan = active_plan()
     if plan is None:
         return None
-    return plan.fire(point)
+    event = plan.fire(point)
+    if event is not None:
+        from repro import telemetry
+
+        telemetry.event(f"fault:{point}")
+        telemetry.REGISTRY.counter(
+            "repro_fault_fires_total",
+            "Injected fault fires by fault point.",
+        ).inc(point=point)
+    return event
 
 
 def maybe_fail(

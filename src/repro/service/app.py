@@ -22,14 +22,17 @@ Error mapping, service exceptions → HTTP statuses::
 from __future__ import annotations
 
 import json
+import os
 import re
 import socketserver
 import sys
+import time
 import traceback
 from typing import Optional
 from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
+from repro import telemetry
 from repro.service.service import CampaignService
 from repro.service.watchlist import Watchlist
 
@@ -107,23 +110,43 @@ class ServiceApp:
     ):
         self.service = service
         self.watchlist = watchlist or Watchlist(service.store)
+        # Route names are the metric label values: stable, low
+        # cardinality (never the raw path — campaign ids would explode
+        # the label space).
         self._routes = (
-            ("GET", re.compile(r"^/healthz$"), self._get_health),
-            ("GET", re.compile(r"^/campaigns$"), self._get_campaigns),
-            ("POST", re.compile(r"^/campaigns$"), self._post_campaign),
+            ("GET", re.compile(r"^/healthz$"), self._get_health,
+             "healthz"),
+            ("GET", re.compile(r"^/metrics$"), self._get_metrics,
+             "metrics"),
+            ("GET", re.compile(r"^/campaigns$"), self._get_campaigns,
+             "campaigns"),
+            ("POST", re.compile(r"^/campaigns$"), self._post_campaign,
+             "campaigns"),
             ("GET",
              re.compile(r"^/campaigns/(?P<a>[^/]+)/diff/(?P<b>[^/]+)$"),
-             self._get_diff),
+             self._get_diff, "campaign_diff"),
             ("GET", re.compile(r"^/campaigns/(?P<cid>[^/]+)/records$"),
-             self._get_records),
+             self._get_records, "campaign_records"),
+            ("GET", re.compile(r"^/campaigns/(?P<cid>[^/]+)/trace$"),
+             self._get_trace, "campaign_trace"),
             ("GET", re.compile(r"^/campaigns/(?P<cid>[^/]+)$"),
-             self._get_campaign),
-            ("GET", re.compile(r"^/workers$"), self._get_workers),
-            ("GET", re.compile(r"^/watchlist$"), self._get_watchlist),
-            ("GET", re.compile(r"^/alerts$"), self._get_alerts),
-            ("GET", re.compile(r"^/brief$"), self._get_brief),
+             self._get_campaign, "campaign"),
+            ("GET", re.compile(r"^/workers$"), self._get_workers,
+             "workers"),
+            ("GET", re.compile(r"^/watchlist$"), self._get_watchlist,
+             "watchlist"),
+            ("GET", re.compile(r"^/alerts$"), self._get_alerts, "alerts"),
+            ("GET", re.compile(r"^/brief$"), self._get_brief, "brief"),
             ("POST", re.compile(r"^/watchlist/baseline$"),
-             self._post_baseline),
+             self._post_baseline, "watchlist_baseline"),
+        )
+        self._m_requests = telemetry.REGISTRY.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route, method, and status.",
+        )
+        self._m_latency = telemetry.REGISTRY.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency by route.",
         )
 
     # ------------------------------------------------------------------
@@ -135,35 +158,68 @@ class ServiceApp:
         query = parse_qs(environ.get("QUERY_STRING") or "",
                          keep_blank_values=True)
         path_exists = False
-        for route_method, pattern, handler in self._routes:
+        for route_method, pattern, handler, route_name in self._routes:
             match = pattern.match(path)
             if match is None:
                 continue
             path_exists = True
             if route_method != method:
                 continue
-            try:
-                result = handler(query, match.groupdict(), environ)
-            except HttpError as error:
-                return self._error(start_response, error.status,
-                                   error.message)
-            except KeyError as error:
-                message = str(error.args[0]) if error.args else str(error)
-                return self._error(start_response, 404, message)
-            except ValueError as error:
-                return self._error(start_response, 400, str(error))
-            except Exception as error:
-                traceback.print_exc(file=sys.stderr)
-                return self._error(
-                    start_response, 500,
-                    f"{type(error).__name__}: {error}",
-                )
-            return self._ok(start_response, result)
+            return self._dispatch(
+                start_response, handler, route_name, method, query,
+                match.groupdict(), environ,
+            )
         if path_exists:
+            self._count("unmatched", method, 405, started=None)
             return self._error(
                 start_response, 405, f"method {method} not allowed on {path}"
             )
+        self._count("unmatched", method, 404, started=None)
         return self._error(start_response, 404, f"no such resource: {path}")
+
+    def _dispatch(
+        self, start_response, handler, route_name, method, query, groups,
+        environ,
+    ):
+        """Run one handler with error mapping, a span, and metrics."""
+        started = time.perf_counter()
+        with telemetry.span(
+            "service.request", route=route_name, method=method
+        ) as request_span:
+            try:
+                result = handler(query, groups, environ)
+            except HttpError as error:
+                status, response = error.status, self._error(
+                    start_response, error.status, error.message
+                )
+            except KeyError as error:
+                message = str(error.args[0]) if error.args else str(error)
+                status, response = 404, self._error(
+                    start_response, 404, message
+                )
+            except ValueError as error:
+                status, response = 400, self._error(
+                    start_response, 400, str(error)
+                )
+            except Exception as error:
+                traceback.print_exc(file=sys.stderr)
+                status, response = 500, self._error(
+                    start_response, 500, f"{type(error).__name__}: {error}",
+                )
+            else:
+                status = result[0] if isinstance(result, tuple) else 200
+                response = self._ok(start_response, result)
+            request_span.set(status=status)
+        self._count(route_name, method, status, started=started)
+        return response
+
+    def _count(self, route, method, status, started) -> None:
+        """Record one request in the process metrics registry."""
+        self._m_requests.inc(route=route, method=method, status=str(status))
+        if started is not None:
+            self._m_latency.observe(
+                time.perf_counter() - started, route=route
+            )
 
     # ------------------------------------------------------------------
     # Response plumbing
@@ -203,7 +259,29 @@ class ServiceApp:
     def _get_health(self, query, groups, environ):
         body = self.service.health()
         body["watchlist"] = self.watchlist.scan_health()
+        body["requests_total"] = int(self._m_requests.total())
         return body
+
+    def _get_metrics(self, query, groups, environ):
+        """Prometheus text exposition: process + fleet + state gauges."""
+        return telemetry.scrape(
+            queue_path=self.service.queue_path,
+            store_path=self.service.store.path,
+            uptime=self.service.uptime(),
+        )
+
+    def _get_trace(self, query, groups, environ):
+        """Span tree for one campaign's most recent trace."""
+        campaign_id = self.service.store.resolve(groups["cid"])
+        store_path = self.service.store.path
+        spans = (
+            []
+            if store_path == ":memory:" or not os.path.exists(store_path)
+            else telemetry.load_spans(store_path, campaign_id=campaign_id)
+        )
+        payload = telemetry.trace_payload(spans)
+        payload["campaign_id"] = campaign_id
+        return payload
 
     def _get_campaigns(self, query, groups, environ):
         return {

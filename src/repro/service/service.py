@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro import faults
+from repro import faults, telemetry
 from repro.experiments.campaign import (
     Campaign,
     _fingerprint_of,
@@ -140,6 +140,17 @@ class CampaignService:
         self._lock = threading.RLock()
         self._submissions: Dict[str, Submission] = {}
         self._threads: list = []
+        # Uptime is a duration: measure it on the monotonic clock (the
+        # wall stamp is only for display in health bodies).
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
+        self._m_submissions = telemetry.REGISTRY.counter(
+            "repro_service_submissions_total",
+            "Campaign submissions accepted, by execution mode.",
+        )
+        # The registry counter is process-cumulative (Prometheus
+        # semantics); health() reports *this* instance's count.
+        self._submission_count = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -223,11 +234,16 @@ class CampaignService:
             ignore=self.ENVELOPE_KEYS,
         )
 
-        with self._lock:
+        with telemetry.span("service.submit") as submit_span, self._lock:
             if self.queue_path is not None:
                 receipt = self._submit_queued(campaign, seed, chunk_size, label)
             else:
                 receipt = self._submit_inline(campaign, seed, chunk_size, label)
+            submit_span.set(
+                campaign_id=receipt["campaign_id"], mode=receipt["mode"]
+            )
+        self._m_submissions.inc(mode=receipt["mode"])
+        self._submission_count += 1
         if payload.get("wait"):
             timeout = payload.get("timeout", 60.0)
             receipt["progress"] = self.wait(
@@ -484,8 +500,19 @@ class CampaignService:
             "live": [row["worker_id"] for row in rows if row["live"]],
         }
 
+    def uptime(self) -> float:
+        """Seconds this service has been up (monotonic clock)."""
+        return time.monotonic() - self._started_mono
+
     def health(self) -> dict:
-        """Liveness probe body: store/queue identity plus row counts."""
+        """Liveness probe body: store/queue identity plus row counts.
+
+        Carries a compact metrics snapshot — uptime, live worker count,
+        submission totals — so a bare ``GET /healthz`` answers "is it
+        up *and* is it doing anything" without a full ``/metrics``
+        scrape (the WSGI layer adds request totals and the watchlist's
+        scan health on top).
+        """
         with self._lock:
             states: Dict[str, int] = {}
             for submission in self._submissions.values():
@@ -496,6 +523,14 @@ class CampaignService:
             "queue": self.queue_path,
             "totals": self.store.totals(),
             "submissions": states,
+            "uptime_seconds": self.uptime(),
+            "started_at": self.started_at,
+            "submissions_total": self._submission_count,
+            "live_workers": (
+                len(self.workers()["live"])
+                if self.queue_path is not None
+                else None
+            ),
         }
 
     def wait(
@@ -507,7 +542,10 @@ class CampaignService:
         ``RuntimeError`` if the in-process runner failed (carrying the
         runner's one-line diagnosis).
         """
-        deadline = time.time() + timeout
+        # Timeout is a duration: a wall-clock (time.time) deadline here
+        # would stretch or shrink under NTP steps — use the monotonic
+        # clock, matching the queue/worker deadline discipline.
+        deadline = time.monotonic() + timeout
         while True:
             progress = self.progress(campaign_id)
             if progress["complete"]:
@@ -517,7 +555,7 @@ class CampaignService:
                     f"campaign {progress['campaign_id'][:12]} failed: "
                     f"{progress['error']}"
                 )
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"campaign {progress['campaign_id'][:12]} incomplete "
                     f"after {timeout}s "

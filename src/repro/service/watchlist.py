@@ -33,6 +33,7 @@ import time
 import traceback
 from typing import List, Optional
 
+from repro import telemetry
 from repro.store import ResultStore
 
 #: The (store aggregate key, alert kind) pairs the baseline check covers.
@@ -119,6 +120,14 @@ class Watchlist:
         self._last_scan_at: Optional[float] = None
         self._last_error: Optional[str] = None
         self._last_error_at: Optional[float] = None
+        # Snapshot age for max_age staleness checks: monotonic, so a
+        # wall-clock step can't make a fresh scan look stale (or a
+        # stale one fresh).  generated_at stays wall time for display.
+        self._snapshot_mono: Optional[float] = None
+        self._m_scans = telemetry.REGISTRY.counter(
+            "repro_watchlist_scans_total",
+            "Watchlist store scans by outcome.",
+        )
         if baseline is not None:
             self.set_baseline(baseline)
 
@@ -156,18 +165,21 @@ class Watchlist:
         see them; the background thread logs and retries next tick).
         """
         try:
-            snapshot = self._refresh()
+            with telemetry.span("watchlist.scan"):
+                snapshot = self._refresh()
         except Exception as error:
             with self._lock:
                 self._scan_failures += 1
                 self._consecutive_failures += 1
                 self._last_error = f"{type(error).__name__}: {error}"
                 self._last_error_at = time.time()
+            self._m_scans.inc(outcome="failure")
             raise
         with self._lock:
             self._scans += 1
             self._consecutive_failures = 0
             self._last_scan_at = snapshot["generated_at"]
+        self._m_scans.inc(outcome="ok")
         return snapshot
 
     def scan_health(self) -> dict:
@@ -235,6 +247,7 @@ class Watchlist:
         }
         with self._lock:
             self._snapshot = snapshot
+            self._snapshot_mono = time.monotonic()
         return snapshot
 
     def snapshot(
@@ -243,9 +256,13 @@ class Watchlist:
         """The cached scan result, refreshed when stale or forced."""
         with self._lock:
             cached = self._snapshot
+            cached_mono = self._snapshot_mono
         if cached is not None and not refresh and (
             max_age is None
-            or time.time() - cached["generated_at"] <= max_age
+            or (
+                cached_mono is not None
+                and time.monotonic() - cached_mono <= max_age
+            )
         ):
             return cached
         return self.refresh()

@@ -406,8 +406,31 @@ class ResultStore:
     anything.
     """
 
-    def __init__(self, path: Union[str, Path] = ":memory:"):
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        metrics=None,
+    ):
         self.path = str(path)
+        # Store-seam metric families (repro.telemetry): callers that
+        # keep a private registry (distributed workers) pass it in;
+        # everyone else shares the process default.
+        from repro.telemetry.metrics import REGISTRY
+
+        registry = metrics if metrics is not None else REGISTRY
+        self.metrics = registry
+        self._m_writes = registry.counter(
+            "repro_store_writes_total",
+            "Record writes by outcome (written/deduped).",
+        )
+        self._m_verify_scans = registry.counter(
+            "repro_store_verify_scans_total",
+            "Integrity verification passes over this store.",
+        )
+        self._m_verify_corrupt = registry.counter(
+            "repro_store_verify_corrupt_total",
+            "Records found corrupt by verify().",
+        )
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         # Process-pool campaign workers never touch the store (records
@@ -560,6 +583,7 @@ class ResultStore:
         # twice; the primary key must make the second a no-op.
         if faults.fire("store.write.duplicate") is not None:
             self._commit(query, values)
+        self._m_writes.inc(outcome="written" if changed > 0 else "deduped")
         return changed > 0
 
     def add_wall_time(self, campaign_id: str, seconds: float,
@@ -937,6 +961,9 @@ class ResultStore:
             last = (rows[-1]["campaign_id"], rows[-1]["scenario_index"])
         if repair and (corrupt or backfill):
             self._quarantine(corrupt, backfill)
+        self._m_verify_scans.inc()
+        if corrupt:
+            self._m_verify_corrupt.inc(len(corrupt))
         return IntegrityReport(
             checked=checked,
             corrupt=tuple(corrupt),

@@ -1,0 +1,265 @@
+"""`repro.telemetry`: spans + metrics for campaigns, fleets, services.
+
+Two halves, one doctrine (observable but never observable *in the
+results*):
+
+* **Tracing** — :func:`span` opens a span on the process-global
+  :class:`~repro.telemetry.trace.Collector`.  Disarmed (the default)
+  it returns a shared no-op object: no allocation beyond the kwargs
+  dict, no clock reads, no locks — cheap enough to leave the hooks in
+  the worker/queue/store seams permanently.  Arm with :func:`arm` (or
+  the :func:`collect` context manager); child processes arm themselves
+  from the queue job's ``trace`` metadata or the ``REPRO_TRACE`` env
+  var, mirroring ``REPRO_FAULT_PLAN``'s lazy one-shot pickup.
+
+* **Metrics** — every process owns :data:`REGISTRY` (workers keep a
+  private registry so fallback in-process drains never double-count);
+  see :mod:`repro.telemetry.metrics` for publication/aggregation.
+
+Trace ids never enter :class:`CampaignSpec`: a traced campaign keeps
+the bitwise-identical campaign id and results digest of its untraced
+twin.  Span ids come from ``os.urandom``, not the seeded RNG.
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.collect("results.sqlite"):
+        campaign.run(store=store)
+    print(telemetry.render_trace(
+        telemetry.load_spans("results.sqlite")))
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+    exposition,
+    merge_samples,
+)
+from repro.telemetry.snapshot import assemble, scrape
+from repro.telemetry.trace import (
+    Collector,
+    Span,
+    critical_path,
+    load_spans,
+    new_id,
+    render_trace,
+    span_tree,
+    trace_payload,
+)
+
+__all__ = [
+    "Collector",
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACE_ENV",
+    "arm",
+    "armed",
+    "assemble",
+    "collect",
+    "collector",
+    "critical_path",
+    "current_span",
+    "disarm",
+    "ensure",
+    "event",
+    "exposition",
+    "load_spans",
+    "merge_samples",
+    "new_id",
+    "render_trace",
+    "scrape",
+    "span",
+    "span_tree",
+    "trace_context",
+    "trace_payload",
+]
+
+#: Env var carrying a JSON ``{"db", "trace_id", "parent_id"}`` trace
+#: context into child processes (same pattern as ``REPRO_FAULT_PLAN``).
+TRACE_ENV = "REPRO_TRACE"
+
+_collector: Optional[Collector] = None
+_env_checked = False
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disarmed path."""
+
+    __slots__ = ()
+    span_id = None
+    trace_id = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NoopSpan":
+        return self
+
+    def event(self, name, **attributes) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def _check_env() -> None:
+    """One-shot ``REPRO_TRACE`` pickup (never re-read, like faults)."""
+    global _collector, _env_checked
+    _env_checked = True
+    raw = os.environ.get(TRACE_ENV)
+    if not raw:
+        return
+    try:
+        ctx = json.loads(raw)
+        _collector = Collector(
+            ctx["db"],
+            trace_id=ctx.get("trace_id"),
+            remote_parent=ctx.get("parent_id"),
+        )
+    except (ValueError, KeyError, TypeError) as exc:  # pragma: no cover
+        raise RuntimeError(f"invalid {TRACE_ENV}: {exc}") from exc
+
+
+def collector() -> Optional[Collector]:
+    """The armed collector, if any (checks the env exactly once).
+
+    A collector inherited across ``fork`` is discarded (not closed —
+    its sqlite handle and span buffer belong to the parent): the child
+    re-arms from job metadata or ``REPRO_TRACE`` with its own identity.
+    """
+    global _collector
+    if _collector is not None and _collector.pid != os.getpid():
+        _collector = None
+    if _collector is None and not _env_checked:
+        _check_env()
+    return _collector
+
+
+def armed() -> bool:
+    return collector() is not None
+
+
+def arm(
+    db_path: str,
+    trace_id: Optional[str] = None,
+    remote_parent: Optional[str] = None,
+    process: Optional[str] = None,
+) -> Collector:
+    """Install a process-global collector writing spans to ``db_path``."""
+    global _collector, _env_checked
+    _env_checked = True
+    if _collector is not None:
+        _collector.close()
+    _collector = Collector(
+        db_path, trace_id=trace_id, remote_parent=remote_parent,
+        process=process,
+    )
+    return _collector
+
+
+def ensure(
+    db_path: str,
+    trace_id: str,
+    remote_parent: Optional[str] = None,
+    process: Optional[str] = None,
+) -> Collector:
+    """Arm for ``(db, trace)`` unless the current collector already is.
+
+    The worker's entry point: jobs from different traced submissions
+    re-seat the collector; repeated chunks of one job reuse it.
+    """
+    current = collector()
+    if (
+        current is not None
+        and current.trace_id == trace_id
+        and current.db_path == str(db_path)
+    ):
+        return current
+    return arm(
+        db_path, trace_id=trace_id, remote_parent=remote_parent,
+        process=process,
+    )
+
+
+def disarm() -> None:
+    """Flush and remove the collector; hooks return to no-op cost."""
+    global _collector, _env_checked
+    if _collector is not None:
+        _collector.close()
+    _collector = None
+    _env_checked = True
+
+
+@contextmanager
+def collect(db_path: str, trace_id: Optional[str] = None):
+    """Arm for the duration of a block, restoring the previous state."""
+    global _collector, _env_checked
+    previous, previous_checked = _collector, _env_checked
+    _collector = Collector(db_path, trace_id=trace_id)
+    _env_checked = True
+    try:
+        yield _collector
+    finally:
+        _collector.close()
+        _collector, _env_checked = previous, previous_checked
+
+
+def span(name: str, **attributes):
+    """Open a span (context manager); free when no collector is armed."""
+    c = _collector
+    if c is None:
+        if _env_checked:
+            return _NOOP
+        c = collector()
+        if c is None:
+            return _NOOP
+    elif c.pid != os.getpid():
+        c = collector()
+        if c is None:
+            return _NOOP
+    return c.start_span(name, attributes or None)
+
+
+def current_span():
+    c = _collector
+    if c is None or c.pid != os.getpid():
+        return None
+    return c.current()
+
+
+def event(name: str, **attributes) -> None:
+    """Attach an event to the current span, if one is open."""
+    c = _collector
+    if c is None or c.pid != os.getpid():
+        return
+    current = c.current()
+    if current is not None:
+        current.event(name, **attributes)
+
+
+def trace_context() -> Optional[dict]:
+    """Propagation payload for queue metadata / ``REPRO_TRACE``."""
+    c = collector()
+    if c is None:
+        return None
+    return {
+        "db": c.db_path,
+        "trace_id": c.trace_id,
+        "parent_id": c.root_id(),
+    }

@@ -1,0 +1,307 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+Counters, gauges, and histograms keyed by ``(family, labels)``; each
+process keeps its own :class:`MetricsRegistry` (workers deliberately
+use a private one so in-process fallback drains never double-count
+against the coordinator's).  Cross-process aggregation rides the same
+transport as everything else in this repo — sqlite: a registry's
+:meth:`~MetricsRegistry.flatten` output is JSON-published into the
+queue's ``worker_metrics`` table and summed back by
+``WorkQueue.fleet_metric_samples``; :func:`exposition` renders any
+mix of local and published samples as valid Prometheus text.
+
+Everything here is stdlib-only and thread-safe; the hot-path cost of
+an ``inc``/``observe`` is one lock + dict update, and code that may
+run with telemetry disarmed should hold the family object rather than
+re-looking it up by name.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "exposition",
+    "merge_samples",
+]
+
+#: Default histogram buckets (seconds) — spans chunk drains (~ms) to
+#: whole-campaign waits (~minutes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _label_key(labels: Mapping[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class MetricFamily:
+    """One named metric with labelled series underneath.
+
+    ``kind`` is one of ``counter`` / ``gauge`` / ``histogram``; the
+    wrong mutator for the kind raises so instrumentation bugs fail
+    loudly in tests instead of silently mis-reporting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self._lock = threading.Lock()
+        # label-key -> float, or for histograms -> [bucket_counts, sum, count]
+        self._series: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if self.kind != "counter":
+            raise TypeError(f"{self.name} is a {self.kind}, not a counter")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def set(self, value: float, **labels: str) -> None:
+        if self.kind != "gauge":
+            raise TypeError(f"{self.name} is a {self.kind}, not a gauge")
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def observe(self, value: float, **labels: str) -> None:
+        if self.kind != "histogram":
+            raise TypeError(f"{self.name} is a {self.kind}, not a histogram")
+        key = _label_key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = [[0] * len(self.buckets), 0.0, 0]
+                self._series[key] = state
+            counts, total, count = state
+            # Per-bucket tallies; samples() cumulates once at render.
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            state[1] = total + float(value)
+            state[2] = count + 1
+
+    def value(self, **labels: str) -> float:
+        """Current scalar value of one series (0 when never touched)."""
+        key = _label_key(labels)
+        with self._lock:
+            state = self._series.get(key)
+        if state is None:
+            return 0.0
+        if self.kind == "histogram":
+            return float(state[2])  # observation count
+        return float(state)
+
+    def total(self) -> float:
+        """Sum across all label series (histograms: total observations)."""
+        with self._lock:
+            states = list(self._series.values())
+        if self.kind == "histogram":
+            return float(sum(state[2] for state in states))
+        return float(sum(states))
+
+    def samples(self) -> List[dict]:
+        """Flatten to transport-friendly sample dicts.
+
+        Histograms expand to ``_bucket``/``_sum``/``_count`` samples so
+        publication and merge logic never special-cases shapes.
+        """
+        out: List[dict] = []
+        base = {"family": self.name, "kind": self.kind, "help": self.help}
+        with self._lock:
+            items = [(key, state) for key, state in self._series.items()]
+        for key, state in items:
+            labels = dict(key)
+            if self.kind != "histogram":
+                out.append(dict(
+                    base, name=self.name, labels=labels, value=float(state),
+                ))
+                continue
+            counts, total, count = state
+            cumulative = 0
+            for bound, bucket in zip(self.buckets, counts):
+                cumulative += bucket
+                out.append(dict(
+                    base,
+                    name=self.name + "_bucket",
+                    labels=dict(labels, le=_format_value(bound)),
+                    value=float(cumulative),
+                ))
+            out.append(dict(
+                base,
+                name=self.name + "_bucket",
+                labels=dict(labels, le="+Inf"),
+                value=float(count),
+            ))
+            out.append(dict(
+                base, name=self.name + "_sum", labels=labels,
+                value=float(total),
+            ))
+            out.append(dict(
+                base, name=self.name + "_count", labels=labels,
+                value=float(count),
+            ))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home for metric families in one process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _get(
+        self, name: str, kind: str, help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        return self._get(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        return self._get(name, "gauge", help)
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._get(name, "histogram", help, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def flatten(self) -> List[dict]:
+        """All samples from all families — the publication payload."""
+        out: List[dict] = []
+        for family in self.families():
+            out.extend(family.samples())
+        return out
+
+    def exposition(self, extra_samples: Iterable[dict] = ()) -> str:
+        return exposition(self.flatten() + list(extra_samples))
+
+
+def merge_samples(*sample_sets: Iterable[dict]) -> List[dict]:
+    """Sum same-named series across processes.
+
+    Counters and flattened histogram components add; for gauges the
+    last writer wins (publishers report point-in-time state, and the
+    queue hands samples over in a stable order).
+    """
+    merged: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], dict] = {}
+    for samples in sample_sets:
+        for sample in samples:
+            key = (sample["name"], _label_key(sample.get("labels", {})))
+            found = merged.get(key)
+            if found is None:
+                merged[key] = dict(sample)
+            elif sample.get("kind") == "gauge":
+                found["value"] = sample["value"]
+            else:
+                found["value"] = found["value"] + sample["value"]
+    return list(merged.values())
+
+
+def exposition(samples: Iterable[dict]) -> str:
+    """Render flattened samples as Prometheus text exposition 0.0.4.
+
+    Groups by family (``# HELP`` / ``# TYPE`` emitted once), orders
+    deterministically, and keeps histogram component samples adjacent.
+    """
+    by_family: Dict[str, List[dict]] = {}
+    meta: Dict[str, Tuple[str, str]] = {}
+    for sample in samples:
+        family = sample.get("family") or sample["name"]
+        by_family.setdefault(family, []).append(sample)
+        if family not in meta:
+            meta[family] = (
+                sample.get("kind", "untyped"), sample.get("help", ""),
+            )
+    lines: List[str] = []
+    for family in sorted(by_family):
+        kind, help_text = meta[family]
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+        rows = by_family[family]
+
+        def sort_key(sample: dict) -> Tuple:
+            labels = dict(sample.get("labels", {}))
+            le = labels.pop("le", None)
+            # keep each series' buckets in bound order, then _sum/_count
+            suffix = {"_bucket": 0, "_sum": 1, "_count": 2}.get(
+                sample["name"][len(family):], 0
+            )
+            le_rank = (
+                float("inf") if le == "+Inf"
+                else float(le) if le is not None else -1.0
+            )
+            return (_label_key(labels), suffix, le_rank, sample["name"])
+
+        for sample in sorted(rows, key=sort_key):
+            labels = _label_key(sample.get("labels", {}))
+            lines.append(
+                f"{sample['name']}{_render_labels(labels)} "
+                f"{_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Process-default registry: the coordinator/service/supervisor side.
+REGISTRY = MetricsRegistry()

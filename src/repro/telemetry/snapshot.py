@@ -1,0 +1,155 @@
+"""Fleet-wide metrics assembly: one scrape body from every source.
+
+The registry (:mod:`repro.telemetry.metrics`) only knows what *this*
+process counted.  A scrape of a running deployment needs three more
+things merged in:
+
+- every worker's published counters, read back through the queue's
+  ``worker_metrics`` table (:meth:`WorkQueue.fleet_metric_samples`);
+- derived state gauges nobody increments — chunk rows by status, job
+  count, registered/live workers (from the queue) and stored
+  campaign/record totals (from the store) are facts *read* from sqlite
+  at scrape time, not events counted along the way;
+- process vitals (uptime).
+
+:func:`assemble` returns merged samples; :func:`scrape` renders them
+straight to Prometheus text exposition — the body of ``GET /metrics``
+and of ``repro metrics``.  Both are read-only and best-effort: a
+missing or locked queue/store contributes nothing rather than failing
+the probe.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.telemetry.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    exposition,
+    merge_samples,
+)
+
+PathLike = Union[str, Path, None]
+
+
+def _queue_samples(queue_path: PathLike) -> List[dict]:
+    """Worker-published counters plus queue-state gauges."""
+    if queue_path is None or not os.path.exists(str(queue_path)):
+        return []
+    from repro.distributed.queue import DEFAULT_WORKER_TTL, WorkQueue
+
+    samples: List[dict] = []
+    try:
+        with WorkQueue(queue_path) as queue:
+            samples.extend(queue.fleet_metric_samples())
+            status_totals = {
+                "pending": 0, "claimed": 0, "done": 0, "failed": 0,
+            }
+            for counts in queue.counts().values():
+                for status in status_totals:
+                    status_totals[status] += getattr(counts, status)
+            for status, count in status_totals.items():
+                samples.append({
+                    "name": "repro_queue_chunks",
+                    "kind": "gauge",
+                    "help": "Chunk rows in the queue by status.",
+                    "labels": {"status": status},
+                    "value": float(count),
+                })
+            samples.append({
+                "name": "repro_queue_jobs",
+                "kind": "gauge",
+                "help": "Campaign jobs registered in the queue.",
+                "labels": {},
+                "value": float(len(queue.jobs())),
+            })
+            workers = queue.workers()
+            now = queue.now()
+            live = sum(
+                1 for worker in workers
+                if worker.heartbeat >= now - DEFAULT_WORKER_TTL
+            )
+            for state, count in (
+                ("registered", len(workers)), ("live", live),
+            ):
+                samples.append({
+                    "name": "repro_fleet_workers",
+                    "kind": "gauge",
+                    "help": "Workers known to the queue by liveness.",
+                    "labels": {"state": state},
+                    "value": float(count),
+                })
+    except Exception:
+        return []
+    return samples
+
+
+def _store_samples(store_path: PathLike) -> List[dict]:
+    """Stored campaign/record totals as gauges."""
+    if store_path is None:
+        return []
+    path = str(store_path)
+    if path != ":memory:" and not os.path.exists(path):
+        return []
+    from repro.store import ResultStore
+
+    try:
+        with ResultStore(path) as store:
+            totals = store.totals()
+    except Exception:
+        return []
+    return [
+        {
+            "name": f"repro_store_{key}",
+            "kind": "gauge",
+            "help": f"Total {key} rows in the result store.",
+            "labels": {},
+            "value": float(count),
+        }
+        for key, count in totals.items()
+    ]
+
+
+def assemble(
+    registry: Optional[MetricsRegistry] = None,
+    queue_path: PathLike = None,
+    store_path: PathLike = None,
+    uptime: Optional[float] = None,
+    extra: Optional[List[dict]] = None,
+) -> List[dict]:
+    """Merge every metrics source into one flat sample list."""
+    registry = REGISTRY if registry is None else registry
+    local = list(registry.flatten())
+    if uptime is not None:
+        local.append({
+            "name": "repro_uptime_seconds",
+            "kind": "gauge",
+            "help": "Seconds since this process started serving.",
+            "labels": {},
+            "value": float(uptime),
+        })
+    if extra:
+        local.extend(extra)
+    return merge_samples(
+        local, _queue_samples(queue_path), _store_samples(store_path)
+    )
+
+
+def scrape(
+    registry: Optional[MetricsRegistry] = None,
+    queue_path: PathLike = None,
+    store_path: PathLike = None,
+    uptime: Optional[float] = None,
+    extra: Optional[List[dict]] = None,
+) -> str:
+    """The full Prometheus text exposition for one scrape."""
+    return exposition(assemble(
+        registry=registry,
+        queue_path=queue_path,
+        store_path=store_path,
+        uptime=uptime,
+        extra=extra,
+    ))
