@@ -68,6 +68,7 @@ from repro.experiments import (
     SampledSource,
     available_backends,
 )
+from repro.lint.cli import add_lint_arguments, cmd_lint
 from repro.montecarlo import MonteCarloEstimator
 from repro.search.ga import GAConfig
 from repro.search.runner import SearchRunner
@@ -1427,6 +1428,19 @@ def build_parser() -> argparse.ArgumentParser:
     airspace.add_argument("--equipage", default="both",
                           choices=("both", "none"))
     airspace.set_defaults(func=cmd_airspace)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="check the repo's determinism/clock/fault/lock contracts",
+        description=(
+            "AST contract linter (repro.lint): R1 seeded-rng, R2 "
+            "monotonic-durations, R3 fault-seam hygiene, R4 store/"
+            "queue lock discipline, R5 identity purity.  Exit codes: "
+            "0 clean, 1 findings, 2 config error, 3 stale baseline."
+        ),
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -372,6 +372,9 @@ class WorkQueue:
     def __repr__(self) -> str:
         return f"WorkQueue(path={self.path!r})"
 
+    # repro-lint: ok[R4] read-only SELECT of the connection clock; a
+    # WorkQueue handle is never shared across threads, and lease
+    # *decisions* that consume this reading run inside _write.
     def _now(self) -> float:
         """This connection's clock (epoch seconds) — the single time
         authority every lease decision on this handle compares *and*
@@ -412,6 +415,12 @@ class WorkQueue:
                 faults.maybe_delay("queue.commit")
                 self._conn.execute("COMMIT")
                 return result
+            # repro-lint: ok[R3] rollback-and-reraise, not a swallow:
+            # the open BEGIN IMMEDIATE must be rolled back even for
+            # BaseException (InjectedWorkerCrash, KeyboardInterrupt) or
+            # the handle would hold the write lock forever and no lease
+            # could ever be released; the unconditional raise keeps the
+            # fault seam open.
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
@@ -679,6 +688,10 @@ class WorkQueue:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    # repro-lint: ok[R4] read-only snapshot SELECT; WorkQueue handles
+    # are per-process/thread by contract (workers, coordinators and the
+    # service each open their own), so introspection reads need no lock
+    # — only read-modify-write decisions go through _write.
     def job(self, campaign_id: str) -> JobInfo:
         """One submitted campaign's job row."""
         row = self._conn.execute(
@@ -688,6 +701,8 @@ class WorkQueue:
             raise KeyError(f"no job matching {campaign_id!r}")
         return self._job(row)
 
+    # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+    # private connection (see job() above).
     def jobs(self) -> List[JobInfo]:
         """All submitted campaigns, oldest first."""
         rows = self._conn.execute(
@@ -695,6 +710,8 @@ class WorkQueue:
         )
         return [self._job(row) for row in rows]
 
+    # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+    # private connection (see job() above).
     def counts(
         self, campaign_id: Optional[str] = None
     ) -> Dict[str, ChunkCounts]:
@@ -721,6 +738,8 @@ class WorkQueue:
         """One campaign's chunk tallies (all-zero if it has no chunks)."""
         return self.counts(campaign_id).get(campaign_id, ChunkCounts())
 
+    # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+    # private connection (see job() above).
     def chunk_states(self, campaign_id: str) -> List[ChunkState]:
         """Every chunk row of one campaign, in chunk order."""
         rows = self._conn.execute(
@@ -747,6 +766,9 @@ class WorkQueue:
         tally = self.chunk_counts(campaign_id)
         return tally.remaining == 0
 
+    # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+    # private connection (see job() above); actual claims re-test the
+    # condition inside their own _write transaction.
     def claimable(self, campaign_id: Optional[str] = None) -> int:
         """Chunks a worker could claim right now (incl. expired leases).
 
@@ -767,6 +789,10 @@ class WorkQueue:
     # ------------------------------------------------------------------
     # Worker liveness
     # ------------------------------------------------------------------
+    # repro-lint: ok[R4] helper that runs *inside* the caller's _write
+    # transaction by contract: its only call sites are the claim() and
+    # renew() txn closures, so the upsert commits atomically with the
+    # lease decision it accompanies.
     def _heartbeat_worker(
         self,
         worker_id: str,
@@ -868,6 +894,8 @@ class WorkQueue:
         if campaign_id is not None:
             query += " AND (campaign_id IS NULL OR campaign_id = ?)"
             params.append(campaign_id)
+        # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+        # private connection (see job() above).
         return [
             self._worker_info(row)
             for row in self._conn.execute(query, params)
@@ -882,6 +910,8 @@ class WorkQueue:
         cross-host skew is exactly what the queue clock exists to
         avoid).
         """
+        # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+        # private connection (see job() above).
         return [
             self._worker_info(row)
             for row in self._conn.execute(
@@ -934,6 +964,8 @@ class WorkQueue:
             params.append(self._now() - max_age)
         query += " ORDER BY worker_id"
         sets = []
+        # repro-lint: ok[R4] read-only snapshot SELECT on this handle's
+        # private connection (see job() above).
         for row in self._conn.execute(query, params):
             try:
                 sets.append(json.loads(row["samples"]))
@@ -957,6 +989,11 @@ class WorkQueue:
     # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
+    # repro-lint: ok[R4] the eligibility scan is read-only snapshot
+    # SELECTs on this handle's private connection; every deletion runs
+    # in the _write transaction below, which re-applies only decisions
+    # (done/failed chunks, stale heartbeats) that cannot re-enter
+    # flight — GC never cancels pending or claimed work.
     def gc(
         self,
         campaign_id: Optional[str] = None,

@@ -306,6 +306,11 @@ class Worker:
         # Fault seam: a skewed worker opens its queue handle with an
         # offset clock, as a host whose wall clock drifted would.
         skew = faults.clock_skew("worker.clock.skew")
+        # repro-lint: ok[R2] deliberate skew-injection seam: the chaos
+        # harness simulates a host whose wall clock drifted, so this
+        # closure *must* capture the wall clock; the queue's lease math
+        # still runs on its single time authority, which is the
+        # contract under test.
         clock = (lambda: time.time() + skew) if skew else None
         crashed = False
         try:
@@ -480,6 +485,10 @@ class Worker:
             with sim_span:
                 sim_wall = time.time()
                 outcomes = _execute_chunk(backend, job.runs_per_scenario, work)
+            # repro-lint: ok[R2] sim_wall is the span-start *epoch* for
+            # the synthetic kernel-phase spans; the durations laid out
+            # from it are KernelProfile perf_counter deltas, never
+            # wall-clock arithmetic.
             self._record_phase_spans(backend, phase_before, sim_span, sim_wall)
             if heartbeat is not None and heartbeat.dead:
                 # The renewal machinery broke while we simulated —

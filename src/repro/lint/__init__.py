@@ -1,0 +1,68 @@
+"""repro.lint — AST contract linter for the repo's own invariants.
+
+The repo's value is its contracts: bitwise-identical campaign ids and
+digests across serial/megabatch/fleet/service paths, seeded-RNG-only
+simulation, monotonic-clock durations, single-time-authority leases,
+and ``BaseException`` fault seams production code must not swallow.
+Tests probe those contracts after the fact; this package checks them at
+the source level, so a stray ``np.random.rand()`` or a wall-clock
+deadline fails the build instead of waiting for a digest test to
+stumble over it.
+
+Rules (see :mod:`repro.lint.rules` for the full rationale):
+
+====  ====================  ==========================================
+id    name                  invariant guarded
+====  ====================  ==========================================
+R1    seeded-rng            no global NumPy / stdlib RNG state
+R2    monotonic-durations   wall clocks are timestamps, never durations
+R3    fault-seam-hygiene    broad excepts must not eat injected crashes
+R4    lock-discipline       ``self._conn`` under ``_lock``/``_write``
+R5    identity-purity       no ambient state in provenance digests
+====  ====================  ==========================================
+
+Findings are silenced inline with ``# repro-lint: ok[R3] reason`` (the
+reason is mandatory; unknown rule ids are config errors), either on the
+offending statement or on the enclosing ``def`` line to cover a whole
+function.  Pre-existing debt lives in a committed baseline file that
+may only shrink (:mod:`repro.lint.baseline`).  Run it with
+``repro lint`` or ``python -m repro.lint``.
+"""
+
+from repro.lint.baseline import compare, load_baseline, write_baseline
+from repro.lint.cli import (
+    EXIT_CLEAN,
+    EXIT_CONFIG,
+    EXIT_FINDINGS,
+    EXIT_STALE_BASELINE,
+    cmd_lint,
+    main,
+)
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    LintError,
+    LintResult,
+    lint_paths,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, rules_for
+
+__all__ = [
+    "ALL_RULES",
+    "EXIT_CLEAN",
+    "EXIT_CONFIG",
+    "EXIT_FINDINGS",
+    "EXIT_STALE_BASELINE",
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintResult",
+    "RULES_BY_ID",
+    "cmd_lint",
+    "compare",
+    "lint_paths",
+    "load_baseline",
+    "main",
+    "rules_for",
+    "write_baseline",
+]

@@ -1,0 +1,95 @@
+"""Ratcheting lint baseline: a debt ledger that may only shrink.
+
+The baseline file (committed JSON) lists findings that predate the
+linter.  Comparing a run against it splits findings three ways:
+
+* **new** — not in the baseline: the build fails (exit 1).  Debt never
+  grows.
+* **baselined** — known debt, tolerated for now.
+* **stale** — baseline entries that no longer fire: the build *also*
+  fails (exit 3) until the entry is removed (``--write-baseline``), so
+  fixed debt is crossed off immediately and can never quietly return
+  under the same fingerprint.
+
+Matching is by content fingerprint (path + rule + source-line text +
+ordinal), not line number, so edits elsewhere in a file do not churn
+the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.engine import Finding, LintResult
+
+__all__ = ["BaselineComparison", "compare", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: Entries (as stored dicts) whose finding no longer fires.
+    stale: List[dict] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> List[dict]:
+    """Entries from *path*; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(
+            f"{path}: not a lint baseline (expected a 'findings' object)"
+        )
+    return list(payload["findings"])
+
+
+def write_baseline(path: Path, result: LintResult) -> List[dict]:
+    """Serialize *result*'s findings as the new baseline at *path*."""
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "snippet": finding.snippet.strip(),
+        }
+        for finding, fingerprint in result.fingerprints()
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Known repro-lint debt. This file may only shrink: new "
+            "findings fail the build outright, and entries that stop "
+            "firing must be removed (repro lint --write-baseline)."
+        ),
+        "findings": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return entries
+
+
+def compare(result: LintResult, entries: List[dict]) -> BaselineComparison:
+    """Split *result*'s findings against baseline *entries*."""
+    remaining: Dict[str, dict] = {}
+    for entry in entries:
+        remaining[str(entry.get("fingerprint", ""))] = entry
+    comparison = BaselineComparison()
+    for finding, fingerprint in result.fingerprints():
+        if fingerprint in remaining:
+            del remaining[fingerprint]
+            comparison.baselined.append(finding)
+        else:
+            comparison.new.append(finding)
+    comparison.stale = sorted(
+        remaining.values(),
+        key=lambda e: (str(e.get("path")), str(e.get("rule"))),
+    )
+    return comparison

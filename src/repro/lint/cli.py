@@ -1,0 +1,230 @@
+"""``repro lint`` — run the contract linter from the command line.
+
+Exit codes are distinct so CI and scripts can branch on the outcome:
+
+=====  =============================================================
+code   meaning
+=====  =============================================================
+0      clean (no findings beyond the baseline, no stale baseline)
+1      contract findings not covered by the baseline
+2      configuration error (unknown rule id, malformed or
+       unknown-rule suppression, unparsable file, bad baseline file)
+3      stale baseline entries — debt was fixed; shrink the baseline
+       with ``--write-baseline`` (the ratchet only turns one way)
+=====  =============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import LintConfig, LintResult, lint_paths
+from repro.lint.rules import RULES_BY_ID, rules_for
+
+__all__ = ["add_lint_arguments", "cmd_lint", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_CONFIG = 2
+EXIT_STALE_BASELINE = 3
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro benchmarks "
+        "under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root that rule path scopes are relative to "
+        "(default: cwd)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only these rule ids (repeatable, e.g. --rule R1 "
+        "--rule R4)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="ratcheting baseline file: findings listed there pass, "
+        "new ones fail, stale entries demand a shrink",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe the rule set and exit",
+    )
+
+
+def _print_rules() -> None:
+    for rule in RULES_BY_ID.values():
+        print(f"{rule.id}  {rule.name}")
+        print(f"    {rule.description}")
+
+
+def _json_payload(
+    result: LintResult,
+    comparison: Optional[baseline_mod.BaselineComparison],
+    exit_code: int,
+) -> dict:
+    reported = comparison.new if comparison is not None else result.findings
+    payload = {
+        "version": 1,
+        "findings": [finding.to_dict() for finding in reported],
+        "errors": [error.to_dict() for error in result.errors],
+        "counts": {
+            "files_checked": result.files_checked,
+            "findings": len(reported),
+            "suppressed": len(result.suppressed),
+            "baselined": (
+                len(comparison.baselined) if comparison is not None else 0
+            ),
+            "stale_baseline": (
+                len(comparison.stale) if comparison is not None else 0
+            ),
+        },
+        "exit_code": exit_code,
+    }
+    if comparison is not None:
+        payload["stale_baseline"] = comparison.stale
+    return payload
+
+
+def _print_text(
+    result: LintResult,
+    comparison: Optional[baseline_mod.BaselineComparison],
+    out,
+) -> None:
+    for error in result.errors:
+        print(f"{error.path}:{error.line}: error: {error.message}", file=out)
+    reported = comparison.new if comparison is not None else result.findings
+    for finding in reported:
+        print(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}",
+            file=out,
+        )
+    if comparison is not None:
+        for entry in comparison.stale:
+            print(
+                f"{entry.get('path')}: stale baseline entry "
+                f"[{entry.get('rule')}] {entry.get('snippet', '')!r} no "
+                f"longer fires — shrink the baseline (--write-baseline)",
+                file=out,
+            )
+    baselined = len(comparison.baselined) if comparison is not None else 0
+    stale = len(comparison.stale) if comparison is not None else 0
+    summary = (
+        f"repro-lint: {result.files_checked} files, "
+        f"{len(reported)} finding(s), {len(result.suppressed)} suppressed"
+    )
+    if comparison is not None:
+        summary += f", {baselined} baselined, {stale} stale"
+    print(summary, file=out)
+
+
+def cmd_lint(args: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+    root = Path(args.root).resolve()
+    try:
+        rules = rules_for(args.rule)
+    except ValueError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return EXIT_CONFIG
+    paths: List[Path]
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [root / target for target in LintConfig().targets]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+
+    result = lint_paths(paths, root, rules, known_rules=set(RULES_BY_ID))
+
+    comparison: Optional[baseline_mod.BaselineComparison] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if args.write_baseline:
+            entries = baseline_mod.write_baseline(baseline_path, result)
+            print(
+                f"repro-lint: wrote {len(entries)} entr"
+                f"{'y' if len(entries) == 1 else 'ies'} to {baseline_path}",
+                file=out,
+            )
+            return EXIT_CLEAN if not result.errors else EXIT_CONFIG
+        try:
+            entries = baseline_mod.load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"repro-lint: bad baseline: {error}", file=sys.stderr)
+            return EXIT_CONFIG
+        comparison = baseline_mod.compare(result, entries)
+    elif args.write_baseline:
+        print(
+            "repro-lint: --write-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+
+    if result.errors:
+        exit_code = EXIT_CONFIG
+    elif comparison is not None and comparison.new:
+        exit_code = EXIT_FINDINGS
+    elif comparison is not None and comparison.stale:
+        exit_code = EXIT_STALE_BASELINE
+    elif comparison is None and result.findings:
+        exit_code = EXIT_FINDINGS
+    else:
+        exit_code = EXIT_CLEAN
+
+    if args.format == "json":
+        print(
+            json.dumps(_json_payload(result, comparison, exit_code), indent=2),
+            file=out,
+        )
+    else:
+        _print_text(result, comparison, out)
+    return exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__.split("\n", 1)[0]
+    )
+    add_lint_arguments(parser)
+    return cmd_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

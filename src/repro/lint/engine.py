@@ -1,0 +1,490 @@
+"""AST rule engine for the repo's contract linter.
+
+The interesting problems a repo-specific linter has to solve once, for
+every rule, live here:
+
+* **Alias resolution** — ``import numpy as np; np.random.rand()`` and
+  ``from time import time; time()`` must both resolve to the canonical
+  dotted names (``numpy.random.rand``, ``time.time``) a rule matches
+  against.  :class:`ModuleContext` builds the alias map from every
+  ``import`` binding in the module and exposes :meth:`ModuleContext.resolve`.
+* **Suppressions** — ``# repro-lint: ok[R3] reason`` on the offending
+  line (or anywhere inside a multi-line statement, or on the enclosing
+  ``def`` line to cover a whole function) silences a finding.  A reason
+  is mandatory and an unknown rule id is a hard config error, not a
+  silent no-op.
+* **Scoping** — each rule applies to a configured set of path globs
+  (tests are exempt wholesale; ``os.urandom`` is legal in telemetry
+  only), matched on the path relative to the repo root.
+
+Rules themselves live in :mod:`repro.lint.rules`; they receive a
+:class:`ModuleContext` and call :meth:`ModuleContext.report`, which
+handles suppression bookkeeping so a rule never needs to.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "lint_paths",
+    "relpath_for",
+]
+
+
+#: ``# repro-lint: ok[R1,R3] reason`` — the only suppression syntax.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ok\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix path relative to the lint root
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self, ordinal: int = 0) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line *number* so unrelated edits above
+        a baselined finding do not churn the baseline; includes the
+        stripped source line text and an ordinal among identical
+        (path, rule, text) triples instead.
+        """
+        digest = hashlib.sha256()
+        for part in (self.path, self.rule, self.snippet.strip(), str(ordinal)):
+            digest.update(part.encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()[:20]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A configuration/usage problem (not a contract violation).
+
+    Distinct from :class:`Finding` because it can be neither suppressed
+    nor baselined: a malformed suppression or an unparsable file must
+    stop the run with a distinct exit code.
+    """
+
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "message": self.message}
+
+
+@dataclass
+class LintConfig:
+    """Where the linter looks and which rule applies where.
+
+    ``rule_paths`` maps rule id -> glob patterns (fnmatch over the
+    posix relpath); a rule only runs on files matching one of its
+    patterns.  ``urandom_ok`` carves out the one place OS entropy is a
+    feature, not a determinism bug (telemetry span ids).
+    """
+
+    targets: Tuple[str, ...] = ("src/repro", "benchmarks")
+    rule_paths: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "R1": ("src/repro/*", "benchmarks/*"),
+            "R2": ("src/repro/*", "benchmarks/*"),
+            "R3": (
+                "src/repro/distributed/*",
+                "src/repro/store/*",
+                "src/repro/service/*",
+            ),
+            "R4": (
+                "src/repro/store/store.py",
+                "src/repro/distributed/queue.py",
+            ),
+            "R5": ("src/repro/*", "benchmarks/*"),
+        }
+    )
+    urandom_ok: Tuple[str, ...] = ("src/repro/telemetry/*",)
+
+    def applies(self, rule_id: str, relpath: str) -> bool:
+        patterns = self.rule_paths.get(rule_id, ())
+        return any(fnmatch(relpath, pattern) for pattern in patterns)
+
+
+class Rule:
+    """Protocol every lint rule implements.
+
+    Subclasses set ``id``/``name``/``description`` and implement
+    :meth:`check`, reporting through ``ctx.report`` (never by
+    constructing findings directly — report handles suppressions).
+    """
+
+    id: str = "R?"
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: "ModuleContext") -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class _Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+class ModuleContext:
+    """One parsed module plus the shared analyses rules need."""
+
+    def __init__(
+        self,
+        path: Path,
+        relpath: str,
+        source: str,
+        config: LintConfig,
+        known_rules: Set[str],
+    ):
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.config = config
+        self.findings: List[Finding] = []
+        self.errors: List[LintError] = []
+        self.suppressed: List[Finding] = []
+        self.tree: Optional[ast.Module] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            self.errors.append(
+                LintError(relpath, error.lineno or 0, f"syntax error: {error.msg}")
+            )
+            return
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        self.aliases = self._collect_aliases()
+        self._suppressions = self._collect_suppressions(known_rules)
+
+    # -- imports / name resolution ------------------------------------
+    def _collect_aliases(self) -> Dict[str, str]:
+        """Map local names to canonical dotted module paths.
+
+        ``import numpy as np`` -> ``np: numpy``;
+        ``from time import time as wall`` -> ``wall: time.time``;
+        ``import os.path`` -> ``os: os``.  Bindings anywhere in the
+        module (including inside functions) participate — a rule cares
+        what a name *can* mean, not exactly where it was bound.
+        """
+        aliases: Dict[str, str] = {}
+        assert self.tree is not None
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        # `import a.b` binds `a` to module `a`.
+                        root = alias.name.split(".")[0]
+                        aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never hit stdlib targets
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """The literal dotted path of a Name/Attribute chain, if any."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, alias-resolved.
+
+        ``np.random.rand`` -> ``numpy.random.rand`` under
+        ``import numpy as np``; ``wall`` -> ``time.time`` under
+        ``from time import time as wall``.  Returns ``None`` for
+        expressions that are not name chains (calls, subscripts, ...).
+        """
+        literal = self.dotted(node)
+        if literal is None:
+            return None
+        head, _, rest = literal.partition(".")
+        resolved_head = self.aliases.get(head)
+        if resolved_head is None:
+            return literal
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+    # -- suppressions --------------------------------------------------
+    def _collect_suppressions(
+        self, known_rules: Set[str]
+    ) -> Dict[int, _Suppression]:
+        suppressions: Dict[int, _Suppression] = {}
+        reader = io.StringIO(self.source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenError, IndentationError):
+            return suppressions
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                if "repro-lint" in token.string:
+                    self.errors.append(
+                        LintError(
+                            self.relpath,
+                            token.start[0],
+                            "malformed repro-lint suppression (expected "
+                            "'# repro-lint: ok[R#] reason')",
+                        )
+                    )
+                continue
+            rules = tuple(
+                rule.strip() for rule in match.group("rules").split(",")
+                if rule.strip()
+            )
+            reason = match.group("reason").strip()
+            line = token.start[0]
+            if not rules:
+                self.errors.append(
+                    LintError(self.relpath, line, "suppression names no rules")
+                )
+                continue
+            unknown = [rule for rule in rules if rule not in known_rules]
+            if unknown:
+                self.errors.append(
+                    LintError(
+                        self.relpath,
+                        line,
+                        f"suppression names unknown rule(s) "
+                        f"{', '.join(unknown)} (known: "
+                        f"{', '.join(sorted(known_rules))})",
+                    )
+                )
+                continue
+            if not reason:
+                self.errors.append(
+                    LintError(
+                        self.relpath,
+                        line,
+                        f"suppression for {','.join(rules)} gives no reason "
+                        "— say why the contract holds here",
+                    )
+                )
+                continue
+            suppressions[line] = _Suppression(line, rules, reason)
+        return suppressions
+
+    def _comment_block_above(self, line: int) -> Set[int]:
+        """Lines of the comment block immediately preceding *line*.
+
+        Lets a suppression (with its mandatory reason) live in a
+        normal comment block above the statement or ``def`` instead of
+        overflowing the line it silences.
+        """
+        block: Set[int] = set()
+        current = line - 1
+        while current >= 1 and self.lines[current - 1].strip().startswith("#"):
+            block.add(current)
+            current -= 1
+        return block
+
+    def _suppression_for(self, rule_id: str, node: ast.AST) -> Optional[_Suppression]:
+        start = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", start) or start
+        # The whole extent of the expression, plus the statement it
+        # belongs to (a finding inside a multi-line call can be
+        # annotated anywhere in the statement or just above it)...
+        lines = set(range(start, end + 1))
+        if isinstance(node, ast.ExceptHandler):
+            # An except handler anchors its own suppression (comment
+            # block directly above the `except` line) — climbing to the
+            # whole try statement would let one annotation silence
+            # sibling handlers.
+            lines.update(self._comment_block_above(start))
+        else:
+            current = node
+            while current is not None and not isinstance(current, ast.stmt):
+                current = self.parents.get(current)
+            if current is not None:
+                stmt_end = getattr(current, "end_lineno", None)
+                lines.update(
+                    range(current.lineno, (stmt_end or current.lineno) + 1)
+                )
+                lines.update(self._comment_block_above(current.lineno))
+        # ... plus each enclosing def's signature lines and the comment
+        # block above it (function-scope suppression).
+        scope = self.parents.get(node)
+        while scope is not None:
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                signature_end = (
+                    scope.body[0].lineno if scope.body else scope.lineno + 1
+                )
+                lines.update(range(scope.lineno, signature_end))
+                # The block above a decorated def sits above its first
+                # decorator.
+                anchor = min(
+                    [scope.lineno]
+                    + [dec.lineno for dec in scope.decorator_list]
+                )
+                lines.update(self._comment_block_above(anchor))
+            scope = self.parents.get(scope)
+        for line in sorted(lines):
+            suppression = self._suppressions.get(line)
+            if suppression is not None and rule_id in suppression.rules:
+                return suppression
+        return None
+
+    # -- reporting -----------------------------------------------------
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        finding = Finding(rule_id, self.relpath, line, col, message, snippet)
+        suppression = self._suppression_for(rule_id, node)
+        if suppression is not None:
+            suppression.used = True
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
+
+    # -- traversal helpers ---------------------------------------------
+    def scopes(self) -> Iterable[ast.AST]:
+        """The module plus every (async) function definition."""
+        assert self.tree is not None
+        yield self.tree
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def scope_body(self, scope: ast.AST) -> Iterable[ast.AST]:
+        """Nodes belonging to *scope*, not descending into nested defs.
+
+        Lambdas stay part of the enclosing scope (their bodies share
+        its dataflow); nested ``def``s are their own scopes.
+        """
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def relpath_for(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[LintError] = field(default_factory=list)
+    files_checked: int = 0
+
+    def fingerprints(self) -> List[Tuple[Finding, str]]:
+        """Findings paired with ordinal-disambiguated fingerprints."""
+        seen: Dict[Tuple[str, str, str], int] = {}
+        out: List[Tuple[Finding, str]] = []
+        for finding in self.findings:
+            key = (finding.path, finding.rule, finding.snippet.strip())
+            ordinal = seen.get(key, 0)
+            seen[key] = ordinal + 1
+            out.append((finding, finding.fingerprint(ordinal)))
+        return out
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+    known_rules: Optional[Set[str]] = None,
+) -> LintResult:
+    """Lint every ``*.py`` under *paths* with *rules*, scoped by *config*.
+
+    *root* anchors the relative paths rule scopes match against (the
+    repo root in CI, a tmp dir in fixture tests).  *known_rules* is the
+    full vocabulary suppression comments may name — pass the canonical
+    rule set when running a filtered subset, so ``--rule R1`` does not
+    reject a valid ``ok[R3]`` annotation as unknown.
+    """
+    config = config or LintConfig()
+    known = set(known_rules) if known_rules is not None else {
+        rule.id for rule in rules
+    }
+    result = LintResult()
+    for path in _iter_python_files([Path(p) for p in paths]):
+        relpath = relpath_for(path, Path(root))
+        applicable = [rule for rule in rules if config.applies(rule.id, relpath)]
+        if not applicable:
+            continue
+        try:
+            source = path.read_text()
+        except OSError as error:
+            result.errors.append(LintError(relpath, 0, f"unreadable: {error}"))
+            continue
+        ctx = ModuleContext(path, relpath, source, config, known)
+        result.files_checked += 1
+        if ctx.tree is not None:
+            for rule in applicable:
+                rule.check(ctx)
+        result.findings.extend(ctx.findings)
+        result.suppressed.extend(ctx.suppressed)
+        result.errors.extend(ctx.errors)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

@@ -1,0 +1,529 @@
+"""The repo's contract rules, R1–R5.
+
+Each rule encodes an invariant the test suite can only probe after the
+fact; the linter checks it at the source level on every file:
+
+* **R1 seeded-rng** — simulation randomness flows in as an explicit
+  ``numpy.random.Generator``/``SeedSequence`` (``util/rng.py``); global
+  NumPy RNG state and stdlib module-level ``random.*`` draws would make
+  results depend on import order and call history.  ``os.urandom`` is
+  OS entropy — legal only where non-determinism is the point
+  (telemetry span ids).
+* **R2 monotonic-durations** — ``time.time()`` is a wall clock: NTP
+  steps it backwards and skewed hosts disagree.  Its values may be
+  *stored or reported* as timestamps, but durations and deadlines must
+  come from ``time.monotonic()``/``perf_counter()``; subtracting or
+  ordering wall-clock values is the bug class PR 5/PR 9 spent whole
+  reviews hunting.
+* **R3 fault-seam hygiene** — the chaos harness's
+  ``InjectedWorkerCrash`` derives from ``BaseException`` precisely so
+  production code modelled on ``except Exception`` lets it sail
+  through like a SIGKILL.  A bare ``except:``/``except BaseException:``
+  in the distributed/store/service layers closes that seam and must
+  carry an explicit suppression explaining why (e.g. a rollback that
+  re-raises).
+* **R4 store/queue lock discipline** — ``ResultStore`` shares one
+  sqlite connection across service threads behind ``self._lock``;
+  ``WorkQueue`` wraps read-modify-write transactions in the
+  ``self._write`` BEGIN IMMEDIATE helper.  Touching ``self._conn``
+  outside either is how torn transactions happen.
+* **R5 identity purity** — a ``CampaignSpec``/provenance digest is the
+  campaign's identity; reading ``os.environ``, wall clocks, pids or
+  hostnames while constructing one would make "the same experiment"
+  hash differently per host/run and silently break resume/dedup.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.engine import ModuleContext, Rule
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "rules_for"]
+
+
+#: numpy.random attributes that are *constructors* of explicit RNG
+#: state, not draws from the hidden global generator.
+_NUMPY_RANDOM_OK = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: stdlib ``random`` attributes that construct explicit seeded state.
+_STDLIB_RANDOM_OK = {"Random"}
+
+#: Wall-clock reads (canonical dotted names after alias resolution).
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Ambient state that must never feed a campaign identity (R5).
+_IMPURE_READS = {
+    "os.environ",
+    "os.getenv",
+    "os.getpid",
+    "os.getppid",
+    "os.uname",
+    "os.urandom",
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "socket.gethostname",
+    "platform.node",
+}
+
+#: Calls that compute a campaign identity / provenance digest.
+_IDENTITY_CALLS = {
+    "seed_fingerprint",
+    "table_digest",
+    "config_digest",
+    "scenarios_digest",
+    "results_digest",
+}
+_IDENTITY_CONSTRUCTORS = {
+    "CampaignSpec",
+    "CampaignSpec.capture",
+    "CampaignSpec.of_resultset",
+}
+
+
+def _outermost_attribute(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True when *node* is not the ``.value`` of a larger Attribute.
+
+    Matching only outermost chains reports ``np.random.rand`` once,
+    not again for its inner ``np.random`` node.
+    """
+    parent = ctx.parents.get(node)
+    return not (isinstance(parent, ast.Attribute) and parent.value is node)
+
+
+class SeededRngRule(Rule):
+    id = "R1"
+    name = "seeded-rng"
+    description = (
+        "no global-state numpy.random.* or module-level random.* draws; "
+        "RNG flows in as Generator/SeedSequence (util/rng.py); "
+        "os.urandom only in telemetry"
+    )
+
+    def check(self, ctx: ModuleContext) -> None:
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not _outermost_attribute(ctx, node):
+                continue
+            # Skip pure attribute/name *bindings* (assignment targets,
+            # import aliases handle themselves).
+            if isinstance(getattr(node, "ctx", None), (ast.Store, ast.Del)):
+                continue
+            resolved = ctx.resolve(node)
+            if resolved is None:
+                continue
+            if resolved.startswith("numpy.random."):
+                tail = resolved[len("numpy.random."):]
+                if tail.split(".")[0] not in _NUMPY_RANDOM_OK:
+                    ctx.report(
+                        self.id,
+                        node,
+                        f"{resolved} draws from the hidden global NumPy "
+                        f"RNG — pass an explicit Generator/SeedSequence "
+                        f"(see repro.util.rng)",
+                    )
+            elif resolved.startswith("random.") and resolved.count(".") == 1:
+                tail = resolved.split(".", 1)[1]
+                if tail not in _STDLIB_RANDOM_OK:
+                    ctx.report(
+                        self.id,
+                        node,
+                        f"{resolved} uses the module-level stdlib RNG — "
+                        f"construct a seeded random.Random or use "
+                        f"repro.util.rng",
+                    )
+            elif resolved == "os.urandom":
+                if not any(
+                    fnmatch(ctx.relpath, pattern)
+                    for pattern in ctx.config.urandom_ok
+                ):
+                    ctx.report(
+                        self.id,
+                        node,
+                        "os.urandom is OS entropy — only telemetry ids may "
+                        "use it; simulation randomness must be seeded",
+                    )
+
+
+class MonotonicDurationRule(Rule):
+    id = "R2"
+    name = "monotonic-durations"
+    description = (
+        "wall-clock (time.time) values may be stored/reported as "
+        "timestamps but never subtracted, compared as deadlines, or "
+        "leaked into helpers/closures — use monotonic()/perf_counter() "
+        "for durations"
+    )
+
+    def check(self, ctx: ModuleContext) -> None:
+        for scope in ctx.scopes():
+            tainted = self._tainted_keys(ctx, scope)
+            self._flag_scope(ctx, scope, tainted)
+
+    # -- taint collection ---------------------------------------------
+    def _key(self, ctx: ModuleContext, node: ast.AST) -> Optional[str]:
+        """Dataflow key for a Name or self-style attribute chain."""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return ctx.dotted(node)
+        return None
+
+    def _is_wall(
+        self, ctx: ModuleContext, node: ast.AST, tainted: Set[str]
+    ) -> bool:
+        """Does *node* evaluate to a wall-clock reading?"""
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            return resolved in _WALL_CLOCKS
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            key = self._key(ctx, node)
+            return key is not None and key in tainted
+        if isinstance(node, ast.BinOp):
+            return self._is_wall(ctx, node.left, tainted) or self._is_wall(
+                ctx, node.right, tainted
+            )
+        if isinstance(node, (ast.IfExp,)):
+            return self._is_wall(ctx, node.body, tainted) or self._is_wall(
+                ctx, node.orelse, tainted
+            )
+        return False
+
+    def _tainted_keys(self, ctx: ModuleContext, scope: ast.AST) -> Set[str]:
+        tainted: Set[str] = set()
+        # Two passes reach a fixpoint for the chained-assignment depth
+        # that occurs in practice (`t = time.time(); deadline = t + n`).
+        for _ in range(2):
+            for node in ctx.scope_body(scope):
+                targets: List[ast.AST] = []
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                elif isinstance(node, ast.AugAssign):
+                    targets, value = [node.target], node.value
+                if value is None or not self._is_wall(ctx, value, tainted):
+                    continue
+                for target in targets:
+                    key = self._key(ctx, target)
+                    if key is not None:
+                        tainted.add(key)
+        return tainted
+
+    # -- violation detection ------------------------------------------
+    def _flag_scope(
+        self, ctx: ModuleContext, scope: ast.AST, tainted: Set[str]
+    ) -> None:
+        order_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        for node in ctx.scope_body(scope):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                if self._is_wall(ctx, node.left, tainted) or self._is_wall(
+                    ctx, node.right, tainted
+                ):
+                    ctx.report(
+                        self.id,
+                        node,
+                        "duration computed by subtracting wall-clock values "
+                        "— use time.monotonic()/perf_counter()",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Sub
+            ):
+                key = self._key(ctx, node.target)
+                if self._is_wall(ctx, node.value, tainted) or (
+                    key is not None and key in tainted
+                ):
+                    ctx.report(
+                        self.id,
+                        node,
+                        "in-place subtraction on a wall-clock value — use a "
+                        "monotonic clock for durations",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                if any(
+                    isinstance(op, order_ops) for op in node.ops
+                ) and any(self._is_wall(ctx, o, tainted) for o in operands):
+                    ctx.report(
+                        self.id,
+                        node,
+                        "wall-clock value ordered against a deadline — wall "
+                        "clocks step backwards; use time.monotonic()",
+                    )
+            elif isinstance(node, ast.Call):
+                self._flag_escapes(ctx, node, tainted)
+            elif isinstance(node, ast.Lambda):
+                for inner in ast.walk(node.body):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and ctx.resolve(inner.func) in _WALL_CLOCKS
+                    ):
+                        ctx.report(
+                            self.id,
+                            node,
+                            "wall clock captured in a closure — injected "
+                            "clocks hide duration math from this analysis; "
+                            "annotate if this is a deliberate clock seam",
+                        )
+                        break
+
+    def _flag_escapes(
+        self, ctx: ModuleContext, call: ast.Call, tainted: Set[str]
+    ) -> None:
+        """A wall value passed onward escapes local dataflow analysis.
+
+        Storing into attributes/dicts is a timestamp (allowed); handing
+        the value to another function is where untracked duration math
+        starts, so it needs an annotation saying it stays a timestamp.
+        """
+        resolved = ctx.resolve(call.func)
+        if resolved in _WALL_CLOCKS:
+            return  # the clock call itself
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in args:
+            is_direct_call = (
+                isinstance(arg, ast.Call)
+                and ctx.resolve(arg.func) in _WALL_CLOCKS
+            )
+            key = self._key(ctx, arg)
+            if is_direct_call or (key is not None and key in tainted):
+                ctx.report(
+                    self.id,
+                    arg,
+                    "wall-clock value passed to a call — dataflow can't "
+                    "prove it stays a timestamp; compute durations "
+                    "monotonically or annotate why this is report-only",
+                )
+
+
+class FaultSeamRule(Rule):
+    id = "R3"
+    name = "fault-seam-hygiene"
+    description = (
+        "no bare except / except BaseException in distributed/store/"
+        "service without an explicit suppression — InjectedWorkerCrash "
+        "(BaseException) must sail through like SIGKILL"
+    )
+
+    def check(self, ctx: ModuleContext) -> None:
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                ctx.report(
+                    self.id,
+                    node,
+                    "bare except: catches BaseException and swallows "
+                    "injected fault-seam crashes — catch Exception, or "
+                    "annotate why every exception must stop here",
+                )
+                continue
+            exprs = (
+                list(node.type.elts)
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for expr in exprs:
+                resolved = ctx.resolve(expr)
+                if resolved in ("BaseException", "builtins.BaseException"):
+                    ctx.report(
+                        self.id,
+                        node,
+                        "except BaseException: closes the fault seam "
+                        "(InjectedWorkerCrash must propagate like SIGKILL) "
+                        "— re-raise unconditionally or annotate the "
+                        "contract that makes this safe",
+                    )
+
+
+class LockDisciplineRule(Rule):
+    id = "R4"
+    name = "lock-discipline"
+    description = (
+        "methods touching self._conn in store.py/queue.py must hold "
+        "self._lock or run inside the self._write transaction wrapper"
+    )
+
+    #: Lifecycle methods that legitimately own the connection before or
+    #: after any concurrent use is possible, plus the wrapper itself.
+    _EXEMPT_METHODS = {"__init__", "close", "__enter__", "__exit__", "_write"}
+
+    def check(self, ctx: ModuleContext) -> None:
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._check_method(ctx, item)
+
+    def _check_method(self, ctx: ModuleContext, method: ast.FunctionDef) -> None:
+        if method.name in self._EXEMPT_METHODS:
+            return
+        write_closures = self._write_wrapped(ctx, method)
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_conn"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                if self._protected(ctx, node, method, write_closures):
+                    continue
+                ctx.report(
+                    self.id,
+                    node,
+                    f"self._conn touched in {method.name}() outside "
+                    f"self._lock / self._write — sqlite handles shared "
+                    f"across threads need the discipline",
+                )
+
+    def _write_wrapped(
+        self, ctx: ModuleContext, method: ast.FunctionDef
+    ) -> Set[ast.AST]:
+        """Closures (by def node) handed to ``self._write(...)``."""
+        named: Dict[str, ast.AST] = {}
+        for node in ast.walk(method):
+            if isinstance(node, ast.FunctionDef) and node is not method:
+                named[node.name] = node
+        wrapped: Set[ast.AST] = set()
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.dotted(node.func) != "self._write":
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Lambda):
+                    wrapped.add(arg)
+                elif isinstance(arg, ast.Name) and arg.id in named:
+                    wrapped.add(named[arg.id])
+        return wrapped
+
+    def _protected(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        method: ast.FunctionDef,
+        write_closures: Set[ast.AST],
+    ) -> bool:
+        current = ctx.parents.get(node)
+        while current is not None and current is not method:
+            if current in write_closures:
+                return True
+            if isinstance(current, ast.With):
+                for item in current.items:
+                    if ctx.dotted(item.context_expr) == "self._lock":
+                        return True
+            current = ctx.parents.get(current)
+        return False
+
+
+class IdentityPurityRule(Rule):
+    id = "R5"
+    name = "identity-purity"
+    description = (
+        "functions constructing CampaignSpec / provenance digests must "
+        "not read os.environ, wall clocks, pids, hostnames or OS "
+        "entropy — identity must hash the same on every host"
+    )
+
+    def check(self, ctx: ModuleContext) -> None:
+        for scope in ctx.scopes():
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._builds_identity(ctx, scope):
+                continue
+            for node in ast.walk(scope):
+                if not isinstance(node, (ast.Attribute, ast.Name)):
+                    continue
+                if not _outermost_attribute(ctx, node):
+                    continue
+                if isinstance(getattr(node, "ctx", None), (ast.Store, ast.Del)):
+                    continue
+                resolved = ctx.resolve(node)
+                if resolved is None:
+                    continue
+                # Prefix match so `os.environ.get(...)` (a longer
+                # chain over the same ambient object) is caught too.
+                if resolved in _IMPURE_READS or any(
+                    resolved.startswith(impure + ".")
+                    for impure in _IMPURE_READS
+                ):
+                    ctx.report(
+                        self.id,
+                        node,
+                        f"{resolved} read inside {scope.name}(), which "
+                        f"constructs campaign identity — ambient state "
+                        f"must never feed a provenance digest",
+                    )
+
+    def _builds_identity(self, ctx: ModuleContext, scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved is None:
+                continue
+            tail = resolved.split(".")[-1]
+            if tail in _IDENTITY_CALLS:
+                return True
+            if (
+                resolved in _IDENTITY_CONSTRUCTORS
+                or ".".join(resolved.split(".")[-2:]) in _IDENTITY_CONSTRUCTORS
+                or tail == "CampaignSpec"
+            ):
+                return True
+        return False
+
+
+ALL_RULES: Sequence[Rule] = (
+    SeededRngRule(),
+    MonotonicDurationRule(),
+    FaultSeamRule(),
+    LockDisciplineRule(),
+    IdentityPurityRule(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def rules_for(ids: Optional[Sequence[str]] = None) -> Sequence[Rule]:
+    """The rule set for *ids* (all rules when ``None``).
+
+    Raises ``ValueError`` on unknown ids so the CLI can exit with the
+    distinct config-error code.
+    """
+    if not ids:
+        return ALL_RULES
+    unknown = [rule_id for rule_id in ids if rule_id not in RULES_BY_ID]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(RULES_BY_ID)})"
+        )
+    return [RULES_BY_ID[rule_id] for rule_id in ids]

@@ -142,6 +142,8 @@ class CampaignService:
         self._threads: list = []
         # Uptime is a duration: measure it on the monotonic clock (the
         # wall stamp is only for display in health bodies).
+        # repro-lint: ok[R2] started_at is the display timestamp;
+        # uptime math uses _started_mono.
         self.started_at = time.time()
         self._started_mono = time.monotonic()
         self._m_submissions = telemetry.REGISTRY.counter(

@@ -172,6 +172,8 @@ class Watchlist:
                 self._scan_failures += 1
                 self._consecutive_failures += 1
                 self._last_error = f"{type(error).__name__}: {error}"
+                # repro-lint: ok[R2] reported verbatim in scan_health()
+                # for operators; never subtracted or deadline-compared.
                 self._last_error_at = time.time()
             self._m_scans.inc(outcome="failure")
             raise
@@ -237,6 +239,8 @@ class Watchlist:
         ]
         baseline_info, alerts = self._check_baseline(campaigns)
         snapshot = {
+            # repro-lint: ok[R2] snapshot timestamp for API consumers;
+            # staleness checks compare _snapshot_mono, not this.
             "generated_at": time.time(),
             "campaigns_scanned": len(campaigns),
             "records_scanned": records_scanned,

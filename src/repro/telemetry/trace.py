@@ -90,6 +90,10 @@ class Span:
         self.process = collector.process
         self.events: List[dict] = []
         self.status = "ok"
+        # repro-lint: ok[R2] span-start epoch, stored/reported only: it
+        # anchors the waterfall on the wall clock so spans from
+        # different hosts line up; every duration and event offset is
+        # computed from the perf_counter t0 below.
         self.started_at = time.time()
         self.duration: Optional[float] = None
         self._t0 = time.perf_counter()
